@@ -1,0 +1,102 @@
+// Ablation (§6): the serialized global scheduler vs the clustered design.
+//
+// "Our space-efficient scheduler maintains a globally ordered list of
+// threads; accesses to this list are serialized by a lock. Therefore, we do
+// not expect such a serialized scheduler to scale well beyond 16
+// processors. A parallelized implementation of the scheduler would be
+// required to ensure further scalability."
+//
+// We sweep processor counts past 16 on a fork-heavy workload (fine-grained
+// matmul, whose scheduler-operation rate is high) and compare the global
+// single-lock AsyncDF against the clustered variant (one AsyncDF queue +
+// lock per 4-processor "SMP", migration only when a cluster runs dry).
+#include <cstdio>
+
+#include "matmul_runner.h"
+
+int main(int argc, char** argv) {
+  using namespace dfth;
+  bench::Common common("abl_clustered",
+                       "Ablation: global-lock AsyncDF vs clustered AsyncDF");
+  auto* size = common.cli.int_opt("n", 512, "matmul dimension");
+  auto* cluster = common.cli.int_opt("cluster-size", 4, "processors per SMP");
+  if (!common.parse(argc, argv)) return 0;
+  const std::size_t n = *common.full ? 1024 : static_cast<std::size_t>(*size);
+  const auto seed = static_cast<std::uint64_t>(*common.seed);
+
+  bench::MatmulInput input(n);
+  const RunStats serial = bench::matmul_serial_stats(input);
+
+  Table table({"procs", "global speedup", "clustered speedup", "global sched ms",
+               "clustered sched ms", "clustered heap (MB)"});
+  for (int p : {4, 8, 16, 24, 32}) {
+    RuntimeOptions global = bench::sim_opts(SchedKind::AsyncDf, p, 8 << 10, seed);
+    RuntimeOptions clustered =
+        bench::sim_opts(SchedKind::ClusteredAdf, p, 8 << 10, seed);
+    clustered.cluster_size = static_cast<int>(*cluster);
+    auto one = [&](RuntimeOptions& o) {
+      return run(o, [&] {
+        apps::matmul_threaded(input.a, input.b, input.c, input.cfg);
+      });
+    };
+    const RunStats g = one(global);
+    const RunStats c = one(clustered);
+    table.add_row({Table::fmt_int(p),
+                   Table::fmt(serial.elapsed_us / g.elapsed_us, 2),
+                   Table::fmt(serial.elapsed_us / c.elapsed_us, 2),
+                   Table::fmt(g.breakdown.sched_us / 1e3, 1),
+                   Table::fmt(c.breakdown.sched_us / 1e3, 1),
+                   bench::mb(c.heap_peak)});
+  }
+  common.emit(table, "Global-lock vs clustered AsyncDF, matmul " +
+                         std::to_string(n) + "², clusters of " +
+                         std::to_string(*cluster));
+
+  // Part 2: fork churn — thousands of threads only ~10x the cost of their
+  // own scheduling. Every fork/exit is several queue operations under the
+  // lock, so past ~16 processors the single serialized lock becomes the
+  // bottleneck §6 predicts; the per-SMP locks keep scaling.
+  Table churn({"procs", "global speedup", "clustered speedup",
+               "global sched ms", "clustered sched ms"});
+  auto churn_work = [] {
+    struct Rec {
+      static void go(int depth) {
+        annotate_work(200);  // 2 µs of work per ~4 µs of scheduler ops
+        if (depth == 0) return;
+        auto left = spawn([depth]() -> void* {
+          go(depth - 1);
+          return nullptr;
+        });
+        auto right = spawn([depth]() -> void* {
+          go(depth - 1);
+          return nullptr;
+        });
+        join(left);
+        join(right);
+      }
+    };
+    Rec::go(13);  // 2^13 - 1 threads
+  };
+  const double churn_serial =
+      run(bench::sim_opts(SchedKind::AsyncDf, 1, 8 << 10, seed), churn_work)
+          .elapsed_us;
+  for (int p : {8, 16, 24, 32}) {
+    RuntimeOptions global = bench::sim_opts(SchedKind::AsyncDf, p, 8 << 10, seed);
+    RuntimeOptions clustered =
+        bench::sim_opts(SchedKind::ClusteredAdf, p, 8 << 10, seed);
+    clustered.cluster_size = static_cast<int>(*cluster);
+    const RunStats g = run(global, churn_work);
+    const RunStats c = run(clustered, churn_work);
+    churn.add_row({Table::fmt_int(p),
+                   Table::fmt(churn_serial / g.elapsed_us, 2),
+                   Table::fmt(churn_serial / c.elapsed_us, 2),
+                   Table::fmt(g.breakdown.sched_us / 1e3, 1),
+                   Table::fmt(c.breakdown.sched_us / 1e3, 1)});
+  }
+  common.emit(churn, "Fork churn (8191 fine threads): the §6 lock bottleneck");
+  std::puts(
+      "(expected: comparable on coarse work at any p; under fork churn the "
+      "global lock's wait time explodes past ~16 procs while the clustered "
+      "scheduler keeps scaling)");
+  return 0;
+}

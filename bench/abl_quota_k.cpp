@@ -1,0 +1,42 @@
+// Ablation (§4 item 2 / [35]): the memory quota K trades space for time —
+// small K preempts threads often and forks many dummy threads (more
+// scheduling overhead, tighter memory); large K approaches plain depth-first
+// order (less overhead, more live memory). The paper: "The constant K can be
+// used as a parameter to adjust the trade-off between space and time."
+#include <cstdio>
+
+#include "matmul_runner.h"
+
+int main(int argc, char** argv) {
+  using namespace dfth;
+  bench::Common common("abl_quota_k", "Ablation: memory quota K space/time trade-off");
+  auto* size = common.cli.int_opt("n", 512, "matrix dimension");
+  auto* procs = common.cli.int_opt("procs", 8, "processor count");
+  if (!common.parse(argc, argv)) return 0;
+  const std::size_t n = *common.full ? 1024 : static_cast<std::size_t>(*size);
+  const int p = static_cast<int>(*procs);
+
+  bench::MatmulInput input(n);
+  const RunStats serial = bench::matmul_serial_stats(input);
+
+  Table table({"K", "time (s)", "speedup", "heap (MB)", "dummy threads",
+               "quota preemptions", "max live"});
+  for (std::size_t k : {4u << 10, 16u << 10, 32u << 10, 128u << 10, 512u << 10,
+                        2u << 20, 8u << 20}) {
+    RuntimeOptions o = bench::sim_opts(SchedKind::AsyncDf, p, 8 << 10,
+                                       static_cast<std::uint64_t>(*common.seed));
+    o.mem_quota = k;
+    const RunStats stats =
+        run(o, [&] { apps::matmul_threaded(input.a, input.b, input.c, input.cfg); });
+    table.add_row({Table::fmt_bytes(static_cast<long long>(k)),
+                   Table::fmt(stats.elapsed_us / 1e6, 3),
+                   Table::fmt(serial.elapsed_us / stats.elapsed_us, 2),
+                   bench::mb(stats.heap_peak),
+                   Table::fmt_int(static_cast<long long>(stats.dummy_threads)),
+                   Table::fmt_int(static_cast<long long>(stats.quota_preemptions)),
+                   Table::fmt_int(stats.max_live_threads)});
+  }
+  common.emit(table, "Quota sweep: matmul " + std::to_string(n) + "², p=" +
+                         std::to_string(p) + ", AsyncDF");
+  return 0;
+}

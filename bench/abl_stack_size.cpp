@@ -1,0 +1,46 @@
+// Ablation (§4 item 3): default thread stack size. Solaris defaulted to
+// 1 MB; the paper reduces it to one page (8 KB), cutting stack-allocation
+// time and resident footprint. We sweep the default size under both the
+// stock FIFO scheduler (thousands of live threads — the worst case) and the
+// space-efficient scheduler (tens of live threads — nearly insensitive).
+#include <cstdio>
+
+#include "matmul_runner.h"
+
+int main(int argc, char** argv) {
+  using namespace dfth;
+  bench::Common common("abl_stack_size", "Ablation: default stack size sweep");
+  auto* size = common.cli.int_opt("n", 512, "matrix dimension");
+  auto* procs = common.cli.int_opt("procs", 8, "processor count");
+  if (!common.parse(argc, argv)) return 0;
+  const std::size_t n = *common.full ? 1024 : static_cast<std::size_t>(*size);
+  const int p = static_cast<int>(*procs);
+
+  bench::MatmulInput input(n);
+  const RunStats serial = bench::matmul_serial_stats(input);
+
+  Table table({"stack size", "FIFO speedup", "FIFO stack peak", "FIFO fresh",
+               "AsyncDF speedup", "AsyncDF stack peak", "AsyncDF fresh"});
+  for (std::size_t stack : {8u << 10, 64u << 10, 256u << 10, 1u << 20}) {
+    auto one = [&](SchedKind sched) {
+      return bench::matmul_run(input, sched, p, stack,
+                               static_cast<std::uint64_t>(*common.seed));
+    };
+    const RunStats fifo = one(SchedKind::Fifo);
+    const RunStats adf = one(SchedKind::AsyncDf);
+    table.add_row({Table::fmt_bytes(static_cast<long long>(stack)),
+                   Table::fmt(serial.elapsed_us / fifo.elapsed_us, 2),
+                   Table::fmt_bytes(fifo.stack_peak),
+                   Table::fmt_int(static_cast<long long>(fifo.stacks_fresh)),
+                   Table::fmt(serial.elapsed_us / adf.elapsed_us, 2),
+                   Table::fmt_bytes(adf.stack_peak),
+                   Table::fmt_int(static_cast<long long>(adf.stacks_fresh))});
+  }
+  common.emit(table, "Default-stack-size sweep: matmul " + std::to_string(n) +
+                         "², p=" + std::to_string(p));
+  std::puts(
+      "(paper: 1 MB defaults hurt when many threads are simultaneously "
+      "live; 8 KB removes the cost; the space-efficient scheduler is nearly "
+      "insensitive because it keeps few threads live)");
+  return 0;
+}

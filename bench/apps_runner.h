@@ -1,0 +1,229 @@
+// Registry of the seven paper benchmarks for the Figure-8 table and the
+// §5.2 scalability sweep: per app, a serial baseline plus fine-grained
+// (any scheduler) and — where the paper has one — a coarse-grained version.
+//
+// Default problem sizes are scaled down so the whole table regenerates in
+// minutes on one host core; --full selects the paper's sizes.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "apps/barnes/barnes.h"
+#include "apps/dtree/dtree.h"
+#include "apps/fft/fft.h"
+#include "apps/fmm/fmm.h"
+#include "apps/matmul/matmul.h"
+#include "apps/spmv/spmv.h"
+#include "apps/volrend/volrend.h"
+#include "bench_common.h"
+#include "matmul_runner.h"
+
+namespace dfth::bench {
+
+struct AppSpec {
+  std::string name;
+  std::string problem;
+  bool has_coarse = false;
+  std::function<RunStats()> serial;
+  /// Fine-grained run; coarse ignores the scheduler (it is insensitive by
+  /// construction — one thread per processor).
+  std::function<RunStats(SchedKind, int, std::uint64_t)> fine;
+  std::function<RunStats(int)> coarse;
+};
+
+inline std::vector<AppSpec> make_apps(bool full, std::uint64_t seed) {
+  std::vector<AppSpec> apps;
+
+  // -- Matrix multiply (no coarse version in the paper) ---------------------
+  {
+    auto input = std::make_shared<MatmulInput>(full ? 1024 : 512);
+    AppSpec spec;
+    spec.name = "Matrix Mult.";
+    spec.problem = std::to_string(input->cfg.n) + "x" + std::to_string(input->cfg.n);
+    spec.serial = [input] { return matmul_serial_stats(*input); };
+    spec.fine = [input](SchedKind sched, int p, std::uint64_t sd) {
+      return matmul_run(*input, sched, p, 8 << 10, sd);
+    };
+    apps.push_back(std::move(spec));
+  }
+
+  // -- Barnes-Hut -------------------------------------------------------------
+  {
+    auto cfg = std::make_shared<apps::BarnesConfig>();
+    cfg->bodies = full ? 100000 : 8192;
+    cfg->timesteps = 2;
+    cfg->seed = seed;
+    auto bodies = std::make_shared<std::vector<apps::Body>>(apps::barnes_generate(*cfg));
+    AppSpec spec;
+    spec.name = "Barnes Hut";
+    spec.problem = "N=" + std::to_string(cfg->bodies) + ", Plummer";
+    spec.has_coarse = true;
+    spec.serial = [cfg, bodies] {
+      return run(sim_opts(SchedKind::AsyncDf, 1),
+                 [&] { apps::barnes_serial(*bodies, *cfg); });
+    };
+    spec.fine = [cfg, bodies](SchedKind sched, int p, std::uint64_t sd) {
+      return run(sim_opts(sched, p, 8 << 10, sd),
+                 [&] { apps::barnes_fine(*bodies, *cfg); });
+    };
+    spec.coarse = [cfg, bodies](int p) {
+      return run(sim_opts(SchedKind::Fifo, p, 8 << 10),
+                 [&] { apps::barnes_coarse(*bodies, *cfg, p); });
+    };
+    apps.push_back(std::move(spec));
+  }
+
+  // -- FMM (no coarse version in the paper) ------------------------------------
+  {
+    auto cfg = std::make_shared<apps::FmmConfig>();
+    cfg->particles = full ? 10000 : 4000;
+    cfg->levels = full ? 4 : 3;
+    cfg->terms = 5;
+    cfg->chunk = 9;  // 2-D interaction lists have <=27 entries (3-D: 875/25)
+    cfg->seed = seed;
+    auto particles =
+        std::make_shared<std::vector<apps::FmmParticle>>(apps::fmm_generate(*cfg));
+    AppSpec spec;
+    spec.name = "FMM";
+    spec.problem = "N=" + std::to_string(cfg->particles) + ", 5 terms";
+    spec.serial = [cfg, particles] {
+      auto copy = *particles;
+      return run(sim_opts(SchedKind::AsyncDf, 1),
+                 [&] { apps::fmm_serial(copy, *cfg); });
+    };
+    spec.fine = [cfg, particles](SchedKind sched, int p, std::uint64_t sd) {
+      auto copy = *particles;
+      return run(sim_opts(sched, p, 8 << 10, sd),
+                 [&] { apps::fmm_threaded(copy, *cfg); });
+    };
+    apps.push_back(std::move(spec));
+  }
+
+  // -- Decision tree (no coarse version: "would be highly complex") -----------
+  {
+    auto cfg = std::make_shared<apps::DtreeConfig>();
+    cfg->instances = full ? 133999 : 30000;
+    cfg->seed = seed;
+    auto data = std::make_shared<std::vector<apps::Instance>>(apps::dtree_generate(*cfg));
+    AppSpec spec;
+    spec.name = "Decision Tree";
+    spec.problem = std::to_string(cfg->instances) + " instances";
+    spec.serial = [cfg, data] {
+      return run(sim_opts(SchedKind::AsyncDf, 1),
+                 [&] { apps::dtree_build_serial(*data, *cfg); });
+    };
+    spec.fine = [cfg, data](SchedKind sched, int p, std::uint64_t sd) {
+      return run(sim_opts(sched, p, 8 << 10, sd),
+                 [&] { apps::dtree_build_threaded(*data, *cfg); });
+    };
+    apps.push_back(std::move(spec));
+  }
+
+  // -- FFT: coarse = p threads, fine = 256 threads ------------------------------
+  {
+    const std::size_t n = full ? (1u << 22) : (1u << 18);
+    auto in = std::make_shared<std::vector<apps::Complex>>(n);
+    apps::fft_fill(in->data(), n, seed);
+    AppSpec spec;
+    spec.name = "FFTW";
+    spec.problem = "N=2^" + std::to_string(full ? 22 : 18);
+    spec.has_coarse = true;
+    spec.serial = [in, n] {
+      return run(sim_opts(SchedKind::AsyncDf, 1), [&] {
+        apps::FftPlan plan(n);
+        auto* out = static_cast<apps::Complex*>(
+            df_malloc(sizeof(apps::Complex) * n));
+        plan.execute_serial(in->data(), out);
+        df_free(out);
+      });
+    };
+    spec.fine = [in, n](SchedKind sched, int p, std::uint64_t sd) {
+      return run(sim_opts(sched, p, 8 << 10, sd), [&] {
+        apps::FftPlan plan(n);
+        auto* out = static_cast<apps::Complex*>(
+            df_malloc(sizeof(apps::Complex) * n));
+        plan.execute_threaded(in->data(), out, 256);
+        df_free(out);
+      });
+    };
+    spec.coarse = [in, n](int p) {
+      return run(sim_opts(SchedKind::Fifo, p, 8 << 10), [&] {
+        apps::FftPlan plan(n);
+        auto* out = static_cast<apps::Complex*>(
+            df_malloc(sizeof(apps::Complex) * n));
+        plan.execute_threaded(in->data(), out, p);
+        df_free(out);
+      });
+    };
+    apps.push_back(std::move(spec));
+  }
+
+  // -- Sparse matrix-vector product ----------------------------------------------
+  {
+    // The paper-size matrix is cheap to generate and multiply, so the
+    // default keeps it; only the iteration count is scaled down.
+    auto cfg = std::make_shared<apps::SpmvConfig>();
+    if (!full) cfg->iterations = 10;
+    cfg->seed = seed;
+    auto m = std::make_shared<apps::CsrMatrix>(cfg->rows, cfg->rows);
+    apps::spmv_generate(*m, *cfg);
+    auto v = std::make_shared<std::vector<double>>(cfg->rows, 1.0);
+    auto w = std::make_shared<std::vector<double>>(cfg->rows, 0.0);
+    AppSpec spec;
+    spec.name = "Sparse Matrix";
+    spec.problem = std::to_string(cfg->rows) + " rows, " +
+                   std::to_string(m->nnz()) + " nnz";
+    spec.has_coarse = true;
+    spec.serial = [cfg, m, v, w] {
+      return run(sim_opts(SchedKind::AsyncDf, 1), [&] {
+        for (int i = 0; i < cfg->iterations; ++i) {
+          apps::spmv_serial(*m, v->data(), w->data());
+        }
+      });
+    };
+    spec.fine = [cfg, m, v, w](SchedKind sched, int p, std::uint64_t sd) {
+      return run(sim_opts(sched, p, 8 << 10, sd),
+                 [&] { apps::spmv_fine(*m, v->data(), w->data(), *cfg); });
+    };
+    spec.coarse = [cfg, m, v, w](int p) {
+      return run(sim_opts(SchedKind::Fifo, p, 8 << 10),
+                 [&] { apps::spmv_coarse(*m, v->data(), w->data(), *cfg, p); });
+    };
+    apps.push_back(std::move(spec));
+  }
+
+  // -- Volume rendering -----------------------------------------------------------
+  {
+    auto cfg = std::make_shared<apps::VolrendConfig>();
+    cfg->volume_dim = full ? 256 : 128;
+    cfg->image_dim = full ? 375 : 192;
+    cfg->tiles_per_thread = 64;
+    cfg->seed = seed;
+    auto vol = std::make_shared<apps::Volume>(*cfg);
+    AppSpec spec;
+    spec.name = "Vol. Rend.";
+    spec.problem = std::to_string(cfg->volume_dim) + "^3 vol, " +
+                   std::to_string(cfg->image_dim) + "^2 img";
+    spec.has_coarse = true;
+    spec.serial = [cfg, vol] {
+      return run(sim_opts(SchedKind::AsyncDf, 1),
+                 [&] { apps::volrend_serial(*vol, *cfg); });
+    };
+    spec.fine = [cfg, vol](SchedKind sched, int p, std::uint64_t sd) {
+      return run(sim_opts(sched, p, 8 << 10, sd),
+                 [&] { apps::volrend_fine(*vol, *cfg); });
+    };
+    spec.coarse = [cfg, vol](int p) {
+      return run(sim_opts(SchedKind::Fifo, p, 8 << 10),
+                 [&] { apps::volrend_coarse(*vol, *cfg, p); });
+    };
+    apps.push_back(std::move(spec));
+  }
+
+  return apps;
+}
+
+}  // namespace dfth::bench

@@ -1,0 +1,67 @@
+// Shared helpers for the figure/table-regeneration harnesses.
+//
+// Every bench binary reproduces one table or figure from the paper: it
+// prints the same rows/series the paper reports (speedups vs a serial C
+// baseline, heap high-water marks, max live thread counts) and can mirror
+// them to CSV. Absolute numbers come from the simulator's cost model, so
+// they are comparable in *shape*, not magnitude, with the 1998 hardware —
+// see EXPERIMENTS.md.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "runtime/api.h"
+#include "util/cli.h"
+#include "util/table.h"
+
+namespace dfth::bench {
+
+/// Standard options shared by the harnesses.
+struct Common {
+  Cli cli;
+  std::int64_t* procs_max;
+  std::string* csv;
+  bool* full;
+  std::int64_t* seed;
+
+  Common(const std::string& name, const std::string& what)
+      : cli(name, what),
+        procs_max(cli.int_opt("max-procs", 8, "largest processor count swept")),
+        csv(cli.str_opt("csv", "", "also write the table to this CSV path")),
+        full(cli.flag("full", false, "use the paper's full problem sizes")),
+        seed(cli.int_opt("seed", 0x5eed, "RNG seed for generators/schedulers")) {}
+
+  bool parse(int argc, char** argv) { return cli.parse(argc, argv); }
+
+  void emit(const Table& table, const std::string& title) const {
+    std::fputs(table.to_string(title).c_str(), stdout);
+    if (!csv->empty()) {
+      if (table.write_csv(*csv)) {
+        std::printf("(csv written to %s)\n", csv->c_str());
+      } else {
+        std::fprintf(stderr, "failed to write %s\n", csv->c_str());
+      }
+    }
+    std::fflush(stdout);
+  }
+};
+
+/// Simulation options for one run.
+inline RuntimeOptions sim_opts(SchedKind sched, int nprocs,
+                               std::size_t stack = 1 << 20,
+                               std::uint64_t seed = 0x5eed) {
+  RuntimeOptions o;
+  o.engine = EngineKind::Sim;
+  o.sched = sched;
+  o.nprocs = nprocs;
+  o.default_stack_size = stack;
+  o.seed = seed;
+  return o;
+}
+
+inline std::string mb(std::int64_t bytes) {
+  return Table::fmt(static_cast<double>(bytes) / (1 << 20), 1);
+}
+
+}  // namespace dfth::bench

@@ -1,0 +1,38 @@
+// Figure 5: matmul on the stock (FIFO) Pthreads scheduler — (a) speedup
+// over the serial C version and (b) heap high-water mark, versus processor
+// count. The paper: speedup "unexpectedly poor" for a compute-bound code,
+// memory 115 MB on 8 procs vs 25 MB serial, >4500 simultaneously-active
+// threads on one processor.
+#include <cstdio>
+
+#include "matmul_runner.h"
+
+int main(int argc, char** argv) {
+  using namespace dfth;
+  bench::Common common("fig05_matmul_fifo",
+                       "Figure 5: matmul under the native FIFO scheduler");
+  auto* size = common.cli.int_opt("n", 512, "matrix dimension (power of two)");
+  if (!common.parse(argc, argv)) return 0;
+  const std::size_t n = *common.full ? 1024 : static_cast<std::size_t>(*size);
+
+  bench::MatmulInput input(n);
+  const RunStats serial = bench::matmul_serial_stats(input);
+  std::printf("serial C version: %.2f s, heap high-water %s MB\n",
+              serial.elapsed_us / 1e6, bench::mb(serial.heap_peak).c_str());
+
+  Table table({"procs", "time (s)", "speedup", "heap peak (MB)", "max live threads"});
+  for (int p = 1; p <= static_cast<int>(*common.procs_max); ++p) {
+    const RunStats stats =
+        bench::matmul_run(input, SchedKind::Fifo, p, 1 << 20,
+                          static_cast<std::uint64_t>(*common.seed));
+    table.add_row({Table::fmt_int(p), Table::fmt(stats.elapsed_us / 1e6, 2),
+                   Table::fmt(serial.elapsed_us / stats.elapsed_us, 2),
+                   bench::mb(stats.heap_peak),
+                   Table::fmt_int(stats.max_live_threads)});
+  }
+  common.emit(table, "Figure 5: matmul " + std::to_string(n) + "² , FIFO scheduler");
+  std::puts(
+      "(paper @1024²: serial 25 MB; FIFO reaches ~115 MB on 8 procs, >4500 "
+      "live threads, speedup 3.65 at p=8)");
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Figure 6: breakdown of matmul execution time under the stock FIFO
+// scheduler. The paper's profile showed processors spending a large share
+// of their time in the kernel on memory-related system calls. Our simulator
+// accounts every virtual microsecond to {work, thread ops, memory ops,
+// synchronization, scheduler, idle}; memory ops correspond to the paper's
+// "system calls related to memory allocation" plus stack allocation, and
+// the pressure-inflated work models the TLB/page-miss tax.
+#include <cstdio>
+
+#include "matmul_runner.h"
+
+int main(int argc, char** argv) {
+  using namespace dfth;
+  bench::Common common("fig06_time_breakdown",
+                       "Figure 6: matmul execution-time breakdown (FIFO)");
+  auto* size = common.cli.int_opt("n", 512, "matrix dimension (power of two)");
+  auto* sched_name = common.cli.str_opt("sched", "fifo", "scheduler to profile");
+  if (!common.parse(argc, argv)) return 0;
+  const std::size_t n = *common.full ? 1024 : static_cast<std::size_t>(*size);
+  const SchedKind sched = sched_kind_from_string(*sched_name);
+
+  bench::MatmulInput input(n);
+  const RunStats serial = bench::matmul_serial_stats(input);
+  const double pure_work_us = serial.breakdown.work_us;
+
+  Table table({"procs", "work %", "work(excess) %", "mem ops %", "thread ops %",
+               "sched %", "idle %", "total (s)"});
+  for (int p : {1, 2, 4, 8}) {
+    if (p > *common.procs_max) break;
+    const RunStats stats = bench::matmul_run(
+        input, sched, p, 1 << 20, static_cast<std::uint64_t>(*common.seed));
+    const Breakdown& bd = stats.breakdown;
+    const double total = bd.total_us();
+    // Split "work" into the serial machine work and the memory-pressure
+    // excess (the paper's TLB/page-miss overhead).
+    const double excess = bd.work_us - pure_work_us;
+    auto pct = [total](double us) { return Table::fmt(100.0 * us / total, 1); };
+    table.add_row({Table::fmt_int(p), pct(pure_work_us), pct(excess),
+                   pct(bd.mem_us), pct(bd.thread_us), pct(bd.sched_us),
+                   pct(bd.idle_us), Table::fmt(stats.elapsed_us / 1e6, 2)});
+  }
+  common.emit(table, "Figure 6: breakdown of processor time, matmul " +
+                         std::to_string(n) + "² under " + to_string(sched));
+  std::puts(
+      "(paper: under FIFO the processors spend a large fraction of time on "
+      "memory-allocation system calls and page/TLB misses; compare with "
+      "--sched asyncdf)");
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Figure 9: heap high-water versus processors for the two benchmarks with
+// interesting dynamic allocation — (a) FMM (per-chunk expansion buffers in
+// the downward pass) and (b) the decision-tree builder (per-node partition
+// arrays) — original FIFO scheduler vs the new space-efficient scheduler.
+#include <cstdio>
+
+#include "apps/dtree/dtree.h"
+#include "apps/fmm/fmm.h"
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace dfth;
+  bench::Common common("fig09_space_fmm_dtree",
+                       "Figure 9: memory vs processors, FMM and decision tree");
+  if (!common.parse(argc, argv)) return 0;
+  const auto seed = static_cast<std::uint64_t>(*common.seed);
+
+  // (a) FMM. (4 levels even at default size: phase 3's interaction lists
+  // only reach their full 27 entries at an 8x8 leaf grid.)
+  apps::FmmConfig fmm_cfg;
+  fmm_cfg.particles = *common.full ? 10000 : 6000;
+  fmm_cfg.levels = 4;
+  fmm_cfg.terms = 5;
+  fmm_cfg.chunk = 9;
+  fmm_cfg.seed = seed;
+  const auto particles = apps::fmm_generate(fmm_cfg);
+
+  Table fmm_table({"procs", "FIFO heap (KB)", "AsyncDF heap (KB)",
+                   "FIFO live threads", "AsyncDF live threads"});
+  for (int p = 1; p <= static_cast<int>(*common.procs_max); p *= 2) {
+    auto one = [&](SchedKind sched) {
+      auto copy = particles;
+      return run(bench::sim_opts(sched, p, 8 << 10, seed),
+                 [&] { apps::fmm_threaded(copy, fmm_cfg); });
+    };
+    const RunStats fifo = one(SchedKind::Fifo);
+    const RunStats adf = one(SchedKind::AsyncDf);
+    fmm_table.add_row({Table::fmt_int(p),
+                       Table::fmt(static_cast<double>(fifo.heap_peak) / 1024, 0),
+                       Table::fmt(static_cast<double>(adf.heap_peak) / 1024, 0),
+                       Table::fmt_int(fifo.max_live_threads),
+                       Table::fmt_int(adf.max_live_threads)});
+  }
+  common.emit(fmm_table, "Figure 9(a): FMM heap high-water vs processors");
+
+  // (b) Decision tree.
+  apps::DtreeConfig dt_cfg;
+  dt_cfg.instances = *common.full ? 133999 : 30000;
+  dt_cfg.seed = seed;
+  const auto data = apps::dtree_generate(dt_cfg);
+
+  Table dt_table({"procs", "FIFO heap (MB)", "AsyncDF heap (MB)",
+                  "FIFO live threads", "AsyncDF live threads"});
+  for (int p = 1; p <= static_cast<int>(*common.procs_max); p *= 2) {
+    auto one = [&](SchedKind sched) {
+      return run(bench::sim_opts(sched, p, 8 << 10, seed),
+                 [&] { apps::dtree_build_threaded(data, dt_cfg); });
+    };
+    const RunStats fifo = one(SchedKind::Fifo);
+    const RunStats adf = one(SchedKind::AsyncDf);
+    dt_table.add_row({Table::fmt_int(p), bench::mb(fifo.heap_peak),
+                      bench::mb(adf.heap_peak),
+                      Table::fmt_int(fifo.max_live_threads),
+                      Table::fmt_int(adf.max_live_threads)});
+  }
+  common.emit(dt_table, "Figure 9(b): decision tree heap high-water vs processors");
+  std::puts(
+      "(paper: the new scheduling technique results in lower space "
+      "requirement for both, and the gap does not grow with processors)");
+  return 0;
+}

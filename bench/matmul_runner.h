@@ -1,0 +1,50 @@
+// Shared matmul experiment driver for the Figure 5/6/7 harnesses.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "apps/matmul/matmul.h"
+#include "bench_common.h"
+#include "runtime/api.h"
+
+namespace dfth::bench {
+
+/// Input matrices allocated through df_malloc (so the "Serial" space line
+/// includes them, matching the paper's ~25 MB for 1024²).
+struct MatmulInput {
+  apps::MatmulConfig cfg;
+  double* a = nullptr;
+  double* b = nullptr;
+  double* c = nullptr;
+
+  explicit MatmulInput(std::size_t n) {
+    cfg.n = n;
+    cfg.base = 64;
+    a = static_cast<double*>(df_malloc(n * n * sizeof(double)));
+    b = static_cast<double*>(df_malloc(n * n * sizeof(double)));
+    c = static_cast<double*>(df_malloc(n * n * sizeof(double)));
+    apps::matmul_fill(a, n, 1);
+    apps::matmul_fill(b, n, 2);
+  }
+  ~MatmulInput() {
+    df_free(a);
+    df_free(b);
+    df_free(c);
+  }
+};
+
+/// Virtual time of the serial C version (p = 1, no thread operations).
+inline RunStats matmul_serial_stats(MatmulInput& in) {
+  return run(sim_opts(SchedKind::AsyncDf, 1),
+             [&] { apps::matmul_serial(in.a, in.b, in.c, in.cfg); });
+}
+
+/// One threaded run under the given scheduler / processor count / stack.
+inline RunStats matmul_run(MatmulInput& in, SchedKind sched, int nprocs,
+                           std::size_t stack, std::uint64_t seed) {
+  return run(sim_opts(sched, nprocs, stack, seed),
+             [&] { apps::matmul_threaded(in.a, in.b, in.c, in.cfg); });
+}
+
+}  // namespace dfth::bench

@@ -1,0 +1,147 @@
+// Microbenchmark (google-benchmark): raw cost of the scheduler data
+// structures — ready-queue push/pop for each policy, the AsyncDF ordered
+// list's insert-left-of-parent + leftmost-ready scan, and the
+// order-maintenance list's tag operations. This is the real-machine cost of
+// the operations the simulator charges sched_op_us for.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/asyncdf_sched.h"
+#include "core/fifo_sched.h"
+#include "core/lifo_sched.h"
+#include "core/order_list.h"
+#include "core/worksteal_sched.h"
+
+namespace dfth {
+namespace {
+
+constexpr std::uint64_t kInf = ~0ull;
+
+std::vector<std::unique_ptr<Tcb>> make_tcbs(std::size_t n) {
+  std::vector<std::unique_ptr<Tcb>> tcbs;
+  tcbs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    tcbs.push_back(std::make_unique<Tcb>(i + 1));
+  }
+  return tcbs;
+}
+
+template <typename Sched>
+void bench_push_pop(benchmark::State& state, Sched& sched) {
+  auto tcbs = make_tcbs(static_cast<std::size_t>(state.range(0)));
+  for (auto& t : tcbs) sched.register_thread(nullptr, t.get());
+  std::uint64_t earliest = 0;
+  for (auto _ : state) {
+    for (auto& t : tcbs) {
+      t->state.store(ThreadState::Ready, std::memory_order_relaxed);
+      sched.on_ready(t.get(), 0);
+    }
+    for (std::size_t i = 0; i < tcbs.size(); ++i) {
+      Tcb* picked = sched.pick_next(0, kInf, &earliest);
+      picked->state.store(ThreadState::Running, std::memory_order_relaxed);
+      benchmark::DoNotOptimize(picked);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(tcbs.size() * 2));
+}
+
+void BM_FifoPushPop(benchmark::State& state) {
+  FifoScheduler sched;
+  bench_push_pop(state, sched);
+}
+BENCHMARK(BM_FifoPushPop)->Arg(64)->Arg(1024);
+
+void BM_LifoPushPop(benchmark::State& state) {
+  LifoScheduler sched;
+  bench_push_pop(state, sched);
+}
+BENCHMARK(BM_LifoPushPop)->Arg(64)->Arg(1024);
+
+void BM_WorkStealPushPop(benchmark::State& state) {
+  WorkStealScheduler sched(8, 42);
+  bench_push_pop(state, sched);
+}
+BENCHMARK(BM_WorkStealPushPop)->Arg(64)->Arg(1024);
+
+void BM_AsyncDfSpawnExitChurn(benchmark::State& state) {
+  // The AsyncDF hot path: register child left of parent (it preempts),
+  // parent re-readied, child exits, parent picked again.
+  AsyncDfScheduler sched;
+  auto root = std::make_unique<Tcb>(1);
+  sched.register_thread(nullptr, root.get());
+  root->state.store(ThreadState::Running, std::memory_order_relaxed);
+  std::uint64_t earliest = 0;
+  std::uint64_t next_id = 2;
+  for (auto _ : state) {
+    Tcb child(next_id++);
+    sched.register_thread(root.get(), &child);
+    root->state.store(ThreadState::Ready, std::memory_order_relaxed);
+    sched.on_ready(root.get(), 0);
+    child.state.store(ThreadState::Done, std::memory_order_relaxed);
+    sched.unregister_thread(&child);
+    Tcb* picked = sched.pick_next(0, kInf, &earliest);
+    picked->state.store(ThreadState::Running, std::memory_order_relaxed);
+    benchmark::DoNotOptimize(picked);
+  }
+  state.SetItemsProcessed(state.iterations() * 4);
+}
+BENCHMARK(BM_AsyncDfSpawnExitChurn);
+
+void BM_AsyncDfLeftmostScan(benchmark::State& state) {
+  // Leftmost-ready scan cost as a function of live (mostly blocked) threads.
+  AsyncDfScheduler sched;
+  auto tcbs = make_tcbs(static_cast<std::size_t>(state.range(0)));
+  Tcb* parent = nullptr;
+  for (auto& t : tcbs) {
+    sched.register_thread(parent, t.get());
+    t->state.store(ThreadState::Blocked, std::memory_order_relaxed);
+    parent = t.get();
+  }
+  // One ready thread at the right end (worst case for the scan).
+  tcbs.front()->state.store(ThreadState::Ready, std::memory_order_relaxed);
+  sched.on_ready(tcbs.front().get(), 0);
+  std::uint64_t earliest = 0;
+  for (auto _ : state) {
+    Tcb* picked = sched.pick_next(0, kInf, &earliest);
+    benchmark::DoNotOptimize(picked);
+    picked->state.store(ThreadState::Ready, std::memory_order_relaxed);
+    sched.on_ready(picked, 0);
+  }
+}
+BENCHMARK(BM_AsyncDfLeftmostScan)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_OrderListInsertErase(benchmark::State& state) {
+  OrderList list;
+  OrderNode anchor;
+  list.push_back(&anchor);
+  std::vector<OrderNode> nodes(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    for (auto& n : nodes) list.insert_before(&anchor, &n);
+    for (auto& n : nodes) list.erase(&n);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(nodes.size() * 2));
+  state.counters["relabels"] = static_cast<double>(list.relabel_count());
+}
+BENCHMARK(BM_OrderListInsertErase)->Arg(64)->Arg(4096);
+
+void BM_OrderListBeforeQuery(benchmark::State& state) {
+  OrderList list;
+  std::vector<OrderNode> nodes(1024);
+  for (auto& n : nodes) list.push_back(&n);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const bool before = list.before(&nodes[i % 1024], &nodes[(i * 7 + 13) % 1024]);
+    benchmark::DoNotOptimize(before);
+    ++i;
+  }
+}
+BENCHMARK(BM_OrderListBeforeQuery);
+
+}  // namespace
+}  // namespace dfth
+
+BENCHMARK_MAIN();

@@ -1,0 +1,33 @@
+// §5.2 scalability: the paper re-ran the benchmarks on up to 16 processors
+// of an Enterprise 6000 and reports "results similar to Figure 8". We sweep
+// p in {8, 12, 16} under the new scheduler — also exposing the serialized
+// scheduler's limits the paper admits in §6 ("we do not expect such a
+// serialized scheduler to scale well beyond 16 processors").
+#include <cstdio>
+
+#include "apps_runner.h"
+
+int main(int argc, char** argv) {
+  using namespace dfth;
+  bench::Common common("tbl_scalability16", "§5.2: scalability to 16 processors");
+  if (!common.parse(argc, argv)) return 0;
+  const auto seed = static_cast<std::uint64_t>(*common.seed);
+
+  Table table({"Benchmark", "p=8 speedup", "p=12 speedup", "p=16 speedup",
+               "p=16 live threads"});
+  for (auto& app : bench::make_apps(*common.full, seed)) {
+    std::fprintf(stderr, "[scal16] %s...\n", app.name.c_str());
+    const double t_serial = app.serial().elapsed_us;
+    std::vector<std::string> row{app.name};
+    RunStats last{};
+    for (int p : {8, 12, 16}) {
+      last = app.fine(SchedKind::AsyncDf, p, seed);
+      row.push_back(Table::fmt(t_serial / last.elapsed_us, 2));
+    }
+    row.push_back(Table::fmt_int(last.max_live_threads));
+    table.add_row(row);
+  }
+  common.emit(table, "Scalability of the space-efficient scheduler to 16 procs");
+  std::puts("(paper §5.2: 16-processor results similar to Figure 8)");
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Volume-rendering demo: ray casts the procedural CT head with the
+// fine-grained renderer and writes a PGM image. Use --tiles-per-thread to
+// play with the Figure 11 granularity knob and watch the locality model's
+// cache-hit rate move.
+//
+//   $ ./render_demo --out head.pgm
+#include <cstdio>
+
+#include "apps/volrend/volrend.h"
+#include "runtime/api.h"
+#include "util/cli.h"
+
+using namespace dfth;
+
+int main(int argc, char** argv) {
+  Cli cli("render_demo", "ray-casting volume renderer");
+  auto* vol_dim = cli.int_opt("volume", 128, "volume edge (power of two)");
+  auto* img_dim = cli.int_opt("image", 256, "image edge in pixels");
+  auto* grain = cli.int_opt("tiles-per-thread", 64, "Fig 11 granularity knob");
+  auto* procs = cli.int_opt("procs", 8, "simulated processors");
+  auto* out = cli.str_opt("out", "head.pgm", "output PGM path");
+  if (!cli.parse(argc, argv)) return 0;
+
+  apps::VolrendConfig cfg;
+  cfg.volume_dim = static_cast<std::size_t>(*vol_dim);
+  cfg.image_dim = static_cast<std::size_t>(*img_dim);
+  cfg.tiles_per_thread = static_cast<std::size_t>(*grain);
+  apps::Volume vol(cfg);
+
+  RuntimeOptions opts;
+  opts.engine = EngineKind::Sim;
+  opts.sched = SchedKind::AsyncDf;
+  opts.nprocs = static_cast<int>(*procs);
+  opts.default_stack_size = 8 << 10;
+
+  apps::Image img;
+  const RunStats stats = run(opts, [&] { img = apps::volrend_fine(vol, cfg); });
+
+  if (!apps::volrend_write_pgm(img, cfg.image_dim, out->c_str())) {
+    std::fprintf(stderr, "failed to write %s\n", out->c_str());
+    return 1;
+  }
+  const double hit_rate =
+      100.0 * static_cast<double>(stats.cache_hits) /
+      static_cast<double>(stats.cache_hits + stats.cache_misses + 1);
+  std::printf("rendered %zux%zu image of a %zu^3 volume -> %s\n", cfg.image_dim,
+              cfg.image_dim, cfg.volume_dim, out->c_str());
+  std::printf("%zu tiles, %zu tiles/thread, %llu threads, vtime %.1f ms on %d "
+              "procs, locality hit rate %.1f%%\n",
+              apps::volrend_tile_count(cfg), cfg.tiles_per_thread,
+              static_cast<unsigned long long>(stats.threads_created),
+              stats.elapsed_us / 1e3, stats.nprocs, hit_rate);
+  return 0;
+}

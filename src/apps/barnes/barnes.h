@@ -1,0 +1,81 @@
+// Barnes-Hut N-body simulation — the paper's SPLASH-2 "Barnes" benchmark
+// (§5.1.1).
+//
+// Each timestep: (1) build an octree over the bodies — the fine-grained
+// build inserts bodies concurrently and synchronizes with per-cell Mutexes
+// ("this application uses Pthread mutexes in the tree building phase");
+// (2) compute forces by traversing the tree with the theta opening
+// criterion; (3) advance positions/velocities (leapfrog).
+//
+// Versions, as in the paper:
+//  * serial reference;
+//  * coarse: one thread per processor with barriers between phases and
+//    costzones-style partitioning — bodies are laid out in tree (Morton)
+//    order, per-body work is estimated from the previous step's interaction
+//    counts, and each processor takes a contiguous zone of roughly equal
+//    cost (the SPLASH-2 load-balancing scheme);
+//  * fine: a new thread per small unit of work — tree build from per-chunk
+//    insertions, force phase by recursive spawning over subtrees until a
+//    subtree has under `leaf_cutoff` leaves — no partitioning code at all.
+//
+// Bodies come from a Plummer-model generator (as in the paper's 100 K-body
+// run); forces are verified against direct O(N^2) summation in the tests.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace dfth::apps {
+
+struct Body {
+  double pos[3];
+  double vel[3];
+  double acc[3];
+  double mass;
+  std::uint64_t work = 1;  ///< interactions last step (costzones input)
+};
+
+struct BarnesConfig {
+  std::size_t bodies = 16384;
+  int timesteps = 2;       ///< timed steps (paper: 2 timed of 4)
+  double theta = 0.7;      ///< opening criterion
+  double dt = 0.025;
+  double eps = 0.05;       ///< softening
+  std::size_t leaf_cutoff = 8;  ///< fine: stop spawning below this many leaves
+  std::size_t bodies_per_leaf = 8;
+  std::uint64_t seed = 123;
+};
+
+/// Plummer-model initial conditions (standard Aarseth/Henon sampling),
+/// deterministic in cfg.seed.
+std::vector<Body> barnes_generate(const BarnesConfig& cfg);
+
+/// Result of one simulation run (bodies after the final step).
+struct BarnesResult {
+  std::vector<Body> bodies;
+  std::uint64_t interactions = 0;  ///< total body-cell interactions
+};
+
+BarnesResult barnes_serial(std::vector<Body> bodies, const BarnesConfig& cfg);
+
+/// Coarse-grained (costzones + barriers). Must run inside dfth::run().
+BarnesResult barnes_coarse(std::vector<Body> bodies, const BarnesConfig& cfg,
+                           int nprocs);
+
+/// Fine-grained (thread per work unit, mutex-guarded parallel tree build).
+/// Must run inside dfth::run().
+BarnesResult barnes_fine(std::vector<Body> bodies, const BarnesConfig& cfg);
+
+/// Direct O(N^2) accelerations (verification oracle); fills acc fields.
+void barnes_direct_forces(std::vector<Body>& bodies, const BarnesConfig& cfg);
+
+/// Max relative acceleration error vs a reference set (same body order).
+double barnes_max_rel_acc_error(const std::vector<Body>& test,
+                                const std::vector<Body>& ref);
+
+/// Total system kinetic + potential energy (drift sanity checks).
+double barnes_total_energy(const std::vector<Body>& bodies, double eps);
+
+}  // namespace dfth::apps

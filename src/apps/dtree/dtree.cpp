@@ -1,0 +1,303 @@
+#include "apps/dtree/dtree.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "runtime/api.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace dfth::apps {
+namespace {
+
+/// (value, label) pair sorted per attribute to evaluate split candidates.
+struct VL {
+  float v;
+  std::uint8_t l;
+};
+
+std::uint64_t ilog2(std::size_t n) {
+  std::uint64_t lg = 0;
+  while (n >>= 1) ++lg;
+  return lg;
+}
+
+double entropy(std::size_t pos, std::size_t total) {
+  if (total == 0 || pos == 0 || pos == total) return 0.0;
+  const double p = static_cast<double>(pos) / static_cast<double>(total);
+  return -(p * std::log2(p) + (1.0 - p) * std::log2(1.0 - p));
+}
+
+// ---------------------------------------------------------------------------
+// Parallel divide-and-conquer quicksort over VL pairs (the paper forks a
+// thread for each recursive quicksort call, switching to serial recursion at
+// the same 2000-instance cutoff as the tree builder).
+// ---------------------------------------------------------------------------
+
+std::size_t partition_vl(VL* a, std::size_t n) {
+  // Median-of-three pivot; Hoare partition. Ties are fine: split evaluation
+  // only looks at distinct-value boundaries, so it is tie-order independent.
+  const auto mid = n / 2;
+  auto key = [](const VL& x) { return x.v; };
+  if (key(a[mid]) < key(a[0])) std::swap(a[0], a[mid]);
+  if (key(a[n - 1]) < key(a[0])) std::swap(a[0], a[n - 1]);
+  if (key(a[n - 1]) < key(a[mid])) std::swap(a[mid], a[n - 1]);
+  const float pivot = a[mid].v;
+  std::size_t i = 0, j = n - 1;
+  while (true) {
+    while (a[i].v < pivot) ++i;
+    while (a[j].v > pivot) --j;
+    if (i >= j) return j + 1;
+    std::swap(a[i], a[j]);
+    ++i;
+    --j;
+  }
+}
+
+void quicksort_serial(VL* a, std::size_t n) {
+  if (n < 2) return;
+  std::sort(a, a + n, [](const VL& x, const VL& y) { return x.v < y.v; });
+  annotate_work(2 * n * ilog2(n));
+}
+
+void quicksort_parallel(VL* a, std::size_t n, std::size_t cutoff) {
+  if (n <= cutoff) {
+    quicksort_serial(a, n);
+    return;
+  }
+  const std::size_t split = partition_vl(a, n);
+  annotate_work(n);  // one partition pass
+  // Degenerate pivots: fall back to serial to bound recursion depth.
+  if (split == 0 || split >= n) {
+    quicksort_serial(a, n);
+    return;
+  }
+  Thread left = spawn([a, split, cutoff]() -> void* {
+    quicksort_parallel(a, split, cutoff);
+    return nullptr;
+  });
+  quicksort_parallel(a + split, n - split, cutoff);
+  join(left);
+}
+
+// ---------------------------------------------------------------------------
+// Split evaluation (C4.5-style gain ratio on continuous attributes)
+// ---------------------------------------------------------------------------
+
+struct SplitChoice {
+  double gain_ratio = -1.0;
+  int attr = -1;
+  float threshold = 0.0f;
+};
+
+/// Evaluates the best binary split of `sorted` (ascending by value); scans
+/// distinct-value boundaries and scores entropy gain ratio.
+SplitChoice best_split_of_sorted(const VL* sorted, std::size_t n, int attr,
+                                 std::size_t min_leaf) {
+  std::size_t total_pos = 0;
+  for (std::size_t i = 0; i < n; ++i) total_pos += sorted[i].l;
+  const double base = entropy(total_pos, n);
+
+  SplitChoice best;
+  std::size_t left_pos = 0;
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    left_pos += sorted[i].l;
+    if (sorted[i].v == sorted[i + 1].v) continue;  // not a boundary
+    const std::size_t nl = i + 1, nr = n - nl;
+    if (nl < min_leaf || nr < min_leaf) continue;
+    const double cond =
+        (static_cast<double>(nl) * entropy(left_pos, nl) +
+         static_cast<double>(nr) * entropy(total_pos - left_pos, nr)) /
+        static_cast<double>(n);
+    const double gain = base - cond;
+    const double split_info = entropy(nl, n);
+    if (split_info <= 1e-12) continue;
+    const double ratio = gain / split_info;
+    if (ratio > best.gain_ratio) {
+      best.gain_ratio = ratio;
+      best.attr = attr;
+      best.threshold = 0.5f * (sorted[i].v + sorted[i + 1].v);
+    }
+  }
+  annotate_work(2 * n);  // the boundary scan
+  return best;
+}
+
+using InstVec = std::vector<Instance, TrackedAllocator<Instance>>;
+
+/// Sorts a copy of (attr values, labels) and evaluates the attribute's best
+/// split. `parallel_sort` enables the forked quicksort.
+SplitChoice evaluate_attribute(const Instance* data, std::size_t n, int attr,
+                               const DtreeConfig& cfg, bool parallel_sort) {
+  auto* pairs = static_cast<VL*>(df_malloc(sizeof(VL) * n));
+  for (std::size_t i = 0; i < n; ++i) {
+    pairs[i] = {data[i].attr[attr], data[i].label};
+  }
+  annotate_work(n);
+  if (parallel_sort) {
+    quicksort_parallel(pairs, n, cfg.serial_cutoff);
+  } else {
+    quicksort_serial(pairs, n);
+  }
+  SplitChoice choice = best_split_of_sorted(pairs, n, attr, cfg.min_leaf);
+  df_free(pairs);
+  return choice;
+}
+
+std::unique_ptr<DtreeNode> make_leaf(const Instance* data, std::size_t n) {
+  std::size_t pos = 0;
+  for (std::size_t i = 0; i < n; ++i) pos += data[i].label;
+  auto node = std::make_unique<DtreeNode>();
+  node->leaf = true;
+  node->majority = (2 * pos >= n) ? 1 : 0;
+  node->count = n;
+  return node;
+}
+
+std::unique_ptr<DtreeNode> build_rec(const Instance* data, std::size_t n, int depth,
+                                     const DtreeConfig& cfg, bool threaded) {
+  // Leaf conditions: small, deep, or pure.
+  std::size_t pos = 0;
+  for (std::size_t i = 0; i < n; ++i) pos += data[i].label;
+  annotate_work(n);
+  if (n < 2 * cfg.min_leaf || depth >= cfg.max_depth || pos == 0 || pos == n) {
+    return make_leaf(data, n);
+  }
+
+  // "The instances are sorted by each attribute to calculate the optimal
+  // split." Fine-grained version forks one thread per attribute; each sort
+  // is itself a parallel quicksort.
+  const bool parallel_here = threaded && n > cfg.serial_cutoff;
+  SplitChoice choices[kDtreeAttrs];
+  if (parallel_here) {
+    Thread workers[kDtreeAttrs];
+    for (int a = 0; a < kDtreeAttrs; ++a) {
+      workers[a] = spawn([data, n, a, &cfg, &choices]() -> void* {
+        choices[a] = evaluate_attribute(data, n, a, cfg, /*parallel_sort=*/true);
+        return nullptr;
+      });
+    }
+    for (auto& w : workers) join(w);
+  } else {
+    for (int a = 0; a < kDtreeAttrs; ++a) {
+      choices[a] = evaluate_attribute(data, n, a, cfg, /*parallel_sort=*/false);
+    }
+  }
+  SplitChoice best;
+  for (const auto& c : choices) {
+    if (c.gain_ratio > best.gain_ratio) best = c;
+  }
+  if (best.attr < 0) return make_leaf(data, n);
+
+  // Partition into left (<= threshold) and right.
+  InstVec left, right;
+  left.reserve(n);
+  right.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (data[i].attr[best.attr] <= best.threshold) {
+      left.push_back(data[i]);
+    } else {
+      right.push_back(data[i]);
+    }
+  }
+  annotate_work(n);
+  if (left.empty() || right.empty()) return make_leaf(data, n);
+
+  auto node = std::make_unique<DtreeNode>();
+  node->leaf = false;
+  node->attr = best.attr;
+  node->threshold = best.threshold;
+  node->count = n;
+  std::size_t lpos = 0;
+  for (const auto& inst : left) lpos += inst.label;
+  node->majority = (2 * pos >= n) ? 1 : 0;
+  (void)lpos;
+
+  if (parallel_here) {
+    Thread lt = spawn([&left, depth, &cfg, &node]() -> void* {
+      node->left = build_rec(left.data(), left.size(), depth + 1, cfg, true);
+      return nullptr;
+    });
+    node->right = build_rec(right.data(), right.size(), depth + 1, cfg, true);
+    join(lt);
+  } else {
+    node->left = build_rec(left.data(), left.size(), depth + 1, cfg, threaded);
+    node->right = build_rec(right.data(), right.size(), depth + 1, cfg, threaded);
+  }
+  return node;
+}
+
+}  // namespace
+
+std::vector<Instance> dtree_generate(const DtreeConfig& cfg) {
+  Rng rng(cfg.seed);
+  std::vector<Instance> data(cfg.instances);
+  // Three Gaussian clusters per class in 4-D, overlapping, plus 8% label
+  // noise: produces a deep, unbalanced, data-dependent tree.
+  const double centers[2][3][kDtreeAttrs] = {
+      {{0, 0, 0, 0}, {3, 1, -2, 0.5}, {-2, 3, 1, -1}},
+      {{1.5, 0.5, 0.5, 0.2}, {-1, -2, 2, 1}, {4, -3, -1, 2}},
+  };
+  for (auto& inst : data) {
+    const int label = rng.next_bool() ? 1 : 0;
+    const auto cluster = static_cast<int>(rng.next_below(3));
+    for (int a = 0; a < kDtreeAttrs; ++a) {
+      inst.attr[a] = static_cast<float>(centers[label][cluster][a] +
+                                        rng.next_gaussian() * 1.6);
+    }
+    inst.label = static_cast<std::uint8_t>(rng.next_bool(0.08) ? 1 - label : label);
+  }
+  return data;
+}
+
+std::unique_ptr<DtreeNode> dtree_build_serial(const std::vector<Instance>& data,
+                                              const DtreeConfig& cfg) {
+  return build_rec(data.data(), data.size(), 0, cfg, /*threaded=*/false);
+}
+
+std::unique_ptr<DtreeNode> dtree_build_threaded(const std::vector<Instance>& data,
+                                                const DtreeConfig& cfg) {
+  DFTH_CHECK_MSG(in_runtime(), "dtree_build_threaded outside dfth::run");
+  return build_rec(data.data(), data.size(), 0, cfg, /*threaded=*/true);
+}
+
+std::uint8_t dtree_classify(const DtreeNode& root, const Instance& x) {
+  const DtreeNode* node = &root;
+  while (!node->leaf) {
+    node = (x.attr[node->attr] <= node->threshold) ? node->left.get()
+                                                   : node->right.get();
+  }
+  return node->majority;
+}
+
+double dtree_accuracy(const DtreeNode& root, const std::vector<Instance>& data) {
+  if (data.empty()) return 0.0;
+  std::size_t hits = 0;
+  for (const auto& inst : data) hits += (dtree_classify(root, inst) == inst.label);
+  return static_cast<double>(hits) / static_cast<double>(data.size());
+}
+
+DtreeShape dtree_shape(const DtreeNode& root) {
+  DtreeShape s;
+  s.nodes = 1;
+  if (root.leaf) {
+    s.leaves = 1;
+    s.depth = 1;
+    return s;
+  }
+  const DtreeShape l = dtree_shape(*root.left);
+  const DtreeShape r = dtree_shape(*root.right);
+  s.nodes += l.nodes + r.nodes;
+  s.leaves = l.leaves + r.leaves;
+  s.depth = 1 + std::max(l.depth, r.depth);
+  return s;
+}
+
+bool dtree_equal(const DtreeNode& a, const DtreeNode& b) {
+  if (a.leaf != b.leaf || a.count != b.count) return false;
+  if (a.leaf) return a.majority == b.majority;
+  if (a.attr != b.attr || a.threshold != b.threshold) return false;
+  return dtree_equal(*a.left, *b.left) && dtree_equal(*a.right, *b.right);
+}
+
+}  // namespace dfth::apps

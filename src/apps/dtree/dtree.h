@@ -1,0 +1,81 @@
+// Decision-tree builder — the paper's data-mining benchmark (§5.1.3).
+//
+// An ID3-style top-down builder with C4.5-like handling of continuous
+// attributes: at each node, instances are sorted by every attribute (via a
+// parallel divide-and-conquer quicksort in the fine-grained version), the
+// best binary split is chosen by gain ratio, instances are partitioned, and
+// the two children are built recursively — each recursive call and each
+// quicksort recursion forks a new thread, switching to serial recursion
+// below 2000 instances, exactly as in the paper. The recursion tree is
+// highly irregular and data-dependent; per-node working arrays come from
+// df_malloc, which is what makes this benchmark's space profile interesting
+// (Figure 9b).
+//
+// The paper's input was a speech-recognition dataset with 133,999 instances,
+// 4 continuous attributes and a boolean class; it is not distributable, so
+// dtree_generate() synthesizes a dataset of identical shape from a Gaussian
+// mixture with class overlap (so the tree is deep and unbalanced, not a
+// one-split wonder).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace dfth::apps {
+
+inline constexpr int kDtreeAttrs = 4;
+
+struct Instance {
+  float attr[kDtreeAttrs];
+  std::uint8_t label;  // 0 or 1
+};
+
+struct DtreeConfig {
+  std::size_t instances = 133999;  ///< paper size
+  std::size_t serial_cutoff = 2000;  ///< switch to serial recursion (paper)
+  std::size_t min_leaf = 64;         ///< stop splitting below this
+  int max_depth = 24;
+  std::uint64_t seed = 43;
+};
+
+struct DtreeNode {
+  bool leaf = true;
+  std::uint8_t majority = 0;
+  int attr = -1;
+  float threshold = 0.0f;
+  std::size_t count = 0;
+  std::unique_ptr<DtreeNode> left, right;
+};
+
+/// Synthesizes the dataset (see header comment).
+std::vector<Instance> dtree_generate(const DtreeConfig& cfg);
+
+/// Serial reference build.
+std::unique_ptr<DtreeNode> dtree_build_serial(const std::vector<Instance>& data,
+                                              const DtreeConfig& cfg);
+
+/// Fine-grained threaded build (forks per tree node and per quicksort
+/// recursion). Must run inside dfth::run().
+std::unique_ptr<DtreeNode> dtree_build_threaded(const std::vector<Instance>& data,
+                                                const DtreeConfig& cfg);
+
+/// Classifies one instance.
+std::uint8_t dtree_classify(const DtreeNode& root, const Instance& x);
+
+/// Training-set accuracy (sanity metric printed by benches/examples).
+double dtree_accuracy(const DtreeNode& root, const std::vector<Instance>& data);
+
+/// Structural statistics for verification (serial == threaded).
+struct DtreeShape {
+  std::size_t nodes = 0;
+  std::size_t leaves = 0;
+  int depth = 0;
+};
+DtreeShape dtree_shape(const DtreeNode& root);
+
+/// True if the two trees are structurally identical (same splits).
+bool dtree_equal(const DtreeNode& a, const DtreeNode& b);
+
+}  // namespace dfth::apps

@@ -1,0 +1,124 @@
+#include "apps/fft/fft.h"
+
+#include <cmath>
+
+#include "runtime/api.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace dfth::apps {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+bool power_of_two(std::size_t x) { return x != 0 && (x & (x - 1)) == 0; }
+
+std::uint32_t log2_size(std::size_t n) {
+  std::uint32_t lg = 0;
+  while ((std::size_t{1} << lg) < n) ++lg;
+  return lg;
+}
+
+}  // namespace
+
+// Recursive decimation-in-time worker. Shared by the serial and threaded
+// paths; `threads_left` > 1 forks the even-half transform as a new thread
+// (FFTW's model: one fork per recursive transform until the budget is
+// spent).
+struct FftRec {
+  const FftPlan* plan;
+
+  // out[0..n) = DFT of in[0], in[stride], in[2*stride], ...
+  void transform(const Complex* in, Complex* out, std::size_t n, std::size_t stride,
+                 int threads_left) const {
+    if (n == 1) {
+      out[0] = in[0];
+      return;
+    }
+    const std::size_t half = n / 2;
+    if (threads_left > 1) {
+      const int child_budget = threads_left / 2;
+      const int my_budget = threads_left - child_budget;
+      Thread child = spawn([this, in, out, half, stride, child_budget]() -> void* {
+        transform(in, out, half, stride * 2, child_budget);
+        return nullptr;
+      });
+      transform(in + stride, out + half, half, stride * 2, my_budget);
+      join(child);
+    } else {
+      transform(in, out, half, stride * 2, 1);
+      transform(in + stride, out + half, half, stride * 2, 1);
+    }
+    combine(out, n);
+  }
+
+  // Butterfly pass merging the two half transforms in out[0..n).
+  void combine(Complex* out, std::size_t n) const {
+    const std::size_t half = n / 2;
+    const std::size_t twiddle_stride = plan->n_ / n;
+    for (std::size_t k = 0; k < half; ++k) {
+      const Complex t = plan->twiddle_[k * twiddle_stride] * out[k + half];
+      out[k + half] = out[k] - t;
+      out[k] = out[k] + t;
+    }
+    annotate_work(5 * n);  // 10 flops per butterfly, n/2 butterflies
+  }
+};
+
+FftPlan::FftPlan(std::size_t n, bool inverse) : n_(n), inverse_(inverse) {
+  DFTH_CHECK_MSG(power_of_two(n), "FFT size must be a power of two");
+  twiddle_ = static_cast<Complex*>(df_malloc(sizeof(Complex) * (n_ / 2)));
+  const double sign = inverse_ ? 2.0 : -2.0;
+  for (std::size_t k = 0; k < n_ / 2; ++k) {
+    const double angle = sign * kPi * static_cast<double>(k) / static_cast<double>(n_);
+    twiddle_[k] = Complex(std::cos(angle), std::sin(angle));
+  }
+}
+
+FftPlan::~FftPlan() { df_free(twiddle_); }
+
+void FftPlan::execute_serial(const Complex* in, Complex* out) const {
+  FftRec rec{this};
+  rec.transform(in, out, n_, 1, 1);
+}
+
+void FftPlan::execute_threaded(const Complex* in, Complex* out, int nthreads) const {
+  DFTH_CHECK_MSG(in_runtime(), "execute_threaded outside dfth::run");
+  DFTH_CHECK(nthreads >= 1);
+  FftRec rec{this};
+  rec.transform(in, out, n_, 1, nthreads);
+}
+
+void fft_fill(Complex* data, std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  for (std::size_t i = 0; i < n; ++i) {
+    data[i] = Complex(rng.next_double(-1.0, 1.0), rng.next_double(-1.0, 1.0));
+  }
+}
+
+void naive_dft(const Complex* in, Complex* out, std::size_t n, bool inverse) {
+  const double sign = inverse ? 2.0 : -2.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    Complex sum(0.0, 0.0);
+    for (std::size_t j = 0; j < n; ++j) {
+      const double angle =
+          sign * kPi * static_cast<double>(k * j % n) / static_cast<double>(n);
+      sum += in[j] * Complex(std::cos(angle), std::sin(angle));
+    }
+    out[k] = sum;
+  }
+}
+
+double fft_max_abs_diff(const Complex* x, const Complex* y, std::size_t n) {
+  double worst = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    worst = std::max(worst, std::abs(x[i] - y[i]));
+  }
+  return worst;
+}
+
+std::uint64_t fft_total_ops(std::size_t n) {
+  return 5ull * n * log2_size(n);
+}
+
+}  // namespace dfth::apps

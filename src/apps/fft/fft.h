@@ -1,0 +1,64 @@
+// One-dimensional complex FFT — the paper's FFTW benchmark (§5.1.4).
+//
+// FFTW 1.x's multithreaded DFT "forks a Pthread for each recursive
+// transform, until the specified number of threads are created; after that
+// it executes the recursion serially." We reproduce exactly that thread
+// structure over a from-scratch recursive Cooley-Tukey radix-2 DIT
+// transform (out-of-place, precomputed twiddle table). The paper runs
+// N = 2^22 with either p threads (p = processor count) or 256 threads and
+// shows that the 256-thread version is insensitive to awkward processor
+// counts because the scheduler load-balances it (Figure 10).
+//
+// Work annotation: 10 flops per butterfly (4 mul + 6 add), i.e. 5·N per
+// combine level — the standard 5·N·log2(N) radix-2 operation count.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <cstdint>
+
+namespace dfth::apps {
+
+using Complex = std::complex<double>;
+
+/// Precomputed twiddle factors for transforms of size n (allocated through
+/// df_malloc so plans are part of the space accounting, like FFTW plans).
+class FftPlan {
+ public:
+  /// n must be a power of two. `inverse` builds the conjugate plan.
+  explicit FftPlan(std::size_t n, bool inverse = false);
+  ~FftPlan();
+  FftPlan(const FftPlan&) = delete;
+  FftPlan& operator=(const FftPlan&) = delete;
+
+  std::size_t size() const { return n_; }
+  bool inverse() const { return inverse_; }
+
+  /// Serial transform: out = DFT(in). in/out must not alias; |in| = |out| = n.
+  void execute_serial(const Complex* in, Complex* out) const;
+
+  /// Threaded transform mirroring FFTW's model: forks a thread per recursive
+  /// sub-transform until `nthreads` exist. Must run inside dfth::run().
+  /// (nthreads = 1 degenerates to execute_serial's recursion.)
+  void execute_threaded(const Complex* in, Complex* out, int nthreads) const;
+
+ private:
+  friend struct FftRec;
+  std::size_t n_ = 0;
+  bool inverse_ = false;
+  Complex* twiddle_ = nullptr;  ///< w^k, k in [0, n/2)
+};
+
+/// Fills `data` with a deterministic pseudo-random signal.
+void fft_fill(Complex* data, std::size_t n, std::uint64_t seed);
+
+/// O(n^2) reference DFT (test oracle for small n).
+void naive_dft(const Complex* in, Complex* out, std::size_t n, bool inverse = false);
+
+/// Max |x-y| over n complex values.
+double fft_max_abs_diff(const Complex* x, const Complex* y, std::size_t n);
+
+/// Total annotated work of one transform: 5·n·log2(n).
+std::uint64_t fft_total_ops(std::size_t n);
+
+}  // namespace dfth::apps

@@ -1,0 +1,446 @@
+#include "apps/fmm/fmm.h"
+
+#include <cmath>
+
+#include "runtime/api.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace dfth::apps {
+namespace {
+
+using Cx = std::complex<double>;
+
+/// Binomial coefficient table up to 2*terms (tiny; recomputed per run).
+struct Binomials {
+  explicit Binomials(int max_n) : n_(max_n + 1), c_(n_ * n_, 0.0) {
+    for (int n = 0; n < n_; ++n) {
+      at(n, 0) = 1.0;
+      for (int k = 1; k <= n; ++k) {
+        at(n, k) = at(n - 1, k - 1) + (k <= n - 1 ? at(n - 1, k) : 0.0);
+      }
+    }
+  }
+  double& at(int n, int k) { return c_[static_cast<std::size_t>(n) * n_ + k]; }
+  double get(int n, int k) const {
+    return c_[static_cast<std::size_t>(n) * static_cast<std::size_t>(n_) + k];
+  }
+  int n_;
+  std::vector<double> c_;
+};
+
+/// One level of the uniform grid: side*side cells, each holding multipole
+/// (a[0..P]) and local (b[0..P]) coefficient blocks in flat df_malloc'd
+/// arrays.
+struct Level {
+  int side = 0;
+  int terms = 0;
+  Cx* multipole = nullptr;
+  Cx* local = nullptr;
+
+  std::size_t cells() const { return static_cast<std::size_t>(side) * side; }
+  Cx* mult(int ix, int iy) {
+    return multipole + (static_cast<std::size_t>(iy) * side + ix) * (terms + 1);
+  }
+  Cx* loc(int ix, int iy) {
+    return local + (static_cast<std::size_t>(iy) * side + ix) * (terms + 1);
+  }
+  Cx center(int ix, int iy) const {
+    const double w = 1.0 / side;
+    return Cx((ix + 0.5) * w, (iy + 0.5) * w);
+  }
+};
+
+struct FmmGrid {
+  explicit FmmGrid(const FmmConfig& cfg, const std::vector<FmmParticle>& particles)
+      : cfg_(cfg), binom_(2 * cfg.terms + 2) {
+    levels_.resize(static_cast<std::size_t>(cfg.levels));
+    for (int l = 0; l < cfg.levels; ++l) {
+      Level& lev = levels_[static_cast<std::size_t>(l)];
+      lev.side = 1 << l;
+      lev.terms = cfg.terms;
+      const std::size_t n = lev.cells() * static_cast<std::size_t>(cfg.terms + 1);
+      lev.multipole = static_cast<Cx*>(df_malloc(sizeof(Cx) * n));
+      lev.local = static_cast<Cx*>(df_malloc(sizeof(Cx) * n));
+      for (std::size_t i = 0; i < n; ++i) {
+        lev.multipole[i] = Cx(0, 0);
+        lev.local[i] = Cx(0, 0);
+      }
+    }
+    // Bucket particles into finest-level cells.
+    Level& leaf = leaf_level();
+    buckets_.resize(leaf.cells());
+    for (std::size_t i = 0; i < particles.size(); ++i) {
+      const auto [ix, iy] = cell_of(particles[i]);
+      buckets_[static_cast<std::size_t>(iy) * leaf.side + ix].push_back(
+          static_cast<std::uint32_t>(i));
+    }
+  }
+  ~FmmGrid() {
+    for (auto& lev : levels_) {
+      df_free(lev.multipole);
+      df_free(lev.local);
+    }
+  }
+
+  Level& leaf_level() { return levels_.back(); }
+  std::pair<int, int> cell_of(const FmmParticle& p) const {
+    const int side = 1 << (cfg_.levels - 1);
+    const int ix = std::min(side - 1, static_cast<int>(p.x * side));
+    const int iy = std::min(side - 1, static_cast<int>(p.y * side));
+    return {ix, iy};
+  }
+  const std::vector<std::uint32_t>& bucket(int ix, int iy) const {
+    return buckets_[static_cast<std::size_t>(iy) * levels_.back().side + ix];
+  }
+
+  FmmConfig cfg_;
+  Binomials binom_;
+  std::vector<Level> levels_;
+  std::vector<std::vector<std::uint32_t>> buckets_;
+};
+
+// ---------------------------------------------------------------------------
+// Expansion operators (Greengard & Rokhlin 2-D Laplace)
+// ---------------------------------------------------------------------------
+
+/// P2M: multipole about `center` from particles. a[0] = sum q;
+/// a[k] = -sum q (z - c)^k / k.
+void p2m(const std::vector<FmmParticle>& particles,
+         const std::vector<std::uint32_t>& idx, Cx center, Cx* a, int terms) {
+  for (int k = 0; k <= terms; ++k) a[k] = Cx(0, 0);
+  for (std::uint32_t i : idx) {
+    const FmmParticle& p = particles[i];
+    const Cx dz = Cx(p.x, p.y) - center;
+    a[0] += p.charge;
+    Cx pow = dz;
+    for (int k = 1; k <= terms; ++k) {
+      a[k] -= p.charge * pow / static_cast<double>(k);
+      pow *= dz;
+    }
+  }
+  annotate_work(idx.size() * static_cast<std::uint64_t>(terms) * 8 + 10);
+}
+
+/// M2M: child multipole (about zc) shifted to parent center zp.
+/// b[l] += a[0] * (-d^l / l) + sum_{k=1..l} a[k] d^{l-k} C(l-1, k-1), d = zc-zp.
+void m2m(const Cx* a, Cx zc, Cx* b, Cx zp, int terms, const Binomials& binom) {
+  const Cx d = zc - zp;
+  b[0] += a[0];
+  Cx dl = d;  // d^l
+  for (int l = 1; l <= terms; ++l) {
+    Cx sum = -a[0] * dl / static_cast<double>(l);
+    Cx dpow(1, 0);  // d^(l-k), built from k=l down
+    for (int k = l; k >= 1; --k) {
+      sum += a[k] * dpow * binom.get(l - 1, k - 1);
+      dpow *= d;
+    }
+    b[l] += sum;
+    dl *= d;
+  }
+  annotate_work(static_cast<std::uint64_t>(terms) * terms * 3 + 10);
+}
+
+/// M2L: multipole about z0 converted to a local expansion about z1
+/// (well-separated; d = z1 - z0):
+///   b[0] += a[0] log(d) + sum_k a[k] / d^k * (-1)^k
+///   b[l] += -a[0]/(l (-d)^l) + (1/(-d)^l) sum_k a[k]/d^k C(l+k-1,k-1) (-1)^k
+/// (signs folded below; derived from log(z-z0) = log(-d) + log(1 - w/d)
+/// with w = z - z1 ... implemented in the equivalent "expand about z1" form)
+void m2l(const Cx* a, Cx z0, Cx* b, Cx z1, int terms, const Binomials& binom) {
+  const Cx d = z0 - z1;  // vector from target center to source center
+  // log(z - z0) about z1: with w = z - z1, z - z0 = w - d = -d (1 - w/d):
+  //   log(z - z0) = log(-d) - sum_{l>=1} (w/d)^l / l
+  // 1/(z - z0)^k = (-1)^k d^{-k} (1 - w/d)^{-k}
+  //             = (-1)^k d^{-k} sum_l C(k+l-1, l) (w/d)^l.
+  const Cx logd = std::log(-d);
+  Cx dk(1, 0);  // d^-k accumulator via division
+  // l = 0 term:
+  Cx b0 = a[0] * logd;
+  {
+    Cx invdk(1, 0);
+    double sign = 1.0;
+    for (int k = 1; k <= terms; ++k) {
+      invdk /= d;
+      sign = -sign;
+      b0 += a[k] * invdk * sign;
+    }
+  }
+  b[0] += b0;
+  (void)dk;
+  Cx invdl(1, 0);
+  for (int l = 1; l <= terms; ++l) {
+    invdl /= d;
+    Cx sum = -a[0] / static_cast<double>(l);
+    Cx invdk(1, 0);
+    double sign = 1.0;
+    for (int k = 1; k <= terms; ++k) {
+      invdk /= d;
+      sign = -sign;
+      sum += a[k] * invdk * sign * binom.get(l + k - 1, k - 1);
+    }
+    b[l] += sum * invdl;
+  }
+  annotate_work(static_cast<std::uint64_t>(terms) * terms * 4 + 16);
+}
+
+/// L2L: local about z0 shifted to z1: b[l] += sum_{k>=l} a[k] C(k,l) (z1-z0)^{k-l}.
+void l2l(const Cx* a, Cx z0, Cx* b, Cx z1, int terms, const Binomials& binom) {
+  const Cx d = z1 - z0;
+  for (int l = 0; l <= terms; ++l) {
+    Cx sum(0, 0);
+    Cx dpow(1, 0);
+    for (int k = l; k <= terms; ++k) {
+      sum += a[k] * binom.get(k, l) * dpow;
+      dpow *= d;
+    }
+    b[l] += sum;
+  }
+  annotate_work(static_cast<std::uint64_t>(terms) * terms * 3 + 8);
+}
+
+/// L2P: evaluate the local expansion at a particle.
+double l2p(const Cx* b, Cx center, const FmmParticle& p, int terms) {
+  const Cx w = Cx(p.x, p.y) - center;
+  Cx acc = b[terms];
+  for (int k = terms - 1; k >= 0; --k) acc = acc * w + b[k];  // Horner
+  return acc.real();
+}
+
+/// Direct particle-particle potential between two buckets (may alias).
+void p2p(std::vector<FmmParticle>& particles, const std::vector<std::uint32_t>& a,
+         const std::vector<std::uint32_t>& b, std::vector<double>& out) {
+  for (std::uint32_t i : a) {
+    double phi = 0.0;
+    const FmmParticle& pi = particles[i];
+    for (std::uint32_t j : b) {
+      if (i == j) continue;
+      const FmmParticle& pj = particles[j];
+      const double dx = pi.x - pj.x, dy = pi.y - pj.y;
+      phi += pj.charge * 0.5 * std::log(dx * dx + dy * dy);
+    }
+    out[i] += phi;
+  }
+  annotate_work(a.size() * b.size() * 8);
+}
+
+// ---------------------------------------------------------------------------
+// Binary-tree parallel-for: the paper forks δ-way work "as a binary tree
+// instead of a δ-way fork" because Pthreads only has a binary fork.
+// ---------------------------------------------------------------------------
+
+template <typename Fn>
+void binary_tree_for(std::size_t lo, std::size_t hi, std::size_t grain, const Fn& fn) {
+  if (hi - lo <= grain) {
+    for (std::size_t i = lo; i < hi; ++i) fn(i);
+    return;
+  }
+  const std::size_t mid = lo + (hi - lo) / 2;
+  Thread left = spawn([lo, mid, grain, &fn]() -> void* {
+    binary_tree_for(lo, mid, grain, fn);
+    return nullptr;
+  });
+  binary_tree_for(mid, hi, grain, fn);
+  join(left);
+}
+
+// ---------------------------------------------------------------------------
+// Solver phases; `threaded` selects serial or forked execution.
+// ---------------------------------------------------------------------------
+
+void run_fmm(std::vector<FmmParticle>& particles, const FmmConfig& cfg,
+             bool threaded) {
+  DFTH_CHECK(cfg.levels >= 2);
+  DFTH_CHECK(cfg.terms >= 1);
+  FmmGrid grid(cfg, particles);
+  const int finest = cfg.levels - 1;
+  Level& leaf = grid.leaf_level();
+  const int side = leaf.side;
+  const int P = cfg.terms;
+  const Binomials& binom = grid.binom_;
+
+  // Phase 1: P2M — one thread per leaf cell.
+  auto phase1 = [&](std::size_t cell) {
+    const int ix = static_cast<int>(cell) % side;
+    const int iy = static_cast<int>(cell) / side;
+    p2m(particles, grid.bucket(ix, iy), leaf.center(ix, iy), leaf.mult(ix, iy), P);
+  };
+  if (threaded) {
+    binary_tree_for(0, leaf.cells(), 1, phase1);
+  } else {
+    for (std::size_t c = 0; c < leaf.cells(); ++c) phase1(c);
+  }
+
+  // Phase 2: M2M upward — one thread per parent cell, level by level.
+  for (int l = finest - 1; l >= 0; --l) {
+    Level& parent = grid.levels_[static_cast<std::size_t>(l)];
+    Level& child = grid.levels_[static_cast<std::size_t>(l + 1)];
+    auto phase2 = [&](std::size_t cell) {
+      const int ix = static_cast<int>(cell) % parent.side;
+      const int iy = static_cast<int>(cell) / parent.side;
+      for (int cy = 2 * iy; cy <= 2 * iy + 1; ++cy) {
+        for (int cx = 2 * ix; cx <= 2 * ix + 1; ++cx) {
+          m2m(child.mult(cx, cy), child.center(cx, cy), parent.mult(ix, iy),
+              parent.center(ix, iy), P, binom);
+        }
+      }
+    };
+    if (threaded) {
+      binary_tree_for(0, parent.cells(), 1, phase2);
+    } else {
+      for (std::size_t c = 0; c < parent.cells(); ++c) phase2(c);
+    }
+  }
+
+  // Phase 3: downward — L2L from parent plus M2L over the interaction list,
+  // chunked `cfg.chunk` entries per thread; each chunk accumulates into a
+  // df_malloc'd partial expansion (the phase's dynamic allocation).
+  for (int l = 1; l <= finest; ++l) {
+    Level& cur = grid.levels_[static_cast<std::size_t>(l)];
+    Level& up = grid.levels_[static_cast<std::size_t>(l - 1)];
+    auto phase3 = [&](std::size_t cell) {
+      const int ix = static_cast<int>(cell) % cur.side;
+      const int iy = static_cast<int>(cell) / cur.side;
+      Cx* local = cur.loc(ix, iy);
+      // L2L from parent.
+      l2l(up.loc(ix / 2, iy / 2), up.center(ix / 2, iy / 2), local,
+          cur.center(ix, iy), P, binom);
+      // Interaction list: children of parent's neighbors that are not our
+      // own neighbors (|dx|>1 or |dy|>1), within bounds. Up to 27 entries.
+      int list_x[32], list_y[32];
+      int count = 0;
+      for (int ny = 2 * (iy / 2) - 2; ny <= 2 * (iy / 2) + 3; ++ny) {
+        for (int nx = 2 * (ix / 2) - 2; nx <= 2 * (ix / 2) + 3; ++nx) {
+          if (nx < 0 || ny < 0 || nx >= cur.side || ny >= cur.side) continue;
+          if (std::abs(nx - ix) <= 1 && std::abs(ny - iy) <= 1) continue;
+          list_x[count] = nx;
+          list_y[count] = ny;
+          ++count;
+        }
+      }
+      const int chunk = std::max(1, cfg.chunk);
+      const int nchunks = (count + chunk - 1) / chunk;
+      if (threaded && nchunks > 1) {
+        // Per-chunk partial expansions, allocated dynamically — this is the
+        // allocation burst Figure 9(a) measures.
+        std::vector<Thread> workers;
+        std::vector<Cx*> partials;
+        std::vector<void*> scratches;
+        for (int c = 0; c < nchunks; ++c) {
+          // Per-chunk partial expansion plus translation workspace (see
+          // FmmConfig::chunk_workspace_bytes), allocated before the fork and
+          // released after the join-reduce — under a breadth-first schedule
+          // every cell's buffers are live at once, which is the allocation
+          // burst Figure 9(a) measures.
+          auto* partial = static_cast<Cx*>(df_malloc(sizeof(Cx) * (P + 1)));
+          for (int k = 0; k <= P; ++k) partial[k] = Cx(0, 0);
+          partials.push_back(partial);
+          scratches.push_back(cfg.chunk_workspace_bytes
+                                  ? df_malloc(cfg.chunk_workspace_bytes)
+                                  : nullptr);
+          const int lo = c * chunk;
+          const int hi = std::min(count, lo + chunk);
+          workers.push_back(spawn([&, partial, lo, hi, ix, iy]() -> void* {
+            for (int e = lo; e < hi; ++e) {
+              m2l(cur.mult(list_x[e], list_y[e]), cur.center(list_x[e], list_y[e]),
+                  partial, cur.center(ix, iy), P, binom);
+            }
+            return nullptr;
+          }));
+        }
+        for (auto& w : workers) join(w);
+        for (int c = 0; c < nchunks; ++c) {
+          for (int k = 0; k <= P; ++k) local[k] += partials[c][k];
+          df_free(partials[c]);
+          df_free(scratches[c]);
+        }
+      } else {
+        for (int e = 0; e < count; ++e) {
+          m2l(cur.mult(list_x[e], list_y[e]), cur.center(list_x[e], list_y[e]),
+              local, cur.center(ix, iy), P, binom);
+        }
+      }
+    };
+    if (threaded) {
+      binary_tree_for(0, cur.cells(), 1, phase3);
+    } else {
+      for (std::size_t c = 0; c < cur.cells(); ++c) phase3(c);
+    }
+  }
+
+  // Phase 4: L2P + near-field P2P — one thread per leaf cell.
+  std::vector<double> phi(particles.size(), 0.0);
+  auto phase4 = [&](std::size_t cell) {
+    const int ix = static_cast<int>(cell) % side;
+    const int iy = static_cast<int>(cell) / side;
+    const auto& own = grid.bucket(ix, iy);
+    for (std::uint32_t i : own) {
+      phi[i] += l2p(leaf.loc(ix, iy), leaf.center(ix, iy), particles[i], P);
+    }
+    annotate_work(own.size() * static_cast<std::uint64_t>(P) * 4);
+    for (int ny = iy - 1; ny <= iy + 1; ++ny) {
+      for (int nx = ix - 1; nx <= ix + 1; ++nx) {
+        if (nx < 0 || ny < 0 || nx >= side || ny >= side) continue;
+        p2p(particles, own, grid.bucket(nx, ny), phi);
+      }
+    }
+  };
+  if (threaded) {
+    binary_tree_for(0, leaf.cells(), 1, phase4);
+  } else {
+    for (std::size_t c = 0; c < leaf.cells(); ++c) phase4(c);
+  }
+
+  for (std::size_t i = 0; i < particles.size(); ++i) particles[i].potential = phi[i];
+}
+
+}  // namespace
+
+std::vector<FmmParticle> fmm_generate(const FmmConfig& cfg) {
+  Rng rng(cfg.seed);
+  std::vector<FmmParticle> particles(cfg.particles);
+  for (auto& p : particles) {
+    p.x = rng.next_double();
+    p.y = rng.next_double();
+    p.charge = rng.next_bool() ? 1.0 : -1.0;
+    p.potential = 0.0;
+  }
+  return particles;
+}
+
+void fmm_serial(std::vector<FmmParticle>& particles, const FmmConfig& cfg) {
+  run_fmm(particles, cfg, /*threaded=*/false);
+}
+
+void fmm_threaded(std::vector<FmmParticle>& particles, const FmmConfig& cfg) {
+  DFTH_CHECK_MSG(in_runtime(), "fmm_threaded outside dfth::run");
+  run_fmm(particles, cfg, /*threaded=*/true);
+}
+
+void fmm_direct(std::vector<FmmParticle>& particles) {
+  for (auto& pi : particles) pi.potential = 0.0;
+  for (std::size_t i = 0; i < particles.size(); ++i) {
+    for (std::size_t j = 0; j < particles.size(); ++j) {
+      if (i == j) continue;
+      const double dx = particles[i].x - particles[j].x;
+      const double dy = particles[i].y - particles[j].y;
+      particles[i].potential +=
+          particles[j].charge * 0.5 * std::log(dx * dx + dy * dy);
+    }
+  }
+}
+
+double fmm_max_rel_error(const std::vector<FmmParticle>& test,
+                         const std::vector<FmmParticle>& ref) {
+  DFTH_CHECK(test.size() == ref.size());
+  double scale = 1e-12;
+  for (const auto& p : ref) scale = std::max(scale, std::fabs(p.potential));
+  double worst = 0.0;
+  for (std::size_t i = 0; i < test.size(); ++i) {
+    worst = std::max(worst,
+                     std::fabs(test[i].potential - ref[i].potential) / scale);
+  }
+  return worst;
+}
+
+}  // namespace dfth::apps

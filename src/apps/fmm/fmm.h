@@ -1,0 +1,73 @@
+// Uniform Fast Multipole Method — the paper's FMM benchmark (§5.1.2).
+//
+// The paper runs a 3-D uniform FMM (10,000 particles, 4 levels, 5 expansion
+// terms). We implement the 2-D uniform FMM with complex-series expansions
+// (Greengard & Rokhlin): the multipole mathematics is exactly verifiable
+// against direct summation, and — what the scheduling experiment actually
+// measures — the phase/thread/allocation structure is identical:
+//
+//   1. P2M: multipole expansions of leaf cells from their particles — one
+//      thread per leaf cell;
+//   2. M2M: upward pass, parents from children — one thread per parent;
+//   3. M2L + L2L: downward pass — interaction-list translations chunked
+//      `chunk` entries per thread (the paper used 25 of up to 875 3-D
+//      neighbors; the 2-D list has up to 27), with the per-thread partial
+//      local expansions allocated dynamically through df_malloc — this
+//      phase's allocation burst is what Figure 9(a) measures;
+//   4. L2P + P2P: potentials from local expansions plus direct near-field —
+//      one thread per leaf cell.
+//
+// Threads are forked as binary trees ("since the Pthreads interface allows
+// only a binary fork").
+//
+// Potential: phi(z) = sum_i q_i * log|z - z_i| (2-D Laplace kernel).
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace dfth::apps {
+
+struct FmmParticle {
+  double x, y;
+  double charge;
+  double potential = 0.0;  ///< filled by the solver
+};
+
+struct FmmConfig {
+  std::size_t particles = 10000;  ///< paper size
+  int levels = 4;                 ///< paper: 4-level tree (finest 8x8 in 2-D)
+  int terms = 5;                  ///< paper: 5 expansion terms
+  int chunk = 25;                 ///< interaction-list entries per thread
+
+  /// Scratch allocated by each phase-3 chunk thread alongside its partial
+  /// expansion. A 2-D local expansion is only (terms+1) complex numbers; the
+  /// 3-D FMM the paper ran needs (terms+1)^2 coefficients plus per-
+  /// translation workspace, so this pads each chunk's dynamic allocation to
+  /// a 3-D-equivalent volume — preserving the phase-3 allocation burst that
+  /// Figure 9(a) measures (see DESIGN.md substitutions).
+  std::size_t chunk_workspace_bytes = 8 << 10;
+
+  std::uint64_t seed = 77;
+};
+
+/// Uniformly distributed particles with mixed-sign charges.
+std::vector<FmmParticle> fmm_generate(const FmmConfig& cfg);
+
+/// Serial reference FMM; fills `potential` for every particle.
+void fmm_serial(std::vector<FmmParticle>& particles, const FmmConfig& cfg);
+
+/// Fine-grained threaded FMM (phase structure above). Must run inside
+/// dfth::run().
+void fmm_threaded(std::vector<FmmParticle>& particles, const FmmConfig& cfg);
+
+/// O(n^2) direct-summation oracle.
+void fmm_direct(std::vector<FmmParticle>& particles);
+
+/// Max |phi_test - phi_ref| / (scale of phi) over the particle set.
+double fmm_max_rel_error(const std::vector<FmmParticle>& test,
+                         const std::vector<FmmParticle>& ref);
+
+}  // namespace dfth::apps

@@ -1,0 +1,60 @@
+// Dense matrix multiply — the paper's case study (§3, Figure 4).
+//
+// A block-based divide-and-conquer multiply: each recursive call runs in a
+// freshly forked thread; the recursion stops at `base` (64 on the paper's
+// UltraSPARC) and switches to a serial blocked kernel. Internal nodes
+// allocate an n×n temporary T through df_malloc, compute the four C-quadrant
+// products and four T-quadrant products in eight forked children, join,
+// parallel-add T into C, and free T — precisely the allocation pattern that
+// makes the FIFO scheduler's breadth-first execution blow up to ~115 MB on
+// the 1024×1024 input (Figure 5b) while a depth-first order needs ~25 MB.
+//
+// Work annotations: 2·b³ virtual ops per b×b×b base multiply, b² per b×b
+// base addition — so total annotated work is 2n³ + O(n²·log) regardless of
+// schedule, and simulated speedups are comparable across schedulers.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace dfth::apps {
+
+struct MatmulConfig {
+  std::size_t n = 512;     ///< matrix dimension (power of two)
+  std::size_t base = 64;   ///< serial recursion cutoff (power of two)
+};
+
+/// Validates the configuration (powers of two, base <= n).
+bool matmul_config_valid(const MatmulConfig& cfg);
+
+/// Fills `a` (n*n, row-major) with deterministic pseudo-random values.
+void matmul_fill(double* a, std::size_t n, std::uint64_t seed);
+
+/// Serial reference: C = A·B with the same blocked kernel and the same work
+/// annotations as the parallel version (the paper's "serial C version").
+void matmul_serial(const double* a, const double* b, double* c,
+                   const MatmulConfig& cfg);
+
+/// Fine-grained threaded version (Figure 4): must run inside dfth::run().
+/// C = A·B.
+void matmul_threaded(const double* a, const double* b, double* c,
+                     const MatmulConfig& cfg);
+
+/// Strassen's algorithm, threaded — the paper's §3 remark made concrete:
+/// "The more complex but asymptotically faster Strassen's matrix multiply
+/// can also be implemented in a similar divide-and-conquer fashion with a
+/// few extra lines of code." Seven recursive products forked per node, each
+/// internal node df_malloc'ing its M-buffers and operand temporaries — an
+/// even harsher allocation pattern than Figure 4's, which makes the
+/// space-efficient scheduler matter more (bench/abl_strassen). Must run
+/// inside dfth::run(). C = A·B.
+void matmul_strassen_threaded(const double* a, const double* b, double* c,
+                              const MatmulConfig& cfg);
+
+/// Max |x-y| over two n*n matrices (verification).
+double matmul_max_abs_diff(const double* x, const double* y, std::size_t n);
+
+/// Total annotated work of one multiply (for analytic speedup checks).
+std::uint64_t matmul_total_ops(const MatmulConfig& cfg);
+
+}  // namespace dfth::apps

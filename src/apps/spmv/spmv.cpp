@@ -1,0 +1,184 @@
+#include "apps/spmv/spmv.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "runtime/api.h"
+#include "runtime/sync.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace dfth::apps {
+
+CsrMatrix::CsrMatrix(std::size_t rows, std::size_t cols) : rows_(rows), cols_(cols) {
+  row_ptr_ = static_cast<std::uint32_t*>(
+      df_malloc(sizeof(std::uint32_t) * (rows_ + 1)));
+  row_ptr_[0] = 0;
+}
+
+CsrMatrix::~CsrMatrix() {
+  df_free(row_ptr_);
+  df_free(col_idx_);
+  df_free(values_);
+}
+
+void CsrMatrix::assign(const std::vector<std::vector<std::uint32_t>>& pattern,
+                       std::uint64_t value_seed) {
+  DFTH_CHECK(pattern.size() == rows_);
+  nnz_ = 0;
+  for (const auto& row : pattern) nnz_ += row.size();
+  df_free(col_idx_);
+  df_free(values_);
+  col_idx_ = static_cast<std::uint32_t*>(df_malloc(sizeof(std::uint32_t) * nnz_));
+  values_ = static_cast<double*>(df_malloc(sizeof(double) * nnz_));
+  Rng rng(value_seed);
+  std::size_t at = 0;
+  for (std::size_t i = 0; i < rows_; ++i) {
+    row_ptr_[i] = static_cast<std::uint32_t>(at);
+    for (std::uint32_t col : pattern[i]) {
+      DFTH_CHECK(col < cols_);
+      col_idx_[at] = col;
+      values_[at] = rng.next_double(-1.0, 1.0);
+      ++at;
+    }
+  }
+  row_ptr_[rows_] = static_cast<std::uint32_t>(at);
+}
+
+void spmv_generate(CsrMatrix& m, const SpmvConfig& cfg) {
+  Rng rng(cfg.seed);
+  const std::size_t n = cfg.rows;
+  // Spatially correlated row densities: the middle of the index range is a
+  // "refined region" with ~8x denser rows, so equal row-count partitions are
+  // strongly imbalanced (the property the fine-grained experiment needs).
+  std::vector<double> weight(n);
+  double weight_sum = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = static_cast<double>(i) / static_cast<double>(n) - 0.5;
+    weight[i] = 1.0 + 7.0 * std::exp(-x * x / 0.02);
+    weight_sum += weight[i];
+  }
+
+  std::vector<std::vector<std::uint32_t>> pattern(n);
+  const double per_weight =
+      static_cast<double>(cfg.target_nnz) / weight_sum;
+  for (std::size_t i = 0; i < n; ++i) {
+    // At least the diagonal; remaining degree from the row's weight with a
+    // little jitter (finite-element rows vary locally).
+    const double want = weight[i] * per_weight + rng.next_double(-0.5, 0.5);
+    const auto degree = static_cast<std::size_t>(std::max(1.0, want));
+    auto& row = pattern[i];
+    row.push_back(static_cast<std::uint32_t>(i));
+    // Bandwidth-limited neighbors, as in a node-numbered FE mesh.
+    const std::int64_t band = 2000;
+    for (std::size_t k = 1; k < degree; ++k) {
+      const std::int64_t off = rng.next_range(-band, band);
+      std::int64_t col = static_cast<std::int64_t>(i) + off;
+      if (col < 0) col = -col;
+      if (col >= static_cast<std::int64_t>(n)) col = 2 * static_cast<std::int64_t>(n) - 2 - col;
+      row.push_back(static_cast<std::uint32_t>(col));
+    }
+    std::sort(row.begin(), row.end());
+    row.erase(std::unique(row.begin(), row.end()), row.end());
+  }
+  m.assign(pattern, cfg.seed ^ 0x9e3779b97f4a7c15ULL);
+}
+
+namespace {
+
+/// w[lo..hi) = (M·v)[lo..hi). Annotates 30 work units per nonzero: SpMV is
+/// memory-bound — each nonzero is an irregular gather (index load + two
+/// value loads, usually missing cache) worth ~50 cycles of machine time,
+/// not its 2 flops. This calibrates the kernel to the few-Mflop/s rates
+/// 1990s machines sustained on sparse codes, vs the ~100 Mflop/s the cost
+/// model assumes for blocked dense kernels.
+void product_rows(const CsrMatrix& m, const double* v, double* w, std::size_t lo,
+                  std::size_t hi) {
+  const std::uint32_t* row_ptr = m.row_ptr();
+  const std::uint32_t* col = m.col_idx();
+  const double* val = m.values();
+  for (std::size_t i = lo; i < hi; ++i) {
+    double sum = 0.0;
+    for (std::uint32_t k = row_ptr[i]; k < row_ptr[i + 1]; ++k) {
+      sum += val[k] * v[col[k]];
+    }
+    w[i] = sum;
+  }
+  annotate_work(30ull * (row_ptr[hi] - row_ptr[lo]));
+}
+
+/// Row boundaries splitting [0, rows) into `parts` with ~equal nonzeros.
+std::vector<std::size_t> nnz_balanced_bounds(const CsrMatrix& m, int parts) {
+  std::vector<std::size_t> bounds(static_cast<std::size_t>(parts) + 1, 0);
+  const auto total = static_cast<double>(m.nnz());
+  std::size_t row = 0;
+  for (int part = 1; part < parts; ++part) {
+    const auto target = static_cast<std::uint32_t>(
+        total * static_cast<double>(part) / static_cast<double>(parts));
+    while (row < m.rows() && m.row_ptr()[row] < target) ++row;
+    bounds[static_cast<std::size_t>(part)] = row;
+  }
+  bounds[static_cast<std::size_t>(parts)] = m.rows();
+  return bounds;
+}
+
+}  // namespace
+
+void spmv_serial(const CsrMatrix& m, const double* v, double* w) {
+  product_rows(m, v, w, 0, m.rows());
+}
+
+void spmv_coarse(const CsrMatrix& m, const double* v, double* w,
+                 const SpmvConfig& cfg, int nprocs) {
+  DFTH_CHECK_MSG(in_runtime(), "spmv_coarse outside dfth::run");
+  // One long-lived thread per processor; disjoint nnz-balanced row ranges
+  // (writes to w need no locking); a barrier ends each iteration.
+  const auto bounds = nnz_balanced_bounds(m, nprocs);
+  Barrier barrier(nprocs);
+  std::vector<Thread> threads;
+  threads.reserve(static_cast<std::size_t>(nprocs));
+  for (int t = 0; t < nprocs; ++t) {
+    const std::size_t lo = bounds[static_cast<std::size_t>(t)];
+    const std::size_t hi = bounds[static_cast<std::size_t>(t) + 1];
+    threads.push_back(spawn([&m, v, w, lo, hi, &barrier, &cfg]() -> void* {
+      for (int iter = 0; iter < cfg.iterations; ++iter) {
+        product_rows(m, v, w, lo, hi);
+        barrier.arrive_and_wait();
+      }
+      return nullptr;
+    }));
+  }
+  for (auto& t : threads) join(t);
+}
+
+void spmv_fine(const CsrMatrix& m, const double* v, double* w,
+               const SpmvConfig& cfg) {
+  DFTH_CHECK_MSG(in_runtime(), "spmv_fine outside dfth::run");
+  // threads_per_iter threads created and destroyed in each iteration; rows
+  // "partitioned equally rather than by number of nonzeros, and the load is
+  // automatically balanced by the threads scheduler."
+  const int parts = cfg.threads_per_iter;
+  for (int iter = 0; iter < cfg.iterations; ++iter) {
+    std::vector<Thread> threads;
+    threads.reserve(static_cast<std::size_t>(parts));
+    for (int t = 0; t < parts; ++t) {
+      const std::size_t lo = m.rows() * static_cast<std::size_t>(t) /
+                             static_cast<std::size_t>(parts);
+      const std::size_t hi = m.rows() * (static_cast<std::size_t>(t) + 1) /
+                             static_cast<std::size_t>(parts);
+      threads.push_back(spawn([&m, v, w, lo, hi]() -> void* {
+        product_rows(m, v, w, lo, hi);
+        return nullptr;
+      }));
+    }
+    for (auto& t : threads) join(t);
+  }
+}
+
+double spmv_max_abs_diff(const double* x, const double* y, std::size_t n) {
+  double worst = 0.0;
+  for (std::size_t i = 0; i < n; ++i) worst = std::max(worst, std::abs(x[i] - y[i]));
+  return worst;
+}
+
+}  // namespace dfth::apps

@@ -1,0 +1,81 @@
+// Sparse matrix-vector product — the paper's Spark98 benchmark (§5.1.5).
+//
+// The paper times 20 iterations of w = M·v for an unsymmetric sparse matrix
+// from a San Fernando-valley earthquake finite-element mesh (30,169 rows,
+// 151,239 nonzeros). That mesh is not distributable, so we generate a
+// synthetic finite-element-style matrix with the same dimensions and — the
+// property that actually matters for the scheduling experiment — a skewed
+// row-length distribution: equal *row-count* partitions then carry unequal
+// work, which defeats the fine-grained version's naive partition unless the
+// scheduler load-balances it (exactly the paper's point).
+//
+// Two parallelizations, as in the paper:
+//  * coarse: one thread per processor created once; rows partitioned by
+//    nonzero count (balanced); a Barrier ends each iteration.
+//  * fine: `threads_per_iter` threads (128 in the paper) created and
+//    destroyed every iteration; rows partitioned equally by row count
+//    (imbalanced); the scheduler balances the load.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace dfth::apps {
+
+/// CSR matrix. Buffers are df_malloc'd so the matrix shows up in the space
+/// accounting (it dominates the benchmark's S1).
+class CsrMatrix {
+ public:
+  CsrMatrix(std::size_t rows, std::size_t cols);
+  ~CsrMatrix();
+  CsrMatrix(const CsrMatrix&) = delete;
+  CsrMatrix& operator=(const CsrMatrix&) = delete;
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t nnz() const { return nnz_; }
+
+  const std::uint32_t* row_ptr() const { return row_ptr_; }
+  const std::uint32_t* col_idx() const { return col_idx_; }
+  const double* values() const { return values_; }
+
+  /// Builder: set the pattern from per-row column lists (sorted, deduped).
+  void assign(const std::vector<std::vector<std::uint32_t>>& pattern,
+              std::uint64_t value_seed);
+
+ private:
+  std::size_t rows_, cols_, nnz_ = 0;
+  std::uint32_t* row_ptr_ = nullptr;
+  std::uint32_t* col_idx_ = nullptr;
+  double* values_ = nullptr;
+};
+
+struct SpmvConfig {
+  std::size_t rows = 30169;   ///< paper: San Fernando mesh rows
+  std::size_t target_nnz = 151239;
+  int iterations = 20;
+  int threads_per_iter = 128;  ///< fine-grained version
+  std::uint64_t seed = 1998;
+};
+
+/// Generates the synthetic finite-element-style matrix (see header comment):
+/// a 1-D bandwidth-limited stencil with power-law row densities.
+void spmv_generate(CsrMatrix& m, const SpmvConfig& cfg);
+
+/// Serial reference: w = M·v once (callers loop for iterations).
+void spmv_serial(const CsrMatrix& m, const double* v, double* w);
+
+/// Coarse-grained: nprocs long-lived threads + barrier per iteration; writes
+/// the final iterate into w. Must run inside dfth::run().
+void spmv_coarse(const CsrMatrix& m, const double* v, double* w,
+                 const SpmvConfig& cfg, int nprocs);
+
+/// Fine-grained: threads_per_iter threads spawned per iteration, equal row
+/// ranges. Must run inside dfth::run().
+void spmv_fine(const CsrMatrix& m, const double* v, double* w,
+               const SpmvConfig& cfg);
+
+double spmv_max_abs_diff(const double* x, const double* y, std::size_t n);
+
+}  // namespace dfth::apps

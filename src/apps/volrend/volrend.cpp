@@ -1,0 +1,335 @@
+#include "apps/volrend/volrend.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "runtime/api.h"
+#include "runtime/sync.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace dfth::apps {
+namespace {
+
+constexpr double kOpacityThreshold = 0.35;  ///< transfer function cut-in
+constexpr double kEarlyTermination = 0.98;  ///< stop once alpha saturates
+constexpr double kStep = 0.75;              ///< ray step in voxels
+
+struct Vec3 {
+  double x, y, z;
+};
+
+Vec3 rotate_y(Vec3 v, double angle) {
+  const double c = std::cos(angle), s = std::sin(angle);
+  return {c * v.x + s * v.z, v.y, -s * v.x + c * v.z};
+}
+
+}  // namespace
+
+Volume::Volume(const VolrendConfig& cfg) : dim_(cfg.volume_dim) {
+  DFTH_CHECK(dim_ % kBrickDim == 0);
+  bricks_ = dim_ / kBrickDim;
+  data_ = static_cast<std::uint8_t*>(df_malloc(dim_ * dim_ * dim_));
+  brick_max_ = static_cast<std::uint8_t*>(df_malloc(bricks_ * bricks_ * bricks_));
+  build_procedural(cfg.seed);
+  build_octree();
+}
+
+Volume::~Volume() {
+  df_free(data_);
+  df_free(brick_max_);
+}
+
+void Volume::build_procedural(std::uint64_t seed) {
+  // "CT head" stand-in: skin ellipsoid, skull shell, brain blob, airway
+  // cavity — graded densities with deterministic low-frequency noise.
+  const double c = static_cast<double>(dim_) / 2.0;
+  for (std::size_t z = 0; z < dim_; ++z) {
+    for (std::size_t y = 0; y < dim_; ++y) {
+      for (std::size_t x = 0; x < dim_; ++x) {
+        const double dx = (static_cast<double>(x) - c) / c;
+        const double dy = (static_cast<double>(y) - c) / c;
+        const double dz = (static_cast<double>(z) - c * 1.05) / c;
+        const double head = dx * dx / 0.55 + dy * dy / 0.72 + dz * dz / 0.62;
+        double density = 0.0;
+        if (head < 1.0) {
+          density = 40.0;  // soft tissue
+          const double skull = dx * dx / 0.47 + dy * dy / 0.62 + dz * dz / 0.53;
+          if (skull < 1.0 && skull > 0.78) density = 220.0;  // bone shell
+          if (skull <= 0.78) density = 95.0;                 // brain
+          // Airway/sinus cavity.
+          const double sinus =
+              dx * dx / 0.02 + (dy + 0.35) * (dy + 0.35) / 0.05 +
+              (dz + 0.3) * (dz + 0.3) / 0.08;
+          if (sinus < 1.0) density = 5.0;
+        }
+        // Deterministic smooth-ish noise from the coordinates + seed.
+        std::uint64_t h = seed ^ (x / 4 * 73856093ULL) ^ (y / 4 * 19349663ULL) ^
+                          (z / 4 * 83492791ULL);
+        const double noise =
+            static_cast<double>(splitmix64(h) & 0xff) / 255.0 * 14.0 - 7.0;
+        density = std::clamp(density + (density > 0 ? noise : 0.0), 0.0, 255.0);
+        data_[(z * dim_ + y) * dim_ + x] = static_cast<std::uint8_t>(density);
+      }
+    }
+  }
+}
+
+void Volume::build_octree() {
+  for (std::size_t bz = 0; bz < bricks_; ++bz) {
+    for (std::size_t by = 0; by < bricks_; ++by) {
+      for (std::size_t bx = 0; bx < bricks_; ++bx) {
+        std::uint8_t peak = 0;
+        for (std::size_t z = bz * kBrickDim; z < (bz + 1) * kBrickDim; ++z) {
+          for (std::size_t y = by * kBrickDim; y < (by + 1) * kBrickDim; ++y) {
+            for (std::size_t x = bx * kBrickDim; x < (bx + 1) * kBrickDim; ++x) {
+              peak = std::max(peak, at(x, y, z));
+            }
+          }
+        }
+        brick_max_[(bz * bricks_ + by) * bricks_ + bx] = peak;
+      }
+    }
+  }
+}
+
+double Volume::sample(double x, double y, double z) const {
+  const auto xi = static_cast<std::size_t>(x);
+  const auto yi = static_cast<std::size_t>(y);
+  const auto zi = static_cast<std::size_t>(z);
+  if (xi + 1 >= dim_ || yi + 1 >= dim_ || zi + 1 >= dim_) return 0.0;
+  const double fx = x - static_cast<double>(xi);
+  const double fy = y - static_cast<double>(yi);
+  const double fz = z - static_cast<double>(zi);
+  auto v = [&](std::size_t dx, std::size_t dy, std::size_t dz) {
+    return static_cast<double>(at(xi + dx, yi + dy, zi + dz));
+  };
+  const double c00 = v(0, 0, 0) * (1 - fx) + v(1, 0, 0) * fx;
+  const double c10 = v(0, 1, 0) * (1 - fx) + v(1, 1, 0) * fx;
+  const double c01 = v(0, 0, 1) * (1 - fx) + v(1, 0, 1) * fx;
+  const double c11 = v(0, 1, 1) * (1 - fx) + v(1, 1, 1) * fx;
+  const double c0 = c00 * (1 - fy) + c10 * fy;
+  const double c1 = c01 * (1 - fy) + c11 * fy;
+  return c0 * (1 - fz) + c1 * fz;
+}
+
+std::uint32_t Volume::brick_id(double x, double y, double z) const {
+  const auto bx = static_cast<std::size_t>(x) / kBrickDim;
+  const auto by = static_cast<std::size_t>(y) / kBrickDim;
+  const auto bz = static_cast<std::size_t>(z) / kBrickDim;
+  return static_cast<std::uint32_t>((bz * bricks_ + by) * bricks_ + bx);
+}
+
+bool Volume::brick_empty(double x, double y, double z) const {
+  return static_cast<double>(brick_max_[brick_id(x, y, z)]) <
+         kOpacityThreshold * 255.0;
+}
+
+namespace {
+
+/// Casts one ray; returns the pixel value and reports touched bricks + work.
+std::uint8_t cast_ray(const Volume& vol, const VolrendConfig& cfg, std::size_t px,
+                      std::size_t py, double view_angle) {
+  const double n = static_cast<double>(vol.dim());
+  const double img = static_cast<double>(cfg.image_dim);
+  // Orthographic camera rotated about the volume's vertical (y) axis.
+  const double u = (static_cast<double>(px) / img - 0.5) * n;
+  const double v = (static_cast<double>(py) / img - 0.5) * n;
+  const Vec3 dir = rotate_y({0, 0, 1}, view_angle);
+  const Vec3 right = rotate_y({1, 0, 0}, view_angle);
+  const Vec3 center{n / 2, n / 2, n / 2};
+  // Ray origin: backed out of the volume along -dir.
+  Vec3 pos{center.x + right.x * u - dir.x * n,
+           center.y + v,
+           center.z + right.z * u - dir.z * n};
+
+  double alpha = 0.0, intensity = 0.0;
+  std::uint32_t touched[64];
+  std::size_t touched_count = 0;
+  std::uint32_t last_brick = UINT32_MAX;
+  std::uint64_t steps = 0;
+
+  const double tmax = 2.0 * n;
+  for (double t = 0.0; t < tmax; t += kStep) {
+    const double x = pos.x + dir.x * t;
+    const double y = pos.y + dir.y * t;
+    const double z = pos.z + dir.z * t;
+    if (x < 1 || y < 1 || z < 1 || x >= n - 2 || y >= n - 2 || z >= n - 2) continue;
+    ++steps;
+    // Empty-space skipping via the min/max octree bricks.
+    const std::uint32_t brick = vol.brick_id(x, y, z);
+    if (brick != last_brick) {
+      last_brick = brick;
+      if (touched_count < std::size(touched)) touched[touched_count++] = brick;
+    }
+    if (vol.brick_empty(x, y, z)) {
+      // Jump to roughly the end of this brick.
+      t += static_cast<double>(kBrickDim) * 0.5;
+      continue;
+    }
+    const double density = vol.sample(x, y, z) / 255.0;
+    if (density < kOpacityThreshold) continue;
+    const double opacity = (density - kOpacityThreshold) * 0.22;
+    const double light = 0.4 + 0.6 * density;
+    intensity += (1.0 - alpha) * opacity * light;
+    alpha += (1.0 - alpha) * opacity;
+    if (alpha > kEarlyTermination) break;  // early ray termination
+  }
+  annotate_work(steps * 18 + 40);  // sampling + compositing flops
+  annotate_touch(touched, touched_count);
+  return static_cast<std::uint8_t>(std::clamp(intensity * 255.0, 0.0, 255.0));
+}
+
+void render_tile(const Volume& vol, const VolrendConfig& cfg, Image& out,
+                 std::size_t tile, double view_angle) {
+  const std::size_t tiles_x = (cfg.image_dim + kTilePixels - 1) / kTilePixels;
+  const std::size_t tx = (tile % tiles_x) * kTilePixels;
+  const std::size_t ty = (tile / tiles_x) * kTilePixels;
+  for (std::size_t dy = 0; dy < kTilePixels; ++dy) {
+    for (std::size_t dx = 0; dx < kTilePixels; ++dx) {
+      const std::size_t px = tx + dx, py = ty + dy;
+      if (px >= cfg.image_dim || py >= cfg.image_dim) continue;
+      out[py * cfg.image_dim + px] = cast_ray(vol, cfg, px, py, view_angle);
+    }
+  }
+}
+
+double frame_angle(int frame) { return 0.35 + 0.12 * static_cast<double>(frame); }
+
+}  // namespace
+
+std::size_t volrend_tile_count(const VolrendConfig& cfg) {
+  const std::size_t tiles_x = (cfg.image_dim + kTilePixels - 1) / kTilePixels;
+  return tiles_x * tiles_x;
+}
+
+Image volrend_serial(const Volume& vol, const VolrendConfig& cfg) {
+  Image img(cfg.image_dim * cfg.image_dim, 0);
+  for (int f = 0; f < cfg.frames; ++f) {
+    const double angle = frame_angle(f);
+    for (std::size_t tile = 0; tile < volrend_tile_count(cfg); ++tile) {
+      render_tile(vol, cfg, img, tile, angle);
+    }
+  }
+  return img;
+}
+
+Image volrend_coarse(const Volume& vol, const VolrendConfig& cfg, int nprocs) {
+  DFTH_CHECK_MSG(in_runtime(), "volrend_coarse outside dfth::run");
+  Image img(cfg.image_dim * cfg.image_dim, 0);
+  const std::size_t tiles = volrend_tile_count(cfg);
+
+  // SPLASH-2 scheme: the image is pre-partitioned into contiguous blocks of
+  // tiles, one explicit task queue per processor; a processor that runs out
+  // steals a tile from another queue.
+  struct TaskQueue {
+    Mutex mu;
+    std::vector<std::size_t> tiles;
+  };
+
+  for (int f = 0; f < cfg.frames; ++f) {
+    const double angle = frame_angle(f);
+    std::vector<TaskQueue> queues(static_cast<std::size_t>(nprocs));
+    for (std::size_t tile = 0; tile < tiles; ++tile) {
+      queues[tile * static_cast<std::size_t>(nprocs) / tiles].tiles.push_back(tile);
+    }
+    std::vector<Thread> threads;
+    threads.reserve(static_cast<std::size_t>(nprocs));
+    for (int t = 0; t < nprocs; ++t) {
+      threads.push_back(spawn([&, t]() -> void* {
+        const auto self = static_cast<std::size_t>(t);
+        while (true) {
+          // Own queue first, then steal round-robin.
+          bool found = false;
+          std::size_t tile = 0;
+          for (std::size_t attempt = 0; attempt < queues.size(); ++attempt) {
+            auto& q = queues[(self + attempt) % queues.size()];
+            LockGuard lock(q.mu);
+            if (!q.tiles.empty()) {
+              tile = q.tiles.back();
+              q.tiles.pop_back();
+              found = true;
+              break;
+            }
+          }
+          if (!found) break;
+          render_tile(vol, cfg, img, tile, angle);
+        }
+        return nullptr;
+      }));
+    }
+    for (auto& th : threads) join(th);
+  }
+  return img;
+}
+
+Image volrend_fine(const Volume& vol, const VolrendConfig& cfg) {
+  DFTH_CHECK_MSG(in_runtime(), "volrend_fine outside dfth::run");
+  Image img(cfg.image_dim * cfg.image_dim, 0);
+  const std::size_t tiles = volrend_tile_count(cfg);
+  const std::size_t per_thread = std::max<std::size_t>(1, cfg.tiles_per_thread);
+
+  for (int f = 0; f < cfg.frames; ++f) {
+    const double angle = frame_angle(f);
+    std::vector<Thread> threads;
+    threads.reserve(tiles / per_thread + 1);
+    for (std::size_t lo = 0; lo < tiles; lo += per_thread) {
+      const std::size_t hi = std::min(tiles, lo + per_thread);
+      threads.push_back(spawn([&, lo, hi, angle]() -> void* {
+        for (std::size_t tile = lo; tile < hi; ++tile) {
+          render_tile(vol, cfg, img, tile, angle);
+        }
+        return nullptr;
+      }));
+    }
+    for (auto& t : threads) join(t);
+  }
+  return img;
+}
+
+namespace {
+
+void render_range_tree(const Volume& vol, const VolrendConfig& cfg, Image& img,
+                       std::size_t lo, std::size_t hi, std::size_t grain,
+                       double angle) {
+  if (hi - lo <= grain) {
+    for (std::size_t tile = lo; tile < hi; ++tile) {
+      render_tile(vol, cfg, img, tile, angle);
+    }
+    return;
+  }
+  const std::size_t mid = lo + (hi - lo) / 2;
+  Thread left = spawn([&, lo, mid, grain, angle]() -> void* {
+    render_range_tree(vol, cfg, img, lo, mid, grain, angle);
+    return nullptr;
+  });
+  render_range_tree(vol, cfg, img, mid, hi, grain, angle);
+  join(left);
+}
+
+}  // namespace
+
+Image volrend_fine_tree(const Volume& vol, const VolrendConfig& cfg) {
+  DFTH_CHECK_MSG(in_runtime(), "volrend_fine_tree outside dfth::run");
+  Image img(cfg.image_dim * cfg.image_dim, 0);
+  const std::size_t tiles = volrend_tile_count(cfg);
+  const std::size_t per_thread = std::max<std::size_t>(1, cfg.tiles_per_thread);
+  for (int f = 0; f < cfg.frames; ++f) {
+    render_range_tree(vol, cfg, img, 0, tiles, per_thread, frame_angle(f));
+  }
+  return img;
+}
+
+bool volrend_images_equal(const Image& a, const Image& b) { return a == b; }
+
+bool volrend_write_pgm(const Image& img, std::size_t dim, const char* path) {
+  std::FILE* f = std::fopen(path, "wb");
+  if (!f) return false;
+  std::fprintf(f, "P5\n%zu %zu\n255\n", dim, dim);
+  std::fwrite(img.data(), 1, img.size(), f);
+  std::fclose(f);
+  return true;
+}
+
+}  // namespace dfth::apps

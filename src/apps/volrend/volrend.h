@@ -1,0 +1,102 @@
+// Ray-casting volume renderer — the paper's SPLASH-2 volrend benchmark
+// (§5.1.6, Figure 11).
+//
+// A 256^3 scalar volume (a procedural "CT head": nested ellipsoid shells
+// for skin, skull and brain plus deterministic noise, standing in for the
+// non-distributable Computed Tomography dataset) is rendered by casting one
+// ray per pixel of a 375^2 image plane from a per-frame viewpoint. A
+// min/max octree over 8^3 bricks provides empty-space skipping; rays
+// terminate early once opacity saturates. Parallelism is over 4x4-pixel
+// tiles:
+//  * coarse (SPLASH-2 scheme): one thread per processor, the image split
+//    into per-processor blocks of tiles, an explicit task queue per
+//    processor, and stealing from other queues when a processor runs dry;
+//  * fine (the paper's rewrite): one thread per `tiles_per_thread` tiles —
+//    the Figure 11 granularity knob — with no explicit queues at all.
+//
+// Locality model: each ray reports the volume bricks it traverses through
+// annotate_touch(), driving the simulator's per-processor LRU cache — rays
+// through nearby pixels share bricks, which is why Figure 11's speedup
+// collapses at too-fine granularities.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace dfth::apps {
+
+struct VolrendConfig {
+  std::size_t volume_dim = 256;   ///< cubic volume edge (power of two)
+  std::size_t image_dim = 375;    ///< square image edge
+  int frames = 1;                 ///< viewpoints rendered (paper: a sequence)
+  std::size_t tiles_per_thread = 64;  ///< fine-grained granularity (Fig 11)
+  std::uint64_t seed = 7;
+};
+
+inline constexpr std::size_t kTilePixels = 4;  ///< 4x4 tiles, as in SPLASH-2
+inline constexpr std::size_t kBrickDim = 8;    ///< octree leaf brick edge
+
+/// The volume plus its min/max brick octree. Storage is df_malloc'd.
+class Volume {
+ public:
+  explicit Volume(const VolrendConfig& cfg);
+  ~Volume();
+  Volume(const Volume&) = delete;
+  Volume& operator=(const Volume&) = delete;
+
+  std::size_t dim() const { return dim_; }
+  std::uint8_t at(std::size_t x, std::size_t y, std::size_t z) const {
+    return data_[(z * dim_ + y) * dim_ + x];
+  }
+  /// Trilinear density sample at a point inside [0, dim-1]^3.
+  double sample(double x, double y, double z) const;
+
+  /// Brick id containing the voxel (for annotate_touch / LRU model).
+  std::uint32_t brick_id(double x, double y, double z) const;
+  /// True if the brick containing the point is empty (max density below the
+  /// transfer function's threshold) — empty-space skipping.
+  bool brick_empty(double x, double y, double z) const;
+
+ private:
+  void build_procedural(std::uint64_t seed);
+  void build_octree();
+
+  std::size_t dim_ = 0;
+  std::size_t bricks_ = 0;  ///< bricks per edge
+  std::uint8_t* data_ = nullptr;
+  std::uint8_t* brick_max_ = nullptr;
+};
+
+/// One rendered grayscale frame (row-major image_dim^2, values 0..255).
+using Image = std::vector<std::uint8_t>;
+
+/// Renders `cfg.frames` frames serially; returns the last frame.
+Image volrend_serial(const Volume& vol, const VolrendConfig& cfg);
+
+/// Coarse-grained: per-processor tile queues with stealing (SPLASH-2
+/// scheme). Must run inside dfth::run().
+Image volrend_coarse(const Volume& vol, const VolrendConfig& cfg, int nprocs);
+
+/// Fine-grained: one thread per cfg.tiles_per_thread tiles, spawned as a
+/// flat sequence (the paper's version). Must run inside dfth::run().
+Image volrend_fine(const Volume& vol, const VolrendConfig& cfg);
+
+/// Fine-grained with tree-structured spawning: the tile range is split by
+/// recursive binary forks down to cfg.tiles_per_thread. Same work and same
+/// image as volrend_fine, but threads adjacent in the image are adjacent in
+/// the fork tree — the structure a locality-aware scheduler (DfDeques,
+/// §5.3) can exploit by keeping stolen subtrees on one processor. Must run
+/// inside dfth::run().
+Image volrend_fine_tree(const Volume& vol, const VolrendConfig& cfg);
+
+/// Number of 4x4 tiles in one frame.
+std::size_t volrend_tile_count(const VolrendConfig& cfg);
+
+/// Exact pixel equality between frames (renders are deterministic).
+bool volrend_images_equal(const Image& a, const Image& b);
+
+/// Writes a PGM file (examples use this); returns false on I/O error.
+bool volrend_write_pgm(const Image& img, std::size_t dim, const char* path);
+
+}  // namespace dfth::apps

@@ -1,0 +1,68 @@
+#include "core/asyncdf_sched.h"
+
+#include <limits>
+
+#include "util/check.h"
+
+namespace dfth {
+
+bool AsyncDfScheduler::register_thread(Tcb* parent, Tcb* child) {
+  child->order.owner = child;
+  OrderList& list = lists_[static_cast<std::size_t>(child->attr.priority)];
+  if (parent && parent->order.linked() &&
+      parent->attr.priority == child->attr.priority) {
+    // "A newly forked thread is placed to the immediate left of its parent."
+    list.insert_before(&parent->order, &child->order);
+  } else {
+    // Roots (and cross-priority forks) start at the left end of their level:
+    // in a serial depth-first execution the newest work runs first.
+    list.push_front(&child->order);
+  }
+  // "When a parent thread forks a child thread, the parent is preempted
+  // immediately and the processor starts executing the child thread."
+  // Running a lower-priority child would invert the priority order, so the
+  // preemption applies only when the child's level is at least the parent's.
+  return parent == nullptr || child->attr.priority >= parent->attr.priority;
+}
+
+void AsyncDfScheduler::on_ready(Tcb* t, int proc) {
+  (void)t;
+  (void)proc;
+  // The thread's placeholder never moved; becoming ready is a pure state
+  // flip. ("When a thread is preempted, it is returned to the scheduling
+  // queue in the same position that it was in when it was last selected.")
+  DFTH_DCHECK(t->order.linked());
+  DFTH_DCHECK(t->state.load(std::memory_order_relaxed) == ThreadState::Ready);
+  ++ready_;
+}
+
+Tcb* AsyncDfScheduler::pick_next(int proc, std::uint64_t now, std::uint64_t* earliest) {
+  (void)proc;
+  *earliest = std::numeric_limits<std::uint64_t>::max();
+  for (int prio = kNumPriorities - 1; prio >= 0; --prio) {
+    const OrderList& list = lists_[static_cast<std::size_t>(prio)];
+    if (list.empty()) continue;
+    for (OrderNode* node = list.front(); node != list.end_sentinel(); node = node->next) {
+      auto* t = static_cast<Tcb*>(node->owner);
+      if (t->state.load(std::memory_order_relaxed) != ThreadState::Ready) continue;
+      if (t->ready_at_ns <= now) {
+        --ready_;
+        return t;  // leftmost ready thread at the highest non-empty level
+      }
+      if (t->ready_at_ns < *earliest) *earliest = t->ready_at_ns;
+    }
+  }
+  return nullptr;
+}
+
+void AsyncDfScheduler::unregister_thread(Tcb* t) {
+  if (!t->order.linked()) return;
+  lists_[static_cast<std::size_t>(t->attr.priority)].erase(&t->order);
+}
+
+bool AsyncDfScheduler::serial_before(const Tcb* a, const Tcb* b) const {
+  DFTH_CHECK(a->attr.priority == b->attr.priority);
+  return lists_[static_cast<std::size_t>(a->attr.priority)].before(&a->order, &b->order);
+}
+
+}  // namespace dfth

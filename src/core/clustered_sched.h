@@ -1,0 +1,69 @@
+// Clustered AsyncDF — the paper's §6 future-work design, implemented:
+//
+//   "Our space-efficient scheduler maintains a globally ordered list of
+//    threads; accesses to this list are serialized by a lock. Therefore, we
+//    do not expect such a serialized scheduler to scale well beyond 16
+//    processors. [...] to schedule threads on a hardware-coherent cluster
+//    of SMPs, our scheduling algorithm could be used to maintain one shared
+//    queue on each SMP, and threads would be moved between SMPs only when
+//    required."
+//
+// Processors are partitioned into clusters of `cluster_size` ("one SMP"
+// each). Each cluster runs the AsyncDF discipline on its own ordered list
+// with its own lock (the simulator serializes scheduler operations per
+// cluster, not globally — see Scheduler::lock_domain). A fork still
+// preempts the parent and places the child immediately left of the parent
+// in the parent's cluster. A processor whose cluster has no ready thread
+// migrates the leftmost ready thread of another cluster into its own list —
+// the "moved only when required" rule; migrations are counted.
+//
+// Space: each cluster independently maintains the AsyncDF invariants, so
+// live space is bounded by the sum of per-cluster bounds,
+// S1 + O(p·K·D + C·S1-ish migration effects) — abl_clustered measures the
+// practical cost against the single-lock scheduler's contention.
+//
+// Priorities are not supported by this policy (like work stealing); all
+// threads are scheduled at one level.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/order_list.h"
+#include "core/scheduler.h"
+
+namespace dfth {
+
+class ClusteredAdfScheduler final : public Scheduler {
+ public:
+  ClusteredAdfScheduler(int nprocs, int cluster_size);
+
+  SchedKind kind() const override { return SchedKind::ClusteredAdf; }
+  bool needs_quota() const override { return true; }
+
+  bool register_thread(Tcb* parent, Tcb* child) override;
+  void on_ready(Tcb* t, int proc) override;
+  Tcb* pick_next(int proc, std::uint64_t now, std::uint64_t* earliest) override;
+  void unregister_thread(Tcb* t) override;
+  std::size_t ready_count() const override { return ready_; }
+
+  int lock_domain(int proc) const override { return cluster_of(proc); }
+  int domains() const { return static_cast<int>(lists_.size()); }
+
+  std::uint64_t migrations() const { return migrations_; }
+  std::size_t live_count(int cluster) const {
+    return lists_[static_cast<std::size_t>(cluster)].size();
+  }
+
+ private:
+  int cluster_of(int proc) const { return proc / cluster_size_; }
+  /// Leftmost ready thread in one cluster's list, honoring `now`.
+  Tcb* scan(int cluster, std::uint64_t now, std::uint64_t* earliest);
+
+  int cluster_size_;
+  std::vector<OrderList> lists_;  ///< one serial-order list per cluster
+  std::size_t ready_ = 0;
+  std::uint64_t migrations_ = 0;
+};
+
+}  // namespace dfth

@@ -1,0 +1,127 @@
+#include "core/order_list.h"
+
+#include <limits>
+
+namespace dfth {
+namespace {
+
+constexpr std::uint64_t kMinTag = 0;  // head sentinel
+constexpr std::uint64_t kMaxTag = std::numeric_limits<std::uint64_t>::max();  // tail
+
+/// Window scanned on a tag collision before falling back to a full relabel.
+constexpr int kLocalWindow = 24;
+
+}  // namespace
+
+OrderList::OrderList() {
+  head_.prev = nullptr;
+  head_.next = &tail_;
+  head_.tag = kMinTag;
+  tail_.prev = &head_;
+  tail_.next = nullptr;
+  tail_.tag = kMaxTag;
+}
+
+void OrderList::link(OrderNode* before_node, OrderNode* node, OrderNode* after_node) {
+  DFTH_DCHECK(!node->linked());
+  node->prev = before_node;
+  node->next = after_node;
+  before_node->next = node;
+  after_node->prev = node;
+  ++size_;
+  assign_tag(node);
+}
+
+void OrderList::push_front(OrderNode* node) { link(&head_, node, head_.next); }
+
+void OrderList::push_back(OrderNode* node) { link(tail_.prev, node, &tail_); }
+
+void OrderList::insert_before(OrderNode* pos, OrderNode* node) {
+  DFTH_DCHECK(pos->linked() && pos != &head_);
+  link(pos->prev, node, pos);
+}
+
+void OrderList::insert_after(OrderNode* pos, OrderNode* node) {
+  DFTH_DCHECK(pos->linked() && pos != &tail_);
+  link(pos, node, pos->next);
+}
+
+void OrderList::erase(OrderNode* node) {
+  DFTH_DCHECK(node->linked() && node != &head_ && node != &tail_);
+  node->prev->next = node->next;
+  node->next->prev = node->prev;
+  node->prev = nullptr;
+  node->next = nullptr;
+  --size_;
+}
+
+void OrderList::assign_tag(OrderNode* node) {
+  const std::uint64_t lo = node->prev->tag;
+  const std::uint64_t hi = node->next->tag;
+  if (hi - lo >= 2) {
+    node->tag = lo + (hi - lo) / 2;
+    return;
+  }
+  relabel_around(node);
+}
+
+void OrderList::relabel_around(OrderNode* node) {
+  ++relabels_;
+  // Find a window of up to kLocalWindow nodes around `node` whose enclosing
+  // tag gap is large enough to give everyone breathing room, then spread the
+  // window evenly across that gap.
+  OrderNode* lo_fence = node->prev;
+  OrderNode* hi_fence = node->next;
+  int count = 1;  // `node` itself
+  for (int step = 0; step < kLocalWindow; ++step) {
+    // Alternately widen toward head and tail.
+    if (lo_fence != &head_) {
+      lo_fence = lo_fence->prev;
+      ++count;
+    }
+    if (hi_fence != &tail_) {
+      hi_fence = hi_fence->next;
+      ++count;
+    }
+    const std::uint64_t gap = hi_fence->tag - lo_fence->tag;
+    // Require gap comfortably larger than the node count so the next few
+    // inserts in this window do not immediately re-trigger a relabel.
+    if (gap / (static_cast<std::uint64_t>(count) + 2) >= 1024) {
+      const std::uint64_t stride = gap / (static_cast<std::uint64_t>(count) + 1);
+      std::uint64_t tag = lo_fence->tag;
+      for (OrderNode* n = lo_fence->next; n != hi_fence; n = n->next) {
+        tag += stride;
+        n->tag = tag;
+      }
+      return;
+    }
+  }
+  relabel_all();
+}
+
+void OrderList::relabel_all() {
+  // Distribute all nodes evenly over the full tag space.
+  const std::uint64_t stride = kMaxTag / (static_cast<std::uint64_t>(size_) + 1);
+  DFTH_CHECK_MSG(stride >= 2, "order list too large to relabel");
+  std::uint64_t tag = 0;
+  for (OrderNode* n = head_.next; n != &tail_; n = n->next) {
+    tag += stride;
+    n->tag = tag;
+  }
+}
+
+bool OrderList::check_invariants() const {
+  std::size_t seen = 0;
+  const OrderNode* prev = &head_;
+  for (const OrderNode* n = head_.next; n != &tail_; n = n->next) {
+    if (n->prev != prev) return false;
+    if (n->tag <= prev->tag) return false;
+    prev = n;
+    ++seen;
+  }
+  if (tail_.prev != prev) return false;
+  if (prev->tag >= kMaxTag) return false;
+  return seen == size_;
+}
+
+}  // namespace dfth

@@ -1,0 +1,84 @@
+// Order-maintenance list: the data structure behind the space-efficient
+// scheduler's global "serial, depth-first execution order" of all live
+// threads (paper §4 item 2).
+//
+// Requirements it serves:
+//  * insert a node immediately before/after another in O(1) amortized
+//    (a forked child goes to the immediate left of its parent);
+//  * erase in O(1) (thread exit removes its placeholder);
+//  * answer "does a precede b?" in O(1) (used by scheduler invariant checks
+//    and property tests).
+//
+// Implementation: an intrusive doubly-linked list whose nodes carry 64-bit
+// tags in strictly increasing order. A new node takes the midpoint of its
+// neighbors' tags; when the gap is exhausted we relabel — first locally
+// (redistribute a small window of nodes), falling back to a full even
+// relabel. With a 2^64 tag space full relabels are essentially amortized
+// away (see tests/core/order_list_test.cpp for adversarial patterns).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "util/check.h"
+
+namespace dfth {
+
+struct OrderNode {
+  OrderNode* prev = nullptr;
+  OrderNode* next = nullptr;
+  std::uint64_t tag = 0;
+  void* owner = nullptr;  ///< back-pointer to the containing object (Tcb)
+
+  bool linked() const { return prev != nullptr; }
+};
+
+class OrderList {
+ public:
+  OrderList();
+
+  // Not copyable/movable: nodes point back into the sentinels.
+  OrderList(const OrderList&) = delete;
+  OrderList& operator=(const OrderList&) = delete;
+
+  void push_front(OrderNode* node);
+  void push_back(OrderNode* node);
+  void insert_before(OrderNode* pos, OrderNode* node);
+  void insert_after(OrderNode* pos, OrderNode* node);
+  void erase(OrderNode* node);
+
+  /// True iff `a` precedes `b`. O(1) via tag comparison.
+  bool before(const OrderNode* a, const OrderNode* b) const {
+    DFTH_DCHECK(a->linked() && b->linked());
+    return a->tag < b->tag;
+  }
+
+  bool empty() const { return head_.next == &tail_; }
+  std::size_t size() const { return size_; }
+
+  /// First real node, or nullptr when empty. Iterate with node->next until
+  /// end_sentinel().
+  OrderNode* front() const { return empty() ? nullptr : head_.next; }
+  OrderNode* back() const { return empty() ? nullptr : tail_.prev; }
+  const OrderNode* end_sentinel() const { return &tail_; }
+
+  /// Total relabel operations performed (for the scheduler microbench).
+  std::uint64_t relabel_count() const { return relabels_; }
+
+  /// Verifies the tag order invariant over the whole list (tests only).
+  bool check_invariants() const;
+
+ private:
+  void link(OrderNode* before_node, OrderNode* node, OrderNode* after_node);
+  /// Assigns node->tag strictly between its neighbors, relabeling if needed.
+  void assign_tag(OrderNode* node);
+  void relabel_around(OrderNode* node);
+  void relabel_all();
+
+  OrderNode head_;
+  OrderNode tail_;
+  std::size_t size_ = 0;
+  std::uint64_t relabels_ = 0;
+};
+
+}  // namespace dfth

@@ -1,0 +1,53 @@
+#include "core/scheduler.h"
+
+#include <memory>
+
+#include "core/asyncdf_sched.h"
+#include "core/clustered_sched.h"
+#include "core/dfdeques_sched.h"
+#include "core/fifo_sched.h"
+#include "core/lifo_sched.h"
+#include "core/worksteal_sched.h"
+#include "util/check.h"
+
+namespace dfth {
+
+const char* to_string(SchedKind kind) {
+  switch (kind) {
+    case SchedKind::Fifo: return "fifo";
+    case SchedKind::Lifo: return "lifo";
+    case SchedKind::AsyncDf: return "asyncdf";
+    case SchedKind::WorkSteal: return "worksteal";
+    case SchedKind::ClusteredAdf: return "clustered";
+    case SchedKind::DfDeques: return "dfdeques";
+  }
+  return "?";
+}
+
+SchedKind sched_kind_from_string(const std::string& name) {
+  if (name == "fifo") return SchedKind::Fifo;
+  if (name == "lifo") return SchedKind::Lifo;
+  if (name == "asyncdf" || name == "adf" || name == "new") return SchedKind::AsyncDf;
+  if (name == "worksteal" || name == "ws" || name == "cilk") return SchedKind::WorkSteal;
+  if (name == "clustered" || name == "cadf") return SchedKind::ClusteredAdf;
+  if (name == "dfdeques" || name == "dfd") return SchedKind::DfDeques;
+  DFTH_CHECK_MSG(false, "unknown scheduler name");
+}
+
+std::unique_ptr<Scheduler> make_scheduler(SchedKind kind, int nprocs,
+                                          std::uint64_t seed, int cluster_size) {
+  switch (kind) {
+    case SchedKind::Fifo: return std::make_unique<FifoScheduler>();
+    case SchedKind::Lifo: return std::make_unique<LifoScheduler>();
+    case SchedKind::AsyncDf: return std::make_unique<AsyncDfScheduler>();
+    case SchedKind::WorkSteal:
+      return std::make_unique<WorkStealScheduler>(nprocs, seed);
+    case SchedKind::ClusteredAdf:
+      return std::make_unique<ClusteredAdfScheduler>(nprocs, cluster_size);
+    case SchedKind::DfDeques:
+      return std::make_unique<DfDequesScheduler>(nprocs);
+  }
+  DFTH_CHECK_MSG(false, "unknown scheduler kind");
+}
+
+}  // namespace dfth

@@ -1,0 +1,101 @@
+#include "graph/analysis.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <unordered_map>
+#include <vector>
+
+#include "util/check.h"
+
+namespace dfth {
+
+GraphSummary analyze(const Graph& graph) {
+  GraphSummary out;
+  const auto n = graph.segments.size();
+  out.segment_count = static_cast<std::uint32_t>(n);
+  if (n == 0) return out;
+
+  // T1, allocation volume, thread census.
+  std::unordered_map<std::uint64_t, std::uint32_t> thread_depth;  // fork nesting
+  for (const auto& seg : graph.segments) {
+    out.total_ops += seg.ops;
+    if (seg.alloc_bytes > 0) out.total_alloc_bytes += seg.alloc_bytes;
+    thread_depth.emplace(seg.thread_id, 1);
+  }
+  out.thread_count = static_cast<std::uint32_t>(thread_depth.size());
+
+  // Longest path by ops. Segment indices are topological by construction;
+  // verify on the fly (DFTH_DCHECK) and run the DP over incoming edges.
+  std::vector<std::uint64_t> path_ops(n);
+  std::vector<std::uint32_t> path_len(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    path_ops[i] = graph.segments[i].ops;
+    path_len[i] = 1;
+  }
+  for (const auto& e : graph.edges) {
+    DFTH_DCHECK(e.from < e.to);
+    // Edges arrive ordered by creation, which interleaves with segment
+    // creation; process in a second pass sorted by target instead.
+  }
+  // Group incoming edges by target, then sweep targets in index order.
+  std::vector<GraphEdge> edges = graph.edges;
+  std::sort(edges.begin(), edges.end(),
+            [](const GraphEdge& a, const GraphEdge& b) { return a.to < b.to; });
+  for (const auto& e : edges) {
+    const auto cand_ops = path_ops[e.from] + graph.segments[e.to].ops;
+    if (cand_ops > path_ops[e.to] ||
+        (cand_ops == path_ops[e.to] && path_len[e.from] + 1 > path_len[e.to])) {
+      path_ops[e.to] = cand_ops;
+      path_len[e.to] = path_len[e.from] + 1;
+    }
+    // Fork edges define thread nesting depth (serial DFS live-thread count).
+    if (e.kind == EdgeKind::Fork) {
+      const auto parent_tid = graph.segments[e.from].thread_id;
+      const auto child_tid = graph.segments[e.to].thread_id;
+      auto it = thread_depth.find(parent_tid);
+      if (it != thread_depth.end()) {
+        auto& child_depth = thread_depth[child_tid];
+        child_depth = std::max(child_depth, it->second + 1);
+      }
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (path_ops[i] > out.span_ops) {
+      out.span_ops = path_ops[i];
+      out.span_segments = path_len[i];
+    }
+  }
+  for (const auto& [tid, depth] : thread_depth) {
+    (void)tid;
+    out.serial_live_depth = std::max(out.serial_live_depth, depth);
+  }
+  out.avg_parallelism = out.span_ops
+                            ? static_cast<double>(out.total_ops) /
+                                  static_cast<double>(out.span_ops)
+                            : 0.0;
+  return out;
+}
+
+std::string to_dot(const Graph& graph) {
+  std::string out = "digraph computation {\n  rankdir=TB;\n  node [shape=circle];\n";
+  char buf[160];
+  for (std::size_t i = 0; i < graph.segments.size(); ++i) {
+    const auto& seg = graph.segments[i];
+    std::snprintf(buf, sizeof buf,
+                  "  s%zu [label=\"t%llu\\n%llu ops\"];\n", i,
+                  static_cast<unsigned long long>(seg.thread_id),
+                  static_cast<unsigned long long>(seg.ops));
+    out += buf;
+  }
+  for (const auto& e : graph.edges) {
+    const char* style = e.kind == EdgeKind::Join ? "dashed"
+                        : e.kind == EdgeKind::Fork ? "solid"
+                                                   : "dotted";
+    std::snprintf(buf, sizeof buf, "  s%u -> s%u [style=%s];\n", e.from, e.to, style);
+    out += buf;
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace dfth

@@ -1,0 +1,40 @@
+// Work/span analysis of recorded computation graphs.
+//
+// T1 (total work) and T∞ (critical-path work, "D" in the paper's space
+// bound S1 + O(p·D)) bound any greedy schedule via Brent's theorem:
+//   T1/p  <=  Tp  <=  T1/p + T∞.
+// Property tests check the simulator against these bounds; benches report
+// average parallelism (T1/T∞) so figure shapes can be sanity-checked.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "graph/recorder.h"
+
+namespace dfth {
+
+struct GraphSummary {
+  std::uint64_t total_ops = 0;        ///< T1 in work units
+  std::uint64_t span_ops = 0;         ///< T∞: heaviest path by ops
+  std::uint32_t span_segments = 0;    ///< node count along that path
+  std::uint32_t segment_count = 0;
+  std::uint32_t thread_count = 0;
+  std::int64_t total_alloc_bytes = 0; ///< sum of positive net allocations
+  double avg_parallelism = 0.0;       ///< T1 / T∞
+
+  /// Maximum number of threads simultaneously live in a serial depth-first
+  /// execution — the paper's `d` ("as many as d simultaneously active
+  /// threads" for a LIFO/DF schedule).
+  std::uint32_t serial_live_depth = 0;
+};
+
+/// Computes the summary; `segments` index order must be topological (the
+/// Recorder guarantees this).
+GraphSummary analyze(const Graph& graph);
+
+/// Graphviz DOT rendering (fork edges solid, join edges dashed, as in the
+/// paper's Figure 1).
+std::string to_dot(const Graph& graph);
+
+}  // namespace dfth

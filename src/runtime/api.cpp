@@ -1,0 +1,197 @@
+#include "runtime/api.h"
+
+#include <atomic>
+
+#include "graph/recorder.h"
+#include "runtime/real_engine.h"
+#include "runtime/sim_engine.h"
+#include "space/tracked_heap.h"
+#include "util/check.h"
+
+namespace dfth {
+namespace {
+
+Engine* g_engine = nullptr;
+
+}  // namespace
+
+// Deliberately not inlined (see engine.h): a fiber resumed on a different
+// kernel thread must re-read the engine/current state through a call.
+__attribute__((noinline)) Engine* engine() { return g_engine; }
+
+namespace detail {
+void set_engine(Engine* e) { g_engine = e; }
+}  // namespace detail
+
+bool in_runtime() { return engine() != nullptr; }
+
+std::uint64_t Thread::id() const { return tcb_ ? tcb_->id : 0; }
+
+RunStats run(const RuntimeOptions& opts, const std::function<void()>& main_fn) {
+  DFTH_CHECK_MSG(!in_runtime(), "dfth::run is not reentrant");
+  DFTH_CHECK(opts.nprocs >= 1);
+
+  std::unique_ptr<Engine> eng;
+  if (opts.engine == EngineKind::Sim) {
+    eng = std::make_unique<SimEngine>(opts);
+  } else {
+    eng = std::make_unique<RealEngine>(opts);
+  }
+
+  if (opts.recorder) detail::set_recorder(opts.recorder);
+
+  detail::set_engine(eng.get());
+  RunStats stats = eng->run(main_fn);
+  detail::set_engine(nullptr);
+  detail::set_recorder(nullptr);
+  return stats;
+}
+
+Thread spawn(std::function<void*()> fn, const Attr& attr) {
+  Engine* e = engine();
+  DFTH_CHECK_MSG(e, "spawn outside dfth::run");
+  // Graph recording happens inside the engine: under a child-runs-first
+  // policy the child may execute to completion before this call returns, so
+  // its start must be recorded before the scheduling decision.
+  Tcb* child = e->spawn(std::move(fn), attr, /*is_dummy=*/false);
+  return Thread(child);
+}
+
+void* join(Thread t) {
+  Engine* e = engine();
+  DFTH_CHECK_MSG(e, "join outside dfth::run");
+  DFTH_CHECK_MSG(t.valid(), "join of invalid thread handle");
+  void* result = e->join(t.tcb_);
+  if (Recorder* rec = active_recorder()) {
+    rec->on_join(t.tcb_->id, e->current() ? e->current()->id : 0);
+  }
+  return result;
+}
+
+void detach(Thread t) {
+  Engine* e = engine();
+  DFTH_CHECK_MSG(e, "detach outside dfth::run");
+  DFTH_CHECK_MSG(t.valid(), "detach of invalid thread handle");
+  e->detach(t.tcb_);
+}
+
+void yield() {
+  if (Engine* e = engine()) e->yield();
+}
+
+std::uint64_t self_id() {
+  Engine* e = engine();
+  if (!e) return 0;
+  Tcb* cur = e->current();
+  return cur ? cur->id : 0;
+}
+
+namespace {
+
+// Forks `count` dummy (no-op) threads as a binary tree — the paper forks the
+// δ threads "as a binary tree instead of a δ-way fork" because the Pthreads
+// interface only has a binary fork. The tree node itself is one of the
+// `count` dummies.
+Thread spawn_dummy_subtree(std::uint64_t count) {
+  Attr attr;
+  attr.stack_size = 8 << 10;  // dummies take the minimal stack
+  Engine* e = engine();
+  Tcb* tcb = e->spawn(
+      [count]() -> void* {
+        const std::uint64_t rest = count - 1;
+        if (rest > 0) {
+          const std::uint64_t left = rest / 2;
+          const std::uint64_t right = rest - left;
+          Thread a, b;
+          if (left > 0) a = spawn_dummy_subtree(left);
+          if (right > 0) b = spawn_dummy_subtree(right);
+          if (left > 0) join(a);
+          if (right > 0) join(b);
+        }
+        return nullptr;
+      },
+      attr, /*is_dummy=*/true);
+  return Thread(tcb);
+}
+
+void insert_dummy_threads(std::uint64_t count) {
+  if (count == 0) return;
+  Thread root = spawn_dummy_subtree(count);
+  join(root);
+}
+
+}  // namespace
+
+void* df_malloc(std::size_t bytes) {
+  Engine* e = engine();
+  if (e && e->uses_alloc_quota()) {
+    const std::size_t quota = e->quota_bytes();
+    if (quota > 0 && bytes > quota) {
+      // §4 item 2: "If a thread contains an instruction that allocates
+      // m > K bytes, δ dummy threads are inserted in parallel by the
+      // library before the allocation, where δ is proportional to m/K."
+      insert_dummy_threads((bytes + quota - 1) / quota);
+    }
+  }
+  std::int64_t fresh = 0;
+  void* p = TrackedHeap::instance().allocate_ex(bytes, &fresh);
+  if (e) e->on_alloc(bytes, fresh);  // may quota-preempt the calling thread
+  if (Recorder* rec = active_recorder()) {
+    rec->on_alloc(self_id(), static_cast<std::int64_t>(bytes));
+  }
+  return p;
+}
+
+void df_free(void* p) {
+  if (!p) return;
+  const std::size_t bytes = TrackedHeap::allocated_size(p);
+  TrackedHeap::instance().deallocate(p);
+  if (Engine* e = engine()) e->on_free(bytes);
+  if (Recorder* rec = active_recorder()) {
+    rec->on_alloc(self_id(), -static_cast<std::int64_t>(bytes));
+  }
+}
+
+void annotate_work(std::uint64_t ops) {
+  if (ops == 0) return;
+  if (Engine* e = engine()) e->add_work(ops);
+  if (Recorder* rec = active_recorder()) rec->on_work(self_id(), ops);
+}
+
+void annotate_touch(const std::uint32_t* block_ids, std::size_t count) {
+  if (count == 0) return;
+  if (Engine* e = engine()) e->touch(block_ids, count);
+}
+
+namespace {
+std::atomic<std::uint32_t> g_next_tls_key{1};
+}
+
+std::uint32_t tls_create_key() {
+  return g_next_tls_key.fetch_add(1, std::memory_order_relaxed);
+}
+
+void tls_set(std::uint32_t key, void* value) {
+  Engine* e = engine();
+  DFTH_CHECK_MSG(e && e->current(), "tls_set outside a thread");
+  auto& tls = e->current()->tls;
+  if (tls.size() <= key) tls.resize(key + 1, nullptr);
+  tls[key] = value;
+}
+
+void* tls_get(std::uint32_t key) {
+  Engine* e = engine();
+  DFTH_CHECK_MSG(e && e->current(), "tls_get outside a thread");
+  const auto& tls = e->current()->tls;
+  return key < tls.size() ? tls[key] : nullptr;
+}
+
+const char* to_string(EngineKind kind) {
+  switch (kind) {
+    case EngineKind::Sim: return "sim";
+    case EngineKind::Real: return "real";
+  }
+  return "?";
+}
+
+}  // namespace dfth

@@ -1,0 +1,141 @@
+// Public API of the DFThreads runtime — the Pthreads-shaped surface the
+// paper's benchmarks program against.
+//
+// Typical use:
+//
+//   dfth::RuntimeOptions opts;
+//   opts.engine = dfth::EngineKind::Sim;
+//   opts.sched = dfth::SchedKind::AsyncDf;
+//   opts.nprocs = 8;
+//   dfth::RunStats stats = dfth::run(opts, [] {
+//     auto t = dfth::spawn([] { ...; return nullptr; });
+//     dfth::join(t);
+//   });
+//
+// Everything between run()'s braces executes on user-level threads; spawn/
+// join/detach/yield plus the primitives in runtime/sync.h mirror
+// pthread_create/join/detach/yield, mutexes, condition variables,
+// semaphores and barriers. df_malloc/df_free are the tracked allocation
+// entry points (the paper's modified malloc that maintains the memory quota
+// and forks dummy threads); annotate_work/annotate_touch feed the
+// simulator's virtual clock and locality model and cost nothing on the real
+// engine.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "graph/recorder.h"
+#include "runtime/cost_model.h"
+#include "runtime/engine.h"
+#include "runtime/run_stats.h"
+
+namespace dfth {
+
+struct RuntimeOptions {
+  EngineKind engine = EngineKind::Sim;
+  SchedKind sched = SchedKind::AsyncDf;
+  int nprocs = 1;
+
+  /// Default stack size for threads whose Attr does not request one.
+  /// Solaris defaults to 1 MB; the paper's §4 item 3 reduces it to 8 KB.
+  std::size_t default_stack_size = 1 << 20;
+
+  /// Memory quota K for the space-efficient scheduler (§4 item 2).
+  std::size_t mem_quota = 32 << 10;
+
+  /// Seed for any scheduler randomness (work-stealing victim selection).
+  std::uint64_t seed = 0x5eed;
+
+  /// Processors per cluster ("SMP") for SchedKind::ClusteredAdf.
+  int cluster_size = 4;
+
+  /// Cost-model constants for the simulation engine.
+  CostModel cost;
+
+  /// Optional caller-owned computation-graph recorder (graph/recorder.h):
+  /// when set, the run records its fork/join DAG with per-segment work into
+  /// it, for graph/analysis.h. Adds overhead; off by default.
+  Recorder* recorder = nullptr;
+};
+
+/// Opaque thread handle (cheap to copy). Valid until the enclosing run()
+/// returns.
+class Thread {
+ public:
+  Thread() = default;
+  bool valid() const { return tcb_ != nullptr; }
+  std::uint64_t id() const;
+
+  /// Internal: wraps an engine-owned control block. Library code only.
+  explicit Thread(Tcb* tcb) : tcb_(tcb) {}
+
+ private:
+  friend void* join(Thread);
+  friend void detach(Thread);
+  Tcb* tcb_ = nullptr;
+};
+
+/// Runs `main_fn` as the main thread under the given options; returns when
+/// all threads have exited. Not reentrant: one runtime at a time per process.
+RunStats run(const RuntimeOptions& opts, const std::function<void()>& main_fn);
+
+/// True between run() entry and exit (i.e., engine() != nullptr).
+bool in_runtime();
+
+/// Creates a thread executing `fn`; pthread_create equivalent.
+Thread spawn(std::function<void*()> fn, const Attr& attr = {});
+
+/// Waits for `t` and returns its result; pthread_join equivalent.
+void* join(Thread t);
+
+/// Marks `t` detached; its resources are reclaimed at exit without a join.
+void detach(Thread t);
+
+/// Yields the processor back to the scheduler; pthread_yield equivalent.
+void yield();
+
+/// Id of the calling thread (0 outside the runtime).
+std::uint64_t self_id();
+
+// -- tracked allocation ------------------------------------------------------
+
+/// Allocates through the tracked heap, charging the calling thread's memory
+/// quota. Under the space-efficient scheduler, an allocation larger than the
+/// quota K first forks ceil(bytes/K) dummy threads as a binary tree (§4 item
+/// 2); quota exhaustion preempts the calling thread. Usable outside run()
+/// (plain tracked allocation).
+void* df_malloc(std::size_t bytes);
+void df_free(void* p);
+
+/// std::allocator adaptor over df_malloc, for containers in benchmarks.
+template <typename T>
+struct TrackedAllocator {
+  using value_type = T;
+  TrackedAllocator() = default;
+  template <typename U>
+  TrackedAllocator(const TrackedAllocator<U>&) {}
+  T* allocate(std::size_t n) { return static_cast<T*>(df_malloc(n * sizeof(T))); }
+  void deallocate(T* p, std::size_t) { df_free(p); }
+  bool operator==(const TrackedAllocator&) const { return true; }
+};
+
+// -- simulator annotations -----------------------------------------------------
+
+/// Accrues `ops` units of computation (≈ flops) to the calling thread's
+/// virtual clock. No-op on the real engine and outside run().
+void annotate_work(std::uint64_t ops);
+
+/// Reports that the calling thread touched the given data blocks; drives the
+/// per-processor LRU locality model (volume-rendering granularity study).
+void annotate_touch(const std::uint32_t* block_ids, std::size_t count);
+
+// -- thread-specific data (pthread_key_t equivalent) ---------------------------
+
+/// Allocates a new TLS key, valid process-wide.
+std::uint32_t tls_create_key();
+void tls_set(std::uint32_t key, void* value);
+void* tls_get(std::uint32_t key);
+
+}  // namespace dfth

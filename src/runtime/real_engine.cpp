@@ -1,0 +1,402 @@
+#include "runtime/real_engine.h"
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+
+#include "core/worksteal_sched.h"
+#include "space/tracked_heap.h"
+#include "util/check.h"
+#include "util/timer.h"
+
+namespace dfth {
+namespace {
+
+constexpr std::uint64_t kInf = std::numeric_limits<std::uint64_t>::max();
+constexpr std::size_t kRealStackFloor = 64 << 10;
+
+thread_local void* tl_worker = nullptr;  // RealEngine::Worker*
+thread_local Tcb* tl_bound = nullptr;    // bound thread's own Tcb
+
+}  // namespace
+
+// Both accessors are noinline on purpose: fibers migrate between kernel
+// threads, and a thread-local read cached across a context switch would
+// observe another worker's state (see engine.h).
+__attribute__((noinline)) RealEngine::Worker* RealEngine::this_worker() {
+  return static_cast<Worker*>(tl_worker);
+}
+
+__attribute__((noinline)) Tcb* RealEngine::current() {
+  if (Worker* w = this_worker()) return w->current;
+  return tl_bound;
+}
+
+RealEngine::RealEngine(const RuntimeOptions& opts) : opts_(opts) {
+  DFTH_CHECK(opts_.nprocs >= 1);
+  sched_ = make_scheduler(opts_.sched, opts_.nprocs, opts_.seed,
+                          opts_.cluster_size);
+  stats_.engine = EngineKind::Real;
+  stats_.sched = opts_.sched;
+  stats_.nprocs = opts_.nprocs;
+}
+
+RealEngine::~RealEngine() {
+  for (Tcb* t : all_tcbs_) {
+    if (t->stack) StackPool::instance().release(t->stack);
+    delete t;
+  }
+}
+
+Tcb* RealEngine::make_tcb(std::function<void*()> fn, const Attr& attr, bool is_dummy) {
+  Tcb* t = new Tcb(next_tid_++);
+  t->attr = attr;
+  if (t->attr.stack_size == 0) t->attr.stack_size = opts_.default_stack_size;
+  DFTH_CHECK(t->attr.priority >= 0 && t->attr.priority < kNumPriorities);
+  t->entry = std::move(fn);
+  t->is_dummy = is_dummy;
+  t->detached = attr.detached;
+  if (!t->attr.bound) {
+    // Real stacks honor the requested size but keep a floor under the
+    // benchmarks' serial base cases.
+    t->stack = StackPool::instance().acquire(std::max(t->attr.stack_size, kRealStackFloor));
+    context_make(&t->ctx, t->stack.base, t->stack.top(), &fiber_entry, t);
+  }
+  return t;
+}
+
+void RealEngine::fiber_entry(void* arg) {
+  Tcb* t = static_cast<Tcb*>(arg);
+  t->result = t->entry();
+  t->entry = nullptr;
+  auto* self = static_cast<RealEngine*>(engine());
+  self->finish_thread(t);
+  t->state.store(ThreadState::Done, std::memory_order_release);
+  Worker* w = this_worker();
+  w->post = Post::ExitCleanup;
+  w->post_fiber = t;
+  context_switch(&t->ctx, &w->ctx);
+  DFTH_CHECK_MSG(false, "exited fiber resumed");
+}
+
+void RealEngine::finish_thread(Tcb* t) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (!t->attr.bound) sched_->unregister_thread(t);
+    --live_;
+    if (live_ == 0) {
+      done_ = true;
+      cv_.notify_all();
+      done_cv_.notify_all();
+    }
+  }
+  t->join_lock.lock();
+  t->finished = true;
+  Tcb* joiner = t->joiner;
+  t->joiner = nullptr;
+  t->join_lock.unlock();
+  if (joiner) wake(joiner);
+}
+
+Tcb* RealEngine::spawn(std::function<void*()> fn, const Attr& attr, bool is_dummy) {
+  Tcb* child = make_tcb(std::move(fn), attr, is_dummy);
+  Worker* w = this_worker();
+  Tcb* parent = current();
+  child->parent = parent;
+  if (Recorder* rec = active_recorder()) {
+    rec->on_thread_start(child->id, parent ? parent->id : 0);
+  }
+
+  if (child->attr.bound) {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      all_tcbs_.push_back(child);
+      ++live_;
+      ++bound_live_;
+      ++stats_.threads_created;
+      stats_.max_live_threads = std::max(stats_.max_live_threads, live_);
+    }
+    start_bound_thread(child);
+    return child;
+  }
+
+  bool preempt;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    all_tcbs_.push_back(child);
+    preempt = sched_->register_thread(parent, child);
+    ++live_;
+    ++stats_.threads_created;
+    if (is_dummy) ++stats_.dummy_threads;
+    stats_.max_live_threads = std::max(stats_.max_live_threads, live_);
+    // A bound (or engine-external) caller has no worker to preempt.
+    if (!(preempt && w && parent && !parent->attr.bound)) {
+      preempt = false;
+      child->state.store(ThreadState::Ready, std::memory_order_relaxed);
+      sched_->on_ready(child, w ? w->id : 0);
+      cv_.notify_one();
+    }
+  }
+
+  if (preempt) {
+    // Dive into the child; the worker requeues the parent once its context
+    // is fully saved (save-before-publish, see header comment).
+    w->post = Post::RunNext;
+    w->post_fiber = parent;
+    w->post_next = child;
+    context_switch(&parent->ctx, &w->ctx);
+    // Parent resumes here later, possibly on a different worker.
+  }
+  return child;
+}
+
+void RealEngine::start_bound_thread(Tcb* t) {
+  std::lock_guard<std::mutex> lk(mu_);
+  bound_threads_.emplace_back([this, t] {
+    tl_bound = t;
+    t->state.store(ThreadState::Running, std::memory_order_relaxed);
+    t->result = t->entry();
+    t->entry = nullptr;
+    t->state.store(ThreadState::Done, std::memory_order_release);
+    {
+      std::lock_guard<std::mutex> inner(mu_);
+      --bound_live_;
+    }
+    finish_thread(t);
+    tl_bound = nullptr;
+  });
+}
+
+void* RealEngine::join(Tcb* t) {
+  DFTH_CHECK_MSG(!t->detached, "join of detached thread");
+  DFTH_CHECK_MSG(!t->joined, "thread joined twice");
+  t->join_lock.lock();
+  if (!t->finished) {
+    Tcb* cur = current();
+    DFTH_CHECK_MSG(cur, "join from outside the runtime");
+    DFTH_CHECK_MSG(t->joiner == nullptr, "two concurrent joiners");
+    t->joiner = cur;
+    cur->state.store(ThreadState::Blocked, std::memory_order_relaxed);
+    block_current(&t->join_lock);  // releases join_lock after the switch
+    DFTH_CHECK(t->finished);
+  } else {
+    t->join_lock.unlock();
+  }
+  t->joined = true;
+  return t->result;
+}
+
+void RealEngine::detach(Tcb* t) { t->detached = true; }
+
+void RealEngine::yield() {
+  Worker* w = this_worker();
+  if (!w) {
+    std::this_thread::yield();  // bound threads yield to the kernel
+    return;
+  }
+  Tcb* cur = w->current;
+  w->post = Post::Requeue;
+  w->post_fiber = cur;
+  context_switch(&cur->ctx, &w->ctx);
+}
+
+void RealEngine::block_current(SpinLock* guard) {
+  Tcb* cur = current();
+  DFTH_CHECK(cur && cur->state.load(std::memory_order_relaxed) == ThreadState::Blocked);
+  Worker* w = this_worker();
+  if (!w || cur->attr.bound) {
+    // Bound threads have no fiber to switch away from: release the guard
+    // and wait for wake() to flip the state (kernel-level blocking stand-in).
+    guard->unlock();
+    while (cur->state.load(std::memory_order_acquire) == ThreadState::Blocked) {
+      std::this_thread::yield();
+    }
+    return;
+  }
+  w->post = Post::ReleaseGuard;
+  w->post_guard = guard;
+  context_switch(&cur->ctx, &w->ctx);
+}
+
+void RealEngine::wake(Tcb* t) {
+  if (t->attr.bound) {
+    t->state.store(ThreadState::Ready, std::memory_order_release);
+    return;
+  }
+  Worker* w = this_worker();
+  std::lock_guard<std::mutex> lk(mu_);
+  t->state.store(ThreadState::Ready, std::memory_order_relaxed);
+  t->ready_at_ns = 0;
+  sched_->on_ready(t, w ? w->id : 0);
+  cv_.notify_one();
+}
+
+void RealEngine::on_alloc(std::size_t bytes, std::int64_t fresh_bytes) {
+  (void)fresh_bytes;
+  if (!sched_->needs_quota()) return;
+  Tcb* cur = current();
+  Worker* w = this_worker();
+  if (!cur || !w || cur->attr.bound) return;
+  cur->quota -= static_cast<std::int64_t>(bytes);
+  if (cur->quota <= 0) {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      ++stats_.quota_preemptions;
+    }
+    w->post = Post::Requeue;
+    w->post_fiber = cur;
+    context_switch(&cur->ctx, &w->ctx);
+  }
+}
+
+bool RealEngine::uses_alloc_quota() const { return sched_->needs_quota(); }
+
+void RealEngine::run_fiber(Worker& w, Tcb* t) {
+  w.current = t;
+  w.post = Post::None;
+  w.post_fiber = nullptr;
+  w.post_next = nullptr;
+  w.post_guard = nullptr;
+  context_switch(&w.ctx, &t->ctx);
+  w.current = nullptr;
+}
+
+void RealEngine::handle_post(Worker& w) {
+  switch (w.post) {
+    case Post::None:
+      break;
+    case Post::ReleaseGuard:
+      w.post_guard->unlock();
+      break;
+    case Post::Requeue:
+      enqueue_ready(w.post_fiber, w.id);
+      break;
+    case Post::RunNext:
+      enqueue_ready(w.post_fiber, w.id);
+      break;  // caller inspects post_next
+    case Post::ExitCleanup: {
+      Tcb* t = w.post_fiber;
+      StackPool::instance().release(t->stack);
+      t->stack = Stack{};
+      break;
+    }
+  }
+}
+
+void RealEngine::enqueue_ready(Tcb* t, int proc_hint) {
+  std::lock_guard<std::mutex> lk(mu_);
+  t->state.store(ThreadState::Ready, std::memory_order_relaxed);
+  sched_->on_ready(t, proc_hint);
+  cv_.notify_one();
+}
+
+void RealEngine::worker_loop(Worker& w) {
+  tl_worker = &w;
+  std::unique_lock<std::mutex> lk(mu_);
+  while (!done_) {
+    std::uint64_t earliest = kInf;
+    Tcb* t = sched_->pick_next(w.id, kInf, &earliest);
+    if (!t) {
+      ++idle_workers_;
+      auto all_stuck = [this] {
+        if (idle_workers_ != static_cast<int>(workers_.size())) return false;
+        if (live_ <= 0 || bound_live_ > 0 || sched_->ready_count() != 0) return false;
+        for (const auto& other : workers_) {
+          if (other.current) return false;
+        }
+        return true;
+      };
+      if (all_stuck()) {
+        // Possible deadlock — but a bound thread or an in-flight wake() may
+        // be about to ready someone, so only abort if the condition persists
+        // across a grace period with no notification arriving.
+        const auto verdict = cv_.wait_for(lk, std::chrono::milliseconds(500));
+        DFTH_CHECK_MSG(!(verdict == std::cv_status::timeout && all_stuck()),
+                       "deadlock: all threads blocked");
+      } else {
+        cv_.wait(lk);
+      }
+      --idle_workers_;
+      continue;
+    }
+    t->state.store(ThreadState::Running, std::memory_order_relaxed);
+    t->quota = static_cast<std::int64_t>(opts_.mem_quota);
+    ++t->dispatches;
+    ++stats_.dispatches;
+    lk.unlock();
+
+    Tcb* next = t;
+    while (next) {
+      run_fiber(w, next);
+      const Post post = w.post;
+      Tcb* follow = w.post_next;
+      handle_post(w);
+      if (post == Post::RunNext) {
+        {
+          std::lock_guard<std::mutex> inner(mu_);
+          follow->state.store(ThreadState::Running, std::memory_order_relaxed);
+          follow->quota = static_cast<std::int64_t>(opts_.mem_quota);
+          ++follow->dispatches;
+          ++stats_.dispatches;
+        }
+        next = follow;
+      } else {
+        next = nullptr;
+      }
+    }
+    lk.lock();
+  }
+  tl_worker = nullptr;
+}
+
+RunStats RealEngine::run(const std::function<void()>& main_fn) {
+  TrackedHeap::instance().begin_epoch();
+  StackPool::instance().begin_epoch();
+  Timer timer;
+
+  Tcb* main = make_tcb(
+      [&main_fn]() -> void* {
+        main_fn();
+        return nullptr;
+      },
+      Attr{}, /*is_dummy=*/false);
+  main->is_main = true;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    all_tcbs_.push_back(main);
+    sched_->register_thread(nullptr, main);
+    main->state.store(ThreadState::Ready, std::memory_order_relaxed);
+    sched_->on_ready(main, 0);
+    live_ = 1;
+    stats_.threads_created = 1;
+    stats_.max_live_threads = 1;
+  }
+
+  workers_.resize(static_cast<std::size_t>(opts_.nprocs));
+  for (int i = 0; i < opts_.nprocs; ++i) {
+    workers_[static_cast<std::size_t>(i)].id = i;
+  }
+  for (auto& w : workers_) {
+    w.thread = std::thread([this, &w] { worker_loop(w); });
+  }
+
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    done_cv_.wait(lk, [this] { return done_; });
+  }
+  for (auto& w : workers_) w.thread.join();
+  for (auto& bt : bound_threads_) bt.join();
+  bound_threads_.clear();
+
+  stats_.elapsed_us = timer.elapsed_us();
+  stats_.heap_peak = TrackedHeap::instance().peak_bytes();
+  stats_.stack_peak = StackPool::instance().peak_bytes();
+  stats_.stacks_fresh = StackPool::instance().fresh_count();
+  stats_.stacks_reused = StackPool::instance().reuse_count();
+  if (auto* ws = dynamic_cast<WorkStealScheduler*>(sched_.get())) {
+    stats_.steals = ws->steal_count();
+  }
+  return stats_;
+}
+
+}  // namespace dfth

@@ -1,0 +1,115 @@
+// RealEngine: user-level threads multiplexed over kernel-thread workers —
+// the two-level Solaris model (unbound Pthreads over LWPs) built for real.
+//
+// nprocs kernel threads ("LWPs") each run a dispatch loop; unbound fibers
+// are handed out by the pluggable Scheduler under one global mutex (the
+// same serialized-scheduler structure as the paper's library, §6). Bound
+// threads (Attr::bound) get a dedicated kernel thread and bypass the
+// scheduler entirely, exactly like bound Solaris threads.
+//
+// This engine provides true concurrency for the synchronization stress
+// tests and real microsecond costs for the Figure 3 microbenchmark. On the
+// single-CPU reproduction host it cannot demonstrate speedup — that is
+// SimEngine's job — but oversubscribed workers still exercise every race.
+//
+// Blocking protocol (the classic save-before-publish problem): a fiber that
+// blocks or is preempted never publishes itself as resumable directly.
+// It records a post-switch action and switches to the worker's context; the
+// worker — running strictly after the fiber's state is saved — performs the
+// action (release a spinlock, requeue the fiber, free an exited fiber's
+// stack). A fiber can therefore never be resumed by another worker while
+// its context is half-saved.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "runtime/api.h"
+#include "runtime/engine.h"
+
+namespace dfth {
+
+class RealEngine final : public Engine {
+ public:
+  explicit RealEngine(const RuntimeOptions& opts);
+  ~RealEngine() override;
+
+  EngineKind kind() const override { return EngineKind::Real; }
+  RunStats run(const std::function<void()>& main_fn) override;
+
+  Tcb* current() override;
+  Tcb* spawn(std::function<void*()> fn, const Attr& attr, bool is_dummy) override;
+  void* join(Tcb* t) override;
+  void detach(Tcb* t) override;
+  void yield() override;
+  void block_current(SpinLock* guard) override;
+  void wake(Tcb* t) override;
+  void charge_sync_op() override {}
+  void on_alloc(std::size_t bytes, std::int64_t fresh_bytes) override;
+  void on_free(std::size_t /*bytes*/) override {}
+  bool uses_alloc_quota() const override;
+  std::size_t quota_bytes() const override { return opts_.mem_quota; }
+  void add_work(std::uint64_t ops) override { (void)ops; }
+  void touch(const std::uint32_t* block_ids, std::size_t count) override {
+    (void)block_ids;
+    (void)count;
+  }
+
+ private:
+  enum class Post : std::uint8_t {
+    None,
+    ReleaseGuard,   ///< unlock post_guard (fiber blocked on a wait list)
+    Requeue,        ///< make post_fiber Ready again (yield / quota preempt)
+    RunNext,        ///< requeue post_fiber, then run post_next directly
+    ExitCleanup,    ///< post_fiber exited: release its stack
+  };
+
+  struct Worker {
+    int id = 0;
+    Context ctx;             ///< dispatch-loop context
+    Tcb* current = nullptr;  ///< fiber this worker is executing
+    Post post = Post::None;
+    Tcb* post_fiber = nullptr;
+    Tcb* post_next = nullptr;
+    SpinLock* post_guard = nullptr;
+    std::thread thread;
+  };
+
+  static void fiber_entry(void* arg);
+  static Worker* this_worker();
+
+  Tcb* make_tcb(std::function<void*()> fn, const Attr& attr, bool is_dummy);
+  void worker_loop(Worker& w);
+  void run_fiber(Worker& w, Tcb* t);
+  void handle_post(Worker& w);
+  void enqueue_ready(Tcb* t, int proc_hint);
+  void start_bound_thread(Tcb* t);
+  void finish_thread(Tcb* t);  ///< shared exit bookkeeping (fiber + bound)
+
+  RuntimeOptions opts_;
+  std::unique_ptr<Scheduler> sched_;
+
+  std::mutex mu_;                 ///< the global scheduler lock
+  std::condition_variable cv_;    ///< workers: "ready work exists" / shutdown
+  std::condition_variable done_cv_;  ///< host thread in run(): completion.
+                                     ///< Separate from cv_ so a notify_one
+                                     ///< meant for a worker can never be
+                                     ///< swallowed by the waiting host.
+  bool done_ = false;
+  std::int64_t live_ = 0;
+  std::int64_t bound_live_ = 0;
+  int idle_workers_ = 0;
+  std::uint64_t next_tid_ = 1;
+
+  std::vector<Worker> workers_;
+  std::vector<Tcb*> all_tcbs_;    ///< guarded by mu_
+  std::vector<std::thread> bound_threads_;  ///< guarded by mu_
+
+  RunStats stats_;  ///< counter fields guarded by mu_
+};
+
+}  // namespace dfth

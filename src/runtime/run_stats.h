@@ -1,0 +1,58 @@
+// Per-run statistics returned by dfth::run() — the raw material for every
+// table and figure in the paper's evaluation.
+#pragma once
+
+#include <cstdint>
+
+#include "core/scheduler.h"
+
+namespace dfth {
+
+enum class EngineKind { Sim, Real };
+const char* to_string(EngineKind kind);
+
+/// Virtual-time accounting by category (SimEngine only); the paper's Figure
+/// 6 presents exactly this kind of execution-time profile.
+struct Breakdown {
+  double work_us = 0;        ///< useful computation (incl. pressure slowdown)
+  double thread_us = 0;      ///< create/join/exit/context-switch costs
+  double mem_us = 0;         ///< malloc/free, fresh pages, stack allocation
+  double sync_us = 0;        ///< mutex/semaphore/condvar/barrier operations
+  double sched_us = 0;       ///< ready-queue ops + scheduler-lock contention
+  double idle_us = 0;        ///< processors with nothing eligible to run
+
+  double total_us() const {
+    return work_us + thread_us + mem_us + sync_us + sched_us + idle_us;
+  }
+};
+
+struct RunStats {
+  // Configuration echo.
+  EngineKind engine = EngineKind::Sim;
+  SchedKind sched = SchedKind::AsyncDf;
+  int nprocs = 1;
+
+  // Thread accounting.
+  std::uint64_t threads_created = 0;   ///< includes the main thread
+  std::uint64_t dummy_threads = 0;     ///< δ no-op threads for large allocs
+  std::int64_t max_live_threads = 0;   ///< peak simultaneously-active threads
+  std::uint64_t dispatches = 0;
+  std::uint64_t quota_preemptions = 0;
+  std::uint64_t steals = 0;            ///< work stealing only
+
+  // Space (bytes).
+  std::int64_t heap_peak = 0;          ///< the paper's space metric
+  std::int64_t stack_peak = 0;         ///< simulated stack footprint peak
+  std::uint64_t stacks_fresh = 0;
+  std::uint64_t stacks_reused = 0;
+
+  // Time.
+  double elapsed_us = 0;  ///< virtual time (Sim) or wall-clock (Real)
+  Breakdown breakdown;    ///< Sim only
+
+  // Locality model.
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+};
+
+}  // namespace dfth

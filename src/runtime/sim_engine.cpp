@@ -1,0 +1,553 @@
+#include "runtime/sim_engine.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <limits>
+
+#include "core/worksteal_sched.h"
+#include "space/tracked_heap.h"
+#include "util/check.h"
+#include "util/log.h"
+
+namespace dfth {
+namespace {
+
+constexpr std::uint64_t kInf = std::numeric_limits<std::uint64_t>::max();
+
+/// Real stack sizes are decoupled from simulated ones: simulated sizes feed
+/// the cost/space model (a simulated 1 MB Solaris stack must not consume
+/// 1 MB of host memory across thousands of live fibers), while real fibers
+/// get enough space for the benchmarks' serial base cases.
+constexpr std::size_t kRealStackBytes = 128 << 10;
+constexpr std::size_t kRealMainStackBytes = 1 << 20;
+
+double ns_to_us(std::uint64_t ns) { return static_cast<double>(ns) * 1e-3; }
+
+}  // namespace
+
+bool SimEngine::LruCache::touch_block(std::uint32_t id) {
+  ++tick;
+  std::size_t victim = 0;
+  std::uint64_t oldest = kInf;
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    if (slots[i].first == id) {
+      slots[i].second = tick;
+      return true;
+    }
+    if (slots[i].second < oldest) {
+      oldest = slots[i].second;
+      victim = i;
+    }
+  }
+  if (slots.size() < capacity) {
+    slots.emplace_back(id, tick);
+  } else if (capacity > 0) {
+    slots[victim] = {id, tick};
+  }
+  return false;
+}
+
+SimEngine::SimEngine(const RuntimeOptions& opts) : opts_(opts) {
+  DFTH_CHECK(opts_.nprocs >= 1);
+  sched_ = make_scheduler(opts_.sched, opts_.nprocs, opts_.seed,
+                          opts_.cluster_size);
+  procs_.resize(static_cast<std::size_t>(opts_.nprocs));
+  for (auto& vp : procs_) vp.cache.capacity = opts_.cost.cache_blocks;
+  stats_.engine = EngineKind::Sim;
+  stats_.sched = opts_.sched;
+  stats_.nprocs = opts_.nprocs;
+}
+
+SimEngine::~SimEngine() {
+  for (Tcb* t : all_tcbs_) {
+    if (t->stack) StackPool::instance().release(t->stack);
+    delete t;
+  }
+}
+
+void SimEngine::fiber_entry(void* arg) {
+  Tcb* t = static_cast<Tcb*>(arg);
+  auto* self = static_cast<SimEngine*>(engine());
+  t->result = t->entry();
+  t->entry = nullptr;  // release captured resources promptly
+  self->charge(kThread, self->opts_.cost.exit_us);
+  self->ev_ = Ev::Exit;
+  self->switch_to_loop();
+  DFTH_CHECK_MSG(false, "exited fiber resumed");
+}
+
+Tcb* SimEngine::make_tcb(std::function<void*()> fn, const Attr& attr, bool is_dummy) {
+  Tcb* t = new Tcb(next_tid_++);
+  t->attr = attr;
+  if (t->attr.stack_size == 0) t->attr.stack_size = opts_.default_stack_size;
+  DFTH_CHECK(t->attr.priority >= 0 && t->attr.priority < kNumPriorities);
+  t->entry = std::move(fn);
+  t->is_dummy = is_dummy;
+  t->detached = attr.detached;
+  t->stack = StackPool::instance().acquire(is_dummy ? (64 << 10) : kRealStackBytes);
+  context_make(&t->ctx, t->stack.base, t->stack.top(), &fiber_entry, t);
+  all_tcbs_.push_back(t);
+  return t;
+}
+
+void SimEngine::charge(Cat cat, double us) {
+  pend_ns_[cat] += us_to_ns(us);
+}
+
+std::uint64_t SimEngine::vnow_ns() const {
+  if (!in_fiber_) return loop_now_ns_;
+  std::uint64_t pend = 0;
+  for (int c = 0; c < kNumCats; ++c) pend += pend_ns_[c];
+  return procs_[static_cast<std::size_t>(cur_proc_)].clock_ns + pend;
+}
+
+void SimEngine::switch_to_loop() {
+  Tcb* self = cur_;
+  context_switch(&self->ctx, &loop_ctx_);
+}
+
+// -- fiber-context operations --------------------------------------------------
+
+Tcb* SimEngine::spawn(std::function<void*()> fn, const Attr& attr, bool is_dummy) {
+  DFTH_CHECK_MSG(in_fiber_, "spawn outside a thread");
+  Tcb* child = make_tcb(std::move(fn), attr, is_dummy);
+  child->parent = cur_;
+  if (Recorder* rec = active_recorder()) rec->on_thread_start(child->id, cur_->id);
+  ev_ = Ev::Spawn;
+  ev_child_ = child;
+  switch_to_loop();
+  return child;
+}
+
+void* SimEngine::join(Tcb* t) {
+  DFTH_CHECK_MSG(in_fiber_, "join outside a thread");
+  DFTH_CHECK_MSG(!t->detached, "join of detached thread");
+  DFTH_CHECK_MSG(!t->joined, "thread joined twice");
+  charge(kThread, opts_.cost.join_us);
+  if (!t->finished) {
+    DFTH_CHECK_MSG(t->joiner == nullptr, "two concurrent joiners");
+    t->joiner = cur_;
+    cur_->state.store(ThreadState::Blocked, std::memory_order_relaxed);
+    ev_ = Ev::Block;
+    ev_guard_ = nullptr;
+    switch_to_loop();
+    DFTH_CHECK(t->finished);
+  }
+  t->joined = true;
+  return t->result;
+}
+
+void SimEngine::detach(Tcb* t) { t->detached = true; }
+
+void SimEngine::yield() {
+  DFTH_CHECK_MSG(in_fiber_, "yield outside a thread");
+  ev_ = Ev::Yield;
+  switch_to_loop();
+}
+
+void SimEngine::block_current(SpinLock* guard) {
+  DFTH_CHECK_MSG(in_fiber_, "block outside a thread");
+  DFTH_CHECK(cur_->state.load(std::memory_order_relaxed) == ThreadState::Blocked);
+  charge(kSync, opts_.cost.block_us);
+  ev_ = Ev::Block;
+  ev_guard_ = guard;
+  switch_to_loop();
+}
+
+void SimEngine::wake(Tcb* t) {
+  DFTH_CHECK(t->state.load(std::memory_order_relaxed) == ThreadState::Blocked);
+  t->state.store(ThreadState::Ready, std::memory_order_relaxed);
+  t->ready_at_ns = vnow_ns();
+  sched_->on_ready(t, cur_proc_ >= 0 ? cur_proc_ : 0);
+  if (in_fiber_) charge(kSync, opts_.cost.sched_op_us);
+}
+
+void SimEngine::charge_sync_op() {
+  charge(kSync, opts_.cost.sync_op_us);
+  if (!in_fiber_) return;
+  // Pause at every sync operation (see Ev::SyncPause): the loop will resume
+  // this fiber once its processor is again the earliest, so the operation's
+  // effect lands in virtual-time order relative to other threads' sync ops.
+  ev_ = Ev::SyncPause;
+  switch_to_loop();
+}
+
+void SimEngine::on_alloc(std::size_t bytes, std::int64_t fresh_bytes) {
+  charge(kMem, opts_.cost.malloc_us(bytes, fresh_bytes));
+  heap_events_.emplace_back(vnow_ns(), static_cast<std::int64_t>(bytes));
+  if (sched_->needs_quota() && in_fiber_) {
+    cur_->quota -= static_cast<std::int64_t>(bytes);
+    if (cur_->quota <= 0) {
+      // §4 item 2: "when the counter reaches zero, the thread is preempted."
+      ev_ = Ev::QuotaPreempt;
+      switch_to_loop();
+    }
+  }
+}
+
+void SimEngine::on_free(std::size_t bytes) {
+  charge(kMem, opts_.cost.free_base_us);
+  heap_events_.emplace_back(vnow_ns(), -static_cast<std::int64_t>(bytes));
+}
+
+bool SimEngine::uses_alloc_quota() const { return sched_->needs_quota(); }
+
+void SimEngine::add_work(std::uint64_t ops) {
+  // Memory pressure multiplies the cost of useful work: a large live
+  // footprint (heap plus the touched pages of live and cached stacks) means
+  // TLB/page misses on every access (paper §3.1 and Figure 6).
+  const double mult = opts_.cost.pressure(TrackedHeap::instance().live_bytes() +
+                                          sim_stack_touched_);
+  charge(kWork, opts_.cost.work_us(ops) * mult);
+}
+
+void SimEngine::touch(const std::uint32_t* block_ids, std::size_t count) {
+  if (!in_fiber_) return;
+  auto& cache = procs_[static_cast<std::size_t>(cur_proc_)].cache;
+  double us = 0.0;
+  for (std::size_t i = 0; i < count; ++i) {
+    if (cache.touch_block(block_ids[i])) {
+      ++stats_.cache_hits;
+      us += opts_.cost.cache_hit_us;
+    } else {
+      ++stats_.cache_misses;
+      us += opts_.cost.cache_miss_us;
+    }
+  }
+  charge(kMem, us);
+}
+
+// -- simulated stack pool ---------------------------------------------------
+
+double SimEngine::sim_stack_acquire_us(std::size_t bytes) {
+  sim_stack_live_ += static_cast<std::int64_t>(bytes);
+  auto it = sim_stack_pool_.find(bytes);
+  double us;
+  if (it != sim_stack_pool_.end() && it->second > 0) {
+    // A cached stack is already mapped and touched; its footprint simply
+    // moves from the pool back to a live thread.
+    --it->second;
+    sim_stack_pooled_ -= static_cast<std::int64_t>(bytes);
+    ++stats_.stacks_reused;
+    us = opts_.cost.stack_pooled_us;
+  } else {
+    ++stats_.stacks_fresh;
+    sim_stack_touched_ += static_cast<std::int64_t>(
+        std::min(bytes, opts_.cost.stack_touched_cap));
+    us = opts_.cost.stack_fresh_us(bytes);
+  }
+  sim_stack_peak_ = std::max(sim_stack_peak_, sim_stack_live_ + sim_stack_pooled_);
+  return us;
+}
+
+void SimEngine::sim_stack_release(std::size_t bytes) {
+  sim_stack_live_ -= static_cast<std::int64_t>(bytes);
+  sim_stack_pooled_ += static_cast<std::int64_t>(bytes);
+  ++sim_stack_pool_[bytes];
+}
+
+// -- the event loop --------------------------------------------------------
+
+RunStats SimEngine::run(const std::function<void()>& main_fn) {
+  TrackedHeap::instance().begin_epoch();
+  heap_initial_live_ = TrackedHeap::instance().live_bytes();
+
+  Attr main_attr;
+  Tcb* main = new Tcb(next_tid_++);
+  main->attr = main_attr;
+  main->attr.stack_size = opts_.default_stack_size;
+  main->is_main = true;
+  main->entry = [&main_fn]() -> void* {
+    main_fn();
+    return nullptr;
+  };
+  main->stack = StackPool::instance().acquire(kRealMainStackBytes);
+  context_make(&main->ctx, main->stack.base, main->stack.top(), &fiber_entry, main);
+  all_tcbs_.push_back(main);
+
+  live_ = 1;
+  stats_.threads_created = 1;
+  live_events_.emplace_back(0, +1);
+  sim_stack_acquire_us(main->attr.stack_size);  // cost of the first stack: free
+  sched_->register_thread(nullptr, main);
+  main->state.store(ThreadState::Ready, std::memory_order_relaxed);
+  main->ready_at_ns = 0;
+  sched_->on_ready(main, 0);
+
+  sim_loop();
+
+  // Finalize: pad every processor with idle time to the completion instant
+  // so breakdown percentages are over p * T_completion, then aggregate.
+  std::uint64_t completion = 0;
+  for (const auto& vp : procs_) completion = std::max(completion, vp.clock_ns);
+  stats_.elapsed_us = ns_to_us(completion);
+  for (auto& vp : procs_) {
+    vp.bd.idle_us += ns_to_us(completion - vp.clock_ns);
+    stats_.breakdown.work_us += vp.bd.work_us;
+    stats_.breakdown.thread_us += vp.bd.thread_us;
+    stats_.breakdown.mem_us += vp.bd.mem_us;
+    stats_.breakdown.sync_us += vp.bd.sync_us;
+    stats_.breakdown.sched_us += vp.bd.sched_us;
+    stats_.breakdown.idle_us += vp.bd.idle_us;
+  }
+  // Max simultaneously-active threads: sweep the birth/death events in
+  // virtual-time order (births before deaths at the same instant — a thread
+  // exiting exactly when another starts briefly coexists with it).
+  std::sort(live_events_.begin(), live_events_.end(),
+            [](const auto& a, const auto& b) {
+              return a.first != b.first ? a.first < b.first : a.second > b.second;
+            });
+  std::int64_t level = 0;
+  for (const auto& [when, delta] : live_events_) {
+    (void)when;
+    level += delta;
+    stats_.max_live_threads = std::max(stats_.max_live_threads, level);
+  }
+
+  // Heap high-water over virtual time (frees before allocations at equal
+  // instants, matching allocator reuse), on top of whatever was live when
+  // the run started (e.g. input matrices).
+  std::sort(heap_events_.begin(), heap_events_.end(),
+            [](const auto& a, const auto& b) {
+              return a.first != b.first ? a.first < b.first : a.second < b.second;
+            });
+  std::int64_t heap_level = heap_initial_live_;
+  stats_.heap_peak = heap_level;
+  for (const auto& [when, delta] : heap_events_) {
+    (void)when;
+    heap_level += delta;
+    stats_.heap_peak = std::max(stats_.heap_peak, heap_level);
+  }
+  stats_.stack_peak = sim_stack_peak_;
+  if (auto* ws = dynamic_cast<WorkStealScheduler*>(sched_.get())) {
+    stats_.steals = ws->steal_count();
+  }
+  return stats_;
+}
+
+void SimEngine::sim_loop() {
+  while (live_ > 0) {
+    const int pid = pick_proc();
+    VProc& vp = procs_[static_cast<std::size_t>(pid)];
+    if (vp.running) {
+      cur_ = vp.running;
+      cur_proc_ = pid;
+      in_fiber_ = true;
+      for (auto& p : pend_ns_) p = 0;
+      ev_ = Ev::None;
+      ev_child_ = nullptr;
+      ev_guard_ = nullptr;
+
+      context_switch(&loop_ctx_, &cur_->ctx);
+
+      in_fiber_ = false;
+      apply_pending(vp);
+      loop_now_ns_ = vp.clock_ns;
+      DFTH_CHECK_MSG(ev_ != Ev::None, "fiber switched out without an event");
+      handle_event(vp, pid);
+      cur_ = nullptr;
+    } else {
+      attempt_dispatch(vp, pid);
+    }
+  }
+}
+
+int SimEngine::pick_proc() const {
+  int best = 0;
+  for (int i = 1; i < static_cast<int>(procs_.size()); ++i) {
+    const auto& a = procs_[static_cast<std::size_t>(i)];
+    const auto& b = procs_[static_cast<std::size_t>(best)];
+    // Min clock; ties prefer a processor holding a fiber (it must generate
+    // the events an equal-clock idle processor is waiting for).
+    if (a.clock_ns < b.clock_ns ||
+        (a.clock_ns == b.clock_ns && a.running && !b.running)) {
+      best = i;
+    }
+  }
+  return best;
+}
+
+void SimEngine::apply_pending(VProc& vp) {
+  vp.clock_ns += pend_ns_[kWork] + pend_ns_[kThread] + pend_ns_[kMem] + pend_ns_[kSync];
+  vp.bd.work_us += ns_to_us(pend_ns_[kWork]);
+  vp.bd.thread_us += ns_to_us(pend_ns_[kThread]);
+  vp.bd.mem_us += ns_to_us(pend_ns_[kMem]);
+  vp.bd.sync_us += ns_to_us(pend_ns_[kSync]);
+  for (auto& p : pend_ns_) p = 0;
+}
+
+void SimEngine::sched_lock_acquire(VProc& vp) { sched_lock_acquire(vp, 0); }
+
+void SimEngine::sched_lock_acquire(VProc& vp, int proc) {
+  // The scheduler's global queue is serialized by one lock (paper §6). The
+  // lock is busy only *during* queue operations, so a processor is made to
+  // wait only when its operation lands within the contention window of the
+  // most recent one (near-simultaneous operations queue up behind each
+  // other); an operation that maps to an instant further in the virtual
+  // past found the lock free back then. (Events are simulated slightly out
+  // of virtual-time order — a fiber's long run commits at its end — so the
+  // busy horizon can be ahead of this processor's clock without implying
+  // the lock was held the whole time.)
+  const int domain = sched_->lock_domain(proc);
+  if (lock_free_ns_.size() <= static_cast<std::size_t>(domain)) {
+    lock_free_ns_.resize(static_cast<std::size_t>(domain) + 1, 0);
+  }
+  std::uint64_t& lock_free = lock_free_ns_[static_cast<std::size_t>(domain)];
+  const std::uint64_t op = us_to_ns(opts_.cost.sched_op_us);
+  const std::uint64_t window = op * static_cast<std::uint64_t>(4 * opts_.nprocs);
+  std::uint64_t start = vp.clock_ns;
+  if (lock_free > vp.clock_ns && lock_free - vp.clock_ns <= window) {
+    start = lock_free;  // genuine contention: queue behind the last op
+  }
+  const std::uint64_t wait = start - vp.clock_ns;
+  vp.bd.sched_us += ns_to_us(wait + op);
+  vp.clock_ns = start + op;
+  if (start + op > lock_free) lock_free = start + op;
+}
+
+void SimEngine::make_ready(VProc& vp, int pid, Tcb* t) {
+  t->state.store(ThreadState::Ready, std::memory_order_relaxed);
+  t->ready_at_ns = vp.clock_ns;
+  sched_->on_ready(t, pid);
+}
+
+void SimEngine::attempt_dispatch(VProc& vp, int pid) {
+  std::uint64_t earliest = kInf;
+  Tcb* t = sched_->pick_next(pid, vp.clock_ns, &earliest);
+  if (t) {
+    sched_lock_acquire(vp, pid);
+    vp.clock_ns += us_to_ns(opts_.cost.ctx_switch_us);
+    vp.bd.thread_us += opts_.cost.ctx_switch_us;
+    t->state.store(ThreadState::Running, std::memory_order_relaxed);
+    t->quota = static_cast<std::int64_t>(opts_.mem_quota);
+    ++t->dispatches;
+    ++stats_.dispatches;
+    vp.running = t;
+    return;
+  }
+
+  // Nothing eligible: advance to the next instant anything can change —
+  // the earliest future ready time, or the clock of a processor that holds
+  // a fiber (its next event may wake/spawn work).
+  std::uint64_t horizon = earliest;
+  for (const auto& other : procs_) {
+    if (other.running) horizon = std::min(horizon, other.clock_ns);
+  }
+  if (horizon == kInf) report_deadlock();
+  DFTH_CHECK_MSG(horizon > vp.clock_ns, "simulation failed to make progress");
+  vp.bd.idle_us += ns_to_us(horizon - vp.clock_ns);
+  vp.clock_ns = horizon;
+}
+
+void SimEngine::handle_event(VProc& vp, int pid) {
+  switch (ev_) {
+    case Ev::Spawn: {
+      Tcb* child = ev_child_;
+      Tcb* parent = vp.running;
+      const double create_us = child->attr.bound ? opts_.cost.create_bound_us
+                                                 : opts_.cost.create_unbound_us;
+      vp.clock_ns += us_to_ns(create_us);
+      vp.bd.thread_us += create_us;
+      const double stack_us = sim_stack_acquire_us(child->attr.stack_size);
+      vp.clock_ns += us_to_ns(stack_us);
+      vp.bd.mem_us += stack_us;
+
+      sched_lock_acquire(vp, pid);
+      const bool preempt_parent = sched_->register_thread(parent, child);
+      ++live_;
+      ++stats_.threads_created;
+      if (child->is_dummy) ++stats_.dummy_threads;
+      live_events_.emplace_back(vp.clock_ns, +1);
+
+      if (preempt_parent) {
+        // AsyncDF / work stealing: the processor dives into the child.
+        make_ready(vp, pid, parent);
+        child->state.store(ThreadState::Running, std::memory_order_relaxed);
+        child->ready_at_ns = vp.clock_ns;
+        child->quota = static_cast<std::int64_t>(opts_.mem_quota);
+        ++child->dispatches;
+        ++stats_.dispatches;
+        vp.running = child;
+        vp.clock_ns += us_to_ns(opts_.cost.ctx_switch_us);
+        vp.bd.thread_us += opts_.cost.ctx_switch_us;
+      } else {
+        // FIFO / LIFO: the child waits its turn; the parent continues.
+        child->state.store(ThreadState::Ready, std::memory_order_relaxed);
+        child->ready_at_ns = vp.clock_ns;
+        sched_->on_ready(child, pid);
+      }
+      break;
+    }
+
+    case Ev::Exit: {
+      Tcb* t = vp.running;
+      sched_lock_acquire(vp, pid);
+      sched_->unregister_thread(t);
+      t->finished = true;
+      t->state.store(ThreadState::Done, std::memory_order_relaxed);
+      --live_;
+      live_events_.emplace_back(vp.clock_ns, -1);
+      StackPool::instance().release(t->stack);
+      t->stack = Stack{};
+      sim_stack_release(t->attr.stack_size);
+      loop_now_ns_ = vp.clock_ns;
+      cur_proc_ = pid;
+      if (t->joiner) {
+        Tcb* j = t->joiner;
+        t->joiner = nullptr;
+        wake(j);
+      }
+      vp.running = nullptr;
+      break;
+    }
+
+    case Ev::Block: {
+      Tcb* t = vp.running;
+      DFTH_CHECK(t->state.load(std::memory_order_relaxed) == ThreadState::Blocked);
+      if (ev_guard_) ev_guard_->unlock();
+      vp.running = nullptr;
+      break;
+    }
+
+    case Ev::Yield:
+    case Ev::QuotaPreempt: {
+      Tcb* t = vp.running;
+      vp.clock_ns += us_to_ns(opts_.cost.ctx_switch_us);
+      vp.bd.thread_us += opts_.cost.ctx_switch_us;
+      sched_lock_acquire(vp, pid);
+      make_ready(vp, pid, t);
+      if (ev_ == Ev::QuotaPreempt) ++stats_.quota_preemptions;
+      vp.running = nullptr;
+      break;
+    }
+
+    case Ev::SyncPause:
+      // The fiber keeps its processor; nothing to do — the clock advance
+      // from apply_pending() already reordered it among the processors.
+      break;
+
+    case Ev::None:
+      DFTH_CHECK(false);
+  }
+}
+
+void SimEngine::report_deadlock() {
+  std::fprintf(stderr,
+               "dfth: DEADLOCK — %lld live threads, none runnable:\n",
+               static_cast<long long>(live_));
+  int shown = 0;
+  for (Tcb* t : all_tcbs_) {
+    const auto st = t->state.load(std::memory_order_relaxed);
+    if (st == ThreadState::Done) continue;
+    std::fprintf(stderr, "  thread %llu state=%s%s\n",
+                 static_cast<unsigned long long>(t->id), to_string(st),
+                 t->is_dummy ? " (dummy)" : "");
+    if (++shown >= 50) {
+      std::fprintf(stderr, "  ...\n");
+      break;
+    }
+  }
+  DFTH_CHECK_MSG(false, "deadlock detected in simulation");
+}
+
+}  // namespace dfth

@@ -1,0 +1,154 @@
+// SimEngine: a deterministic discrete-event simulation of a p-processor
+// shared-memory machine executing the user's real threaded code.
+//
+// Why it exists: the reproduction host has one CPU, so the paper's speedup
+// and memory-vs-processors curves cannot be measured in wall-clock time.
+// Every one of those measurements, however, is a function of the *schedule*
+// — which thread runs where and when, how many threads are simultaneously
+// live, and how much memory the resulting interleaving keeps allocated.
+// SimEngine reproduces the schedule exactly: fibers execute their real code
+// on the single host CPU, virtual processors carry virtual clocks, and the
+// pluggable Scheduler is consulted with the same lock-serialized discipline
+// as the Solaris library. Costs come from CostModel (calibrated to the
+// paper's Figure 3); determinism comes from integer nanosecond clocks and
+// strictly ordered event processing (min-clock processor first, ties to the
+// processor holding work, then by id).
+//
+// Execution model: the engine owns one host context (`loop_ctx_`); a fiber
+// runs until it reaches a *scheduling point* — fork, exit, block, yield, or
+// memory-quota exhaustion — then switches back, leaving an event
+// description and its accrued virtual costs. Between scheduling points
+// fibers accrue cost through annotate_work / df_malloc / annotate_touch /
+// sync operations; threads are never preempted mid-run (user-level threads
+// at one priority level run to their next scheduling point, as in the
+// paper's library).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "runtime/api.h"
+#include "runtime/engine.h"
+
+namespace dfth {
+
+class SimEngine final : public Engine {
+ public:
+  explicit SimEngine(const RuntimeOptions& opts);
+  ~SimEngine() override;
+
+  EngineKind kind() const override { return EngineKind::Sim; }
+  RunStats run(const std::function<void()>& main_fn) override;
+
+  Tcb* current() override { return cur_; }
+  Tcb* spawn(std::function<void*()> fn, const Attr& attr, bool is_dummy) override;
+  void* join(Tcb* t) override;
+  void detach(Tcb* t) override;
+  void yield() override;
+  void block_current(SpinLock* guard) override;
+  void wake(Tcb* t) override;
+  void charge_sync_op() override;
+  void on_alloc(std::size_t bytes, std::int64_t fresh_bytes) override;
+  void on_free(std::size_t bytes) override;
+  bool uses_alloc_quota() const override;
+  std::size_t quota_bytes() const override { return opts_.mem_quota; }
+  void add_work(std::uint64_t ops) override;
+  void touch(const std::uint32_t* block_ids, std::size_t count) override;
+
+ private:
+  /// SyncPause is a scheduling point that does NOT preempt: the fiber stays
+  /// on its processor and resumes when that processor is next up. Every
+  /// synchronization operation raises it so that lock-protected side effects
+  /// from virtually-concurrent threads linearize in virtual-time order —
+  /// otherwise one fiber could, e.g., drain a whole shared work queue in
+  /// host order while its virtual clock says others should have interleaved.
+  enum class Ev : std::uint8_t {
+    None, Spawn, Exit, Block, Yield, QuotaPreempt, SyncPause,
+  };
+  enum Cat : int { kWork = 0, kThread = 1, kMem = 2, kSync = 3, kNumCats = 4 };
+
+  /// Tiny per-processor LRU set over application block ids (locality model).
+  struct LruCache {
+    std::vector<std::pair<std::uint32_t, std::uint64_t>> slots;
+    std::uint64_t tick = 0;
+    std::size_t capacity = 0;
+    bool touch_block(std::uint32_t id);
+  };
+
+  struct VProc {
+    std::uint64_t clock_ns = 0;
+    Tcb* running = nullptr;
+    Breakdown bd;
+    LruCache cache;
+  };
+
+  static void fiber_entry(void* arg);
+
+  Tcb* make_tcb(std::function<void*()> fn, const Attr& attr, bool is_dummy);
+  void charge(Cat cat, double us);
+  std::uint64_t vnow_ns() const;
+  void switch_to_loop();
+
+  void sim_loop();
+  int pick_proc() const;
+  void apply_pending(VProc& vp);
+  void attempt_dispatch(VProc& vp, int pid);
+  void handle_event(VProc& vp, int pid);
+  void sched_lock_acquire(VProc& vp);  ///< domain-0 convenience overload
+  /// Serializes queue ops within the scheduler's lock domain for `proc`,
+  /// charging lock wait to vp (paper §6: the global list's lock; the
+  /// clustered scheduler gets one lock per SMP).
+  void sched_lock_acquire(VProc& vp, int proc);
+  void make_ready(VProc& vp, int pid, Tcb* t);
+  [[noreturn]] void report_deadlock();
+
+  // Simulated stack pool (Solaris stack caching): maps simulated stack size
+  // to the number of cached stacks; tracks mapped-bytes footprint.
+  double sim_stack_acquire_us(std::size_t bytes);
+  void sim_stack_release(std::size_t bytes);
+
+  RuntimeOptions opts_;
+  std::unique_ptr<Scheduler> sched_;
+  std::vector<VProc> procs_;
+  std::vector<Tcb*> all_tcbs_;
+  Context loop_ctx_;
+
+  Tcb* cur_ = nullptr;         ///< fiber currently executing (host CPU)
+  int cur_proc_ = -1;          ///< virtual processor it executes on
+  bool in_fiber_ = false;
+  std::uint64_t loop_now_ns_ = 0;  ///< vnow while handling events in the loop
+
+  std::vector<std::uint64_t> lock_free_ns_;  ///< per-domain lock availability
+  std::int64_t live_ = 0;
+  std::uint64_t next_tid_ = 1;
+
+  std::uint64_t pend_ns_[kNumCats] = {0, 0, 0, 0};
+  Ev ev_ = Ev::None;
+  Tcb* ev_child_ = nullptr;
+  SpinLock* ev_guard_ = nullptr;
+
+  /// Thread birth (+1) / death (-1) events in *virtual* time. The max
+  /// simultaneously-active thread count must be computed over virtual time:
+  /// a fiber without internal scheduling points executes birth-to-death in
+  /// one host resume, so a simulation-order counter would never see two
+  /// virtually-concurrent threads alive together.
+  std::vector<std::pair<std::uint64_t, std::int32_t>> live_events_;
+
+  /// Allocation (+bytes) / free (-bytes) events in virtual time, for the
+  /// same reason: the heap high-water (the paper's space metric) is the max
+  /// over virtual time of the live-byte level, not the host-order peak.
+  std::vector<std::pair<std::uint64_t, std::int64_t>> heap_events_;
+  std::int64_t heap_initial_live_ = 0;
+
+  std::unordered_map<std::size_t, std::uint64_t> sim_stack_pool_;
+  std::int64_t sim_stack_live_ = 0;
+  std::int64_t sim_stack_pooled_ = 0;
+  std::int64_t sim_stack_peak_ = 0;
+  std::int64_t sim_stack_touched_ = 0;  ///< resident stack bytes (pressure)
+
+  RunStats stats_;
+};
+
+}  // namespace dfth

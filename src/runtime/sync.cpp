@@ -1,0 +1,265 @@
+#include "runtime/sync.h"
+
+#include "runtime/engine.h"
+#include "util/check.h"
+
+namespace dfth {
+namespace {
+
+Engine* checked_engine() {
+  Engine* e = engine();
+  DFTH_CHECK_MSG(e, "synchronization primitive used outside dfth::run");
+  return e;
+}
+
+}  // namespace
+
+// -- Mutex --------------------------------------------------------------------
+
+void Mutex::lock() {
+  Engine* e = checked_engine();
+  e->charge_sync_op();
+  guard_.lock();
+  Tcb* cur = e->current();
+  if (owner_ == nullptr) {
+    owner_ = cur;
+    guard_.unlock();
+    return;
+  }
+  DFTH_CHECK_MSG(owner_ != cur, "recursive Mutex::lock");
+  waiters_.push(cur);
+  cur->state.store(ThreadState::Blocked, std::memory_order_relaxed);
+  e->block_current(&guard_);
+  // unlock() handed ownership to us before waking.
+}
+
+bool Mutex::try_lock() {
+  Engine* e = checked_engine();
+  e->charge_sync_op();
+  guard_.lock();
+  if (owner_ != nullptr) {
+    guard_.unlock();
+    return false;
+  }
+  owner_ = e->current();
+  guard_.unlock();
+  return true;
+}
+
+void Mutex::unlock() {
+  Engine* e = checked_engine();
+  e->charge_sync_op();
+  guard_.lock();
+  DFTH_CHECK_MSG(owner_ == e->current(), "Mutex::unlock by non-owner");
+  Tcb* next = waiters_.pop();
+  owner_ = next;  // direct handoff keeps the queue FIFO-fair
+  guard_.unlock();
+  if (next) e->wake(next);
+}
+
+// -- CondVar --------------------------------------------------------------------
+
+void CondVar::wait(Mutex& m) {
+  Engine* e = checked_engine();
+  e->charge_sync_op();
+  guard_.lock();
+  Tcb* cur = e->current();
+  waiters_.push(cur);
+  cur->state.store(ThreadState::Blocked, std::memory_order_relaxed);
+  // Release the user mutex only after we are on the wait list (we still hold
+  // guard_, so a signaler cannot pop-and-wake us before we finish blocking —
+  // no lost-wakeup window).
+  m.unlock();
+  e->block_current(&guard_);
+  // Re-fetch the engine: we may resume on another kernel thread.
+  engine()->current();  // (no-op read; documents the refetch discipline)
+  m.lock();
+}
+
+void CondVar::signal() {
+  Engine* e = checked_engine();
+  e->charge_sync_op();
+  guard_.lock();
+  Tcb* t = waiters_.pop();
+  guard_.unlock();
+  if (t) e->wake(t);
+}
+
+void CondVar::broadcast() {
+  Engine* e = checked_engine();
+  e->charge_sync_op();
+  guard_.lock();
+  WaitList woken;
+  while (Tcb* t = waiters_.pop()) woken.push(t);
+  guard_.unlock();
+  while (Tcb* t = woken.pop()) e->wake(t);
+}
+
+// -- Semaphore ----------------------------------------------------------------
+
+void Semaphore::acquire() {
+  Engine* e = checked_engine();
+  e->charge_sync_op();
+  guard_.lock();
+  if (count_ > 0) {
+    --count_;
+    guard_.unlock();
+    return;
+  }
+  Tcb* cur = e->current();
+  waiters_.push(cur);
+  cur->state.store(ThreadState::Blocked, std::memory_order_relaxed);
+  e->block_current(&guard_);
+  // release() transferred one unit directly to us.
+}
+
+bool Semaphore::try_acquire() {
+  Engine* e = checked_engine();
+  e->charge_sync_op();
+  guard_.lock();
+  const bool ok = count_ > 0;
+  if (ok) --count_;
+  guard_.unlock();
+  return ok;
+}
+
+void Semaphore::release() {
+  Engine* e = checked_engine();
+  e->charge_sync_op();
+  guard_.lock();
+  Tcb* t = waiters_.pop();
+  if (!t) ++count_;
+  guard_.unlock();
+  if (t) e->wake(t);
+}
+
+// -- Barrier --------------------------------------------------------------------
+
+void Barrier::arrive_and_wait() {
+  Engine* e = checked_engine();
+  e->charge_sync_op();
+  guard_.lock();
+  if (++arrived_ == parties_) {
+    arrived_ = 0;
+    ++generation_;
+    WaitList woken;
+    while (Tcb* t = waiters_.pop()) woken.push(t);
+    guard_.unlock();
+    while (Tcb* t = woken.pop()) e->wake(t);
+    return;
+  }
+  Tcb* cur = e->current();
+  waiters_.push(cur);
+  cur->state.store(ThreadState::Blocked, std::memory_order_relaxed);
+  e->block_current(&guard_);
+}
+
+// -- RwLock ----------------------------------------------------------------------
+
+void RwLock::rdlock() {
+  Engine* e = checked_engine();
+  e->charge_sync_op();
+  guard_.lock();
+  if (!writer_ && waiting_writers_ == 0) {
+    ++readers_;
+    guard_.unlock();
+    return;
+  }
+  Tcb* cur = e->current();
+  read_waiters_.push(cur);
+  cur->state.store(ThreadState::Blocked, std::memory_order_relaxed);
+  e->block_current(&guard_);
+  // The releasing thread counted us into readers_ before waking us.
+}
+
+bool RwLock::try_rdlock() {
+  Engine* e = checked_engine();
+  e->charge_sync_op();
+  guard_.lock();
+  const bool ok = !writer_ && waiting_writers_ == 0;
+  if (ok) ++readers_;
+  guard_.unlock();
+  return ok;
+}
+
+void RwLock::rdunlock() {
+  Engine* e = checked_engine();
+  e->charge_sync_op();
+  guard_.lock();
+  DFTH_CHECK_MSG(readers_ > 0, "rdunlock without rdlock");
+  --readers_;
+  if (readers_ == 0 && !writer_) {
+    release_to_next();
+    return;  // release_to_next unlocked the guard
+  }
+  guard_.unlock();
+}
+
+void RwLock::wrlock() {
+  Engine* e = checked_engine();
+  e->charge_sync_op();
+  guard_.lock();
+  if (!writer_ && readers_ == 0) {
+    writer_ = true;
+    guard_.unlock();
+    return;
+  }
+  ++waiting_writers_;
+  Tcb* cur = e->current();
+  write_waiters_.push(cur);
+  cur->state.store(ThreadState::Blocked, std::memory_order_relaxed);
+  e->block_current(&guard_);
+  // The releasing thread set writer_ = true on our behalf.
+}
+
+bool RwLock::try_wrlock() {
+  Engine* e = checked_engine();
+  e->charge_sync_op();
+  guard_.lock();
+  const bool ok = !writer_ && readers_ == 0;
+  if (ok) writer_ = true;
+  guard_.unlock();
+  return ok;
+}
+
+void RwLock::wrunlock() {
+  Engine* e = checked_engine();
+  e->charge_sync_op();
+  guard_.lock();
+  DFTH_CHECK_MSG(writer_, "wrunlock without wrlock");
+  writer_ = false;
+  release_to_next();
+}
+
+void RwLock::release_to_next() {
+  Engine* e = engine();
+  // Prefer a waiting writer (writer-preferring discipline)...
+  if (Tcb* w = write_waiters_.pop()) {
+    --waiting_writers_;
+    writer_ = true;
+    guard_.unlock();
+    e->wake(w);
+    return;
+  }
+  // ...otherwise admit every waiting reader at once.
+  WaitList woken;
+  while (Tcb* r = read_waiters_.pop()) {
+    ++readers_;
+    woken.push(r);
+  }
+  guard_.unlock();
+  while (Tcb* r = woken.pop()) e->wake(r);
+}
+
+// -- Once ------------------------------------------------------------------------
+
+void Once::call(const std::function<void()>& fn) {
+  if (done_.load(std::memory_order_acquire)) return;
+  LockGuard lock(m_);
+  if (!done_.load(std::memory_order_relaxed)) {
+    fn();
+    done_.store(true, std::memory_order_release);
+  }
+}
+
+}  // namespace dfth

@@ -1,0 +1,174 @@
+// Blocking synchronization primitives: the Pthreads functionality the paper
+// stresses its scheduler must preserve ("any existing Pthreads program can
+// be executed using our space-efficient scheduler, including programs with
+// blocking locks and condition variables" — unlike Cilk/Filaments-style
+// systems that only support fork/join).
+//
+// All primitives follow one protocol, engine-agnostic:
+//   1. take the object's spinlock guard,
+//   2. fast path or: enqueue self on the wait list, set state Blocked,
+//   3. Engine::block_current(&guard) — the engine releases the guard only
+//      after the blocking thread's context is fully saved,
+//   4. a releasing thread pops a waiter under the guard and Engine::wake()s
+//      it.
+// Blocked threads keep their placeholder in the AsyncDF ordered list, so
+// blocking composes with the space-efficient scheduler exactly as the paper
+// describes. Bound threads use the same code; the engine parks them on the
+// kernel instead of switching fibers.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+
+#include "threads/tcb.h"
+#include "util/spinlock.h"
+
+namespace dfth {
+
+/// pthread_mutex_t equivalent. Non-recursive; FIFO handoff to waiters.
+class Mutex {
+ public:
+  void lock();
+  bool try_lock();
+  void unlock();
+
+  /// The thread currently holding the mutex (diagnostics/tests).
+  bool held() const { return owner_ != nullptr; }
+
+ private:
+  SpinLock guard_;
+  Tcb* owner_ = nullptr;
+  WaitList waiters_;
+};
+
+/// RAII lock for Mutex.
+class LockGuard {
+ public:
+  explicit LockGuard(Mutex& m) : m_(m) { m_.lock(); }
+  ~LockGuard() { m_.unlock(); }
+  LockGuard(const LockGuard&) = delete;
+  LockGuard& operator=(const LockGuard&) = delete;
+
+ private:
+  Mutex& m_;
+};
+
+/// pthread_cond_t equivalent.
+class CondVar {
+ public:
+  /// Atomically releases `m` and blocks; reacquires `m` before returning.
+  void wait(Mutex& m);
+
+  /// wait() that returns once `pred()` holds (always rechecks the predicate
+  /// under the mutex, so spurious signals are harmless).
+  template <typename Pred>
+  void wait_until(Mutex& m, Pred pred) {
+    while (!pred()) wait(m);
+  }
+
+  void signal();
+  void broadcast();
+
+ private:
+  SpinLock guard_;
+  WaitList waiters_;
+};
+
+/// Counting semaphore (sema_t equivalent; Figure 3 measures its pair-sync
+/// cost).
+class Semaphore {
+ public:
+  explicit Semaphore(int initial = 0) : count_(initial) {}
+
+  void acquire();       ///< P: decrement or block
+  bool try_acquire();
+  void release();       ///< V: wake one waiter or increment
+
+  int value() const { return count_; }
+
+ private:
+  SpinLock guard_;
+  int count_ = 0;
+  WaitList waiters_;
+};
+
+/// pthread_barrier_t equivalent (the coarse-grained SPLASH-2 codes
+/// synchronize phases with one of these).
+class Barrier {
+ public:
+  explicit Barrier(int parties) : parties_(parties) {}
+
+  /// Blocks until `parties` threads have arrived; the generation then flips
+  /// and the barrier is immediately reusable.
+  void arrive_and_wait();
+
+  std::uint64_t generation() const { return generation_; }
+
+ private:
+  SpinLock guard_;
+  const int parties_;
+  int arrived_ = 0;
+  std::uint64_t generation_ = 0;
+  WaitList waiters_;
+};
+
+/// pthread_once_t equivalent.
+class Once {
+ public:
+  void call(const std::function<void()>& fn);
+  bool done() const { return done_.load(std::memory_order_acquire); }
+
+ private:
+  std::atomic<bool> done_{false};
+  Mutex m_;
+};
+
+/// pthread_rwlock_t equivalent. Writer-preferring: once a writer waits, new
+/// readers queue behind it (no writer starvation); a releasing writer hands
+/// off to the next writer if any, otherwise wakes every waiting reader.
+class RwLock {
+ public:
+  void rdlock();
+  bool try_rdlock();
+  void rdunlock();
+
+  void wrlock();
+  bool try_wrlock();
+  void wrunlock();
+
+  // RAII helpers.
+  class ReadGuard {
+   public:
+    explicit ReadGuard(RwLock& l) : l_(l) { l_.rdlock(); }
+    ~ReadGuard() { l_.rdunlock(); }
+    ReadGuard(const ReadGuard&) = delete;
+    ReadGuard& operator=(const ReadGuard&) = delete;
+
+   private:
+    RwLock& l_;
+  };
+  class WriteGuard {
+   public:
+    explicit WriteGuard(RwLock& l) : l_(l) { l_.wrlock(); }
+    ~WriteGuard() { l_.wrunlock(); }
+    WriteGuard(const WriteGuard&) = delete;
+    WriteGuard& operator=(const WriteGuard&) = delete;
+
+   private:
+    RwLock& l_;
+  };
+
+ private:
+  /// Called with guard_ held after a writer leaves; hands the lock on.
+  void release_to_next();
+
+  SpinLock guard_;
+  int readers_ = 0;           ///< threads currently holding it shared
+  bool writer_ = false;       ///< a thread currently holds it exclusive
+  int waiting_writers_ = 0;
+  WaitList read_waiters_;
+  WaitList write_waiters_;
+};
+
+}  // namespace dfth

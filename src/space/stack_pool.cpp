@@ -1,0 +1,116 @@
+#include "space/stack_pool.h"
+
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <cstdlib>
+
+#include "util/check.h"
+
+namespace dfth {
+namespace {
+
+std::size_t page_size() {
+  static const std::size_t size = static_cast<std::size_t>(::sysconf(_SC_PAGESIZE));
+  return size;
+}
+
+std::size_t round_up_pages(std::size_t bytes) {
+  const std::size_t mask = page_size() - 1;
+  return (bytes + mask) & ~mask;
+}
+
+}  // namespace
+
+void* Stack::top() const {
+  // Skip the guard page at the bottom of the mapping.
+  return static_cast<char*>(base) + /*guard*/ 0 + size;
+}
+
+StackPool& StackPool::instance() {
+  static StackPool* pool = new StackPool();  // leaked: outlives all fibers
+  return *pool;
+}
+
+Stack StackPool::acquire(std::size_t usable_bytes) {
+  const std::size_t usable = round_up_pages(usable_bytes == 0 ? page_size() : usable_bytes);
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = cache_.find(usable);
+    if (it != cache_.end() && !it->second.empty()) {
+      void* base = it->second.back();
+      it->second.pop_back();
+      ++reuse_;
+      live_ += static_cast<std::int64_t>(usable);
+      if (live_ > peak_) peak_ = live_;
+      return Stack{base, usable, /*fresh=*/false};
+    }
+  }
+
+  // Fresh mapping: guard page + usable region. The guard page sits at the
+  // *start* of the mapping because stacks grow downward from top().
+  const std::size_t total = usable + page_size();
+  void* mapping = ::mmap(nullptr, total, PROT_NONE, MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  DFTH_CHECK_MSG(mapping != MAP_FAILED, "mmap for fiber stack failed");
+  void* usable_lo = static_cast<char*>(mapping) + page_size();
+  DFTH_CHECK(::mprotect(usable_lo, usable, PROT_READ | PROT_WRITE) == 0);
+
+  std::lock_guard<std::mutex> lock(mu_);
+  ++fresh_;
+  live_ += static_cast<std::int64_t>(usable);
+  if (live_ > peak_) peak_ = live_;
+  // Stack.base stores the start of the *usable* region; release() and trim()
+  // recompute the mapping base from it.
+  return Stack{usable_lo, usable, /*fresh=*/true};
+}
+
+void StackPool::release(Stack stack) {
+  if (!stack) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  live_ -= static_cast<std::int64_t>(stack.size);
+  cache_[stack.size].push_back(stack.base);
+}
+
+void StackPool::trim() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [size, bases] : cache_) {
+    for (void* usable_lo : bases) {
+      void* mapping = static_cast<char*>(usable_lo) - page_size();
+      ::munmap(mapping, size + page_size());
+    }
+    bases.clear();
+  }
+  cache_.clear();
+}
+
+std::uint64_t StackPool::fresh_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return fresh_;
+}
+
+std::uint64_t StackPool::reuse_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return reuse_;
+}
+
+std::int64_t StackPool::live_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return live_;
+}
+
+std::int64_t StackPool::peak_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return peak_;
+}
+
+void StackPool::begin_epoch() {
+  std::lock_guard<std::mutex> lock(mu_);
+  peak_ = live_;
+  fresh_ = 0;
+  reuse_ = 0;
+}
+
+StackPool::~StackPool() { trim(); }
+
+}  // namespace dfth

@@ -1,0 +1,75 @@
+#include "space/tracked_heap.h"
+
+#include <cstdlib>
+#include <new>
+
+#include "util/check.h"
+
+namespace dfth {
+namespace {
+
+// Header stored immediately before the user pointer. 16 bytes keeps the user
+// block 16-aligned (malloc returns 16-aligned storage on x86-64 glibc).
+struct alignas(16) Header {
+  std::uint64_t size;
+  std::uint64_t magic;
+};
+constexpr std::uint64_t kMagic = 0xdf7ea11ced0c0de5ULL;
+
+}  // namespace
+
+TrackedHeap& TrackedHeap::instance() {
+  static TrackedHeap heap;
+  return heap;
+}
+
+void* TrackedHeap::allocate(std::size_t bytes) {
+  std::int64_t fresh = 0;
+  return allocate_ex(bytes, &fresh);
+}
+
+void* TrackedHeap::allocate_ex(std::size_t bytes, std::int64_t* fresh_bytes_out) {
+  auto* header = static_cast<Header*>(std::malloc(sizeof(Header) + bytes));
+  if (!header) throw std::bad_alloc();
+  header->size = bytes;
+  header->magic = kMagic;
+
+  allocs_.fetch_add(1, std::memory_order_relaxed);
+  const std::int64_t live_now =
+      live_.fetch_add(static_cast<std::int64_t>(bytes), std::memory_order_relaxed) +
+      static_cast<std::int64_t>(bytes);
+  // Raise the peak with a CAS loop; report how much of this allocation was
+  // above the previous peak ("fresh" memory the OS had to provide).
+  std::int64_t prev_peak = peak_.load(std::memory_order_relaxed);
+  std::int64_t fresh = 0;
+  while (live_now > prev_peak) {
+    if (peak_.compare_exchange_weak(prev_peak, live_now, std::memory_order_relaxed)) {
+      fresh = live_now - prev_peak;
+      break;
+    }
+  }
+  *fresh_bytes_out = fresh;
+  return header + 1;
+}
+
+void TrackedHeap::deallocate(void* p) {
+  if (!p) return;
+  auto* header = static_cast<Header*>(p) - 1;
+  DFTH_CHECK_MSG(header->magic == kMagic, "df_free of pointer not from df_malloc");
+  header->magic = 0;
+  frees_.fetch_add(1, std::memory_order_relaxed);
+  live_.fetch_sub(static_cast<std::int64_t>(header->size), std::memory_order_relaxed);
+  std::free(header);
+}
+
+std::size_t TrackedHeap::allocated_size(const void* p) {
+  auto* header = static_cast<const Header*>(p) - 1;
+  DFTH_CHECK_MSG(header->magic == kMagic, "allocated_size of foreign pointer");
+  return header->size;
+}
+
+void TrackedHeap::begin_epoch() {
+  peak_.store(live_.load(std::memory_order_relaxed), std::memory_order_relaxed);
+}
+
+}  // namespace dfth

@@ -1,0 +1,56 @@
+// Heap accounting — the substrate for every space measurement in the paper.
+//
+// All benchmark allocations go through df_malloc/df_free (runtime/api.h),
+// which delegate here. The heap records live bytes, the historical peak
+// ("high water mark of total heap memory allocation", the paper's space
+// metric in Figs 5b, 7b and 9), allocation counts, and the number of bytes
+// that were *fresh* (grew the peak) — the simulator charges fresh pages more
+// because the OS must zero-fill and map them.
+//
+// Thread-safe: counters are atomics; the real engine allocates from many
+// kernel threads concurrently.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace dfth {
+
+class TrackedHeap {
+ public:
+  static TrackedHeap& instance();
+
+  /// Allocates `bytes` (16-byte aligned) and records it. Aborts on OOM —
+  /// callers in this codebase never handle allocation failure locally.
+  void* allocate(std::size_t bytes);
+
+  /// Frees a pointer from allocate(); nullptr is a no-op.
+  void deallocate(void* p);
+
+  /// Size recorded for an allocate()d pointer.
+  static std::size_t allocated_size(const void* p);
+
+  std::int64_t live_bytes() const { return live_.load(std::memory_order_relaxed); }
+  std::int64_t peak_bytes() const { return peak_.load(std::memory_order_relaxed); }
+  std::uint64_t alloc_count() const { return allocs_.load(std::memory_order_relaxed); }
+  std::uint64_t free_count() const { return frees_.load(std::memory_order_relaxed); }
+
+  /// Starts a new measurement epoch: peak is reset to the current live level.
+  /// Engines call this at run() entry so each experiment reports its own peak.
+  void begin_epoch();
+
+  /// Bytes by which the given allocation grew the peak (0 if it fit under
+  /// the previous high water mark). Returned by allocate via out-param.
+  void* allocate_ex(std::size_t bytes, std::int64_t* fresh_bytes_out);
+
+ private:
+  TrackedHeap() = default;
+
+  std::atomic<std::int64_t> live_{0};
+  std::atomic<std::int64_t> peak_{0};
+  std::atomic<std::uint64_t> allocs_{0};
+  std::atomic<std::uint64_t> frees_{0};
+};
+
+}  // namespace dfth

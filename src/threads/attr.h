@@ -1,0 +1,31 @@
+// Thread attributes — the subset of pthread_attr_t the paper exercises.
+#pragma once
+
+#include <cstddef>
+
+namespace dfth {
+
+/// Number of distinct priority levels (POSIX requires >= 32 for the realtime
+/// policies; 8 is plenty for the experiments and keeps per-level structures
+/// cheap). Higher value = scheduled first, as in the Pthreads realtime
+/// policies the paper's scheduler coexists with.
+inline constexpr int kNumPriorities = 8;
+
+struct Attr {
+  /// Requested stack size in bytes; 0 means "runtime default" (the knob the
+  /// paper tunes in §4 item 3: Solaris defaults to 1 MB, their fix is 8 KB).
+  std::size_t stack_size = 0;
+
+  /// Bound threads get a dedicated kernel thread ("bound to an LWP" in
+  /// Solaris terms) and are scheduled by the OS, not by our scheduler.
+  bool bound = false;
+
+  /// Detached threads release their resources at exit; they cannot be joined.
+  bool detached = false;
+
+  /// Priority level in [0, kNumPriorities); runnable threads at a higher
+  /// level are always dispatched before lower levels.
+  int priority = 0;
+};
+
+}  // namespace dfth

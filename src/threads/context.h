@@ -1,0 +1,52 @@
+// Fiber context switching — the mechanism that makes user-level threads
+// cheap (the paper's Figure 3 contrasts ~20 µs user-level thread creation
+// with kernel-thread costs an order of magnitude higher).
+//
+// Two implementations, selected at build time:
+//  * x86-64 System V assembly (default): saves/restores only the callee-saved
+//    registers plus the FP control words; a switch is ~20 instructions and
+//    never enters the kernel.
+//  * ucontext(3) (-DDFTH_USE_UCONTEXT=1): portable but slow, since glibc's
+//    swapcontext makes a sigprocmask system call per switch. This mirrors
+//    the kernel-involvement cost gap the paper describes.
+//
+// A Context is opaque; for the assembly version it is just the fiber's saved
+// stack pointer. Switching to a freshly made context enters `entry(arg)` on
+// the given stack; `entry` must never return (fibers exit through the
+// engine, which switches away for the last time).
+#pragma once
+
+#include <cstddef>
+
+namespace dfth {
+
+using FiberEntry = void (*)(void* arg);
+
+#ifndef DFTH_USE_UCONTEXT
+
+struct Context {
+  void* sp = nullptr;
+};
+
+#else
+
+struct ContextImpl;  // wraps ucontext_t
+struct Context {
+  ContextImpl* impl = nullptr;
+};
+
+#endif
+
+/// Prepares `ctx` so that switching to it calls entry(arg) on the stack
+/// [stack_lo, stack_hi). The stack must stay alive until the fiber is done.
+void context_make(Context* ctx, void* stack_lo, void* stack_hi, FiberEntry entry,
+                  void* arg);
+
+/// Saves the current execution state into *save and resumes *restore.
+/// Returns (into *save) when something later switches back to it.
+void context_switch(Context* save, Context* restore);
+
+/// Releases any heap state behind ctx (no-op for the assembly version).
+void context_destroy(Context* ctx);
+
+}  // namespace dfth

@@ -1,0 +1,64 @@
+// C++ glue for the assembly context switch (see context_x86_64.S).
+#ifndef DFTH_USE_UCONTEXT
+
+#include <cstdint>
+#include <cstring>
+
+#include "threads/context.h"
+#include "util/check.h"
+
+extern "C" {
+void dfth_asm_switch(void** save_sp, void* restore_sp);
+void dfth_asm_trampoline();
+}
+
+namespace dfth {
+namespace {
+
+// Offsets (in 8-byte words) within the saved frame, matching the .S layout.
+// sp -> [fpctl][r15][r14][r13][r12][rbx][rbp][retaddr]
+constexpr int kFrameWords = 8;
+constexpr int kSlotFpCtl = 0;
+constexpr int kSlotR13 = 3;  // seeded with the entry argument
+constexpr int kSlotR12 = 4;  // seeded with the entry function
+constexpr int kSlotRet = 7;
+
+}  // namespace
+
+void context_make(Context* ctx, void* stack_lo, void* stack_hi, FiberEntry entry,
+                  void* arg) {
+  DFTH_CHECK(stack_hi > stack_lo);
+  // Place the fabricated frame so that the "return address" slot sits at a
+  // 16-aligned address; after the trampoline realigns rsp this guarantees a
+  // conformant call into `entry`.
+  auto top = reinterpret_cast<std::uintptr_t>(stack_hi);
+  top &= ~static_cast<std::uintptr_t>(15);
+  top -= 64;  // headroom above the frame
+  auto* frame = reinterpret_cast<std::uint64_t*>(top) - kFrameWords;
+  std::memset(frame, 0, kFrameWords * sizeof(std::uint64_t));
+
+  // Capture the caller's FP control state so new fibers inherit it.
+  std::uint32_t mxcsr;
+  std::uint16_t fcw;
+  asm volatile("stmxcsr %0" : "=m"(mxcsr));
+  asm volatile("fnstcw %0" : "=m"(fcw));
+  // The .S file loads mxcsr from (rsp) and fcw from 4(rsp): pack mxcsr into
+  // the low 4 bytes and fcw into the next 2.
+  frame[kSlotFpCtl] = static_cast<std::uint64_t>(mxcsr) |
+                      (static_cast<std::uint64_t>(fcw) << 32);
+
+  frame[kSlotR12] = reinterpret_cast<std::uint64_t>(entry);
+  frame[kSlotR13] = reinterpret_cast<std::uint64_t>(arg);
+  frame[kSlotRet] = reinterpret_cast<std::uint64_t>(&dfth_asm_trampoline);
+  ctx->sp = frame;
+}
+
+void context_switch(Context* save, Context* restore) {
+  dfth_asm_switch(&save->sp, restore->sp);
+}
+
+void context_destroy(Context* ctx) { ctx->sp = nullptr; }
+
+}  // namespace dfth
+
+#endif  // !DFTH_USE_UCONTEXT

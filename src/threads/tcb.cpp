@@ -1,0 +1,32 @@
+#include "threads/tcb.h"
+
+namespace dfth {
+
+const char* to_string(ThreadState state) {
+  switch (state) {
+    case ThreadState::Embryo: return "embryo";
+    case ThreadState::Ready: return "ready";
+    case ThreadState::Running: return "running";
+    case ThreadState::Blocked: return "blocked";
+    case ThreadState::Done: return "done";
+  }
+  return "?";
+}
+
+bool WaitList::remove(Tcb* t) {
+  Tcb* prev = nullptr;
+  for (Tcb* cur = head_; cur; prev = cur, cur = cur->wait_next) {
+    if (cur != t) continue;
+    if (prev) {
+      prev->wait_next = cur->wait_next;
+    } else {
+      head_ = cur->wait_next;
+    }
+    if (tail_ == cur) tail_ = prev;
+    cur->wait_next = nullptr;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace dfth

@@ -1,0 +1,39 @@
+// Lightweight runtime assertions that stay on in release builds.
+//
+// DFTH_CHECK aborts with a message when the condition fails; it is used for
+// invariants whose violation would corrupt scheduler state (we never want to
+// limp past those, even in optimized builds). DFTH_DCHECK compiles away in
+// NDEBUG builds and is used on hot paths.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace dfth {
+
+[[noreturn]] inline void check_fail(const char* cond, const char* file, int line,
+                                    const char* msg) {
+  std::fprintf(stderr, "DFTH_CHECK failed: %s at %s:%d%s%s\n", cond, file, line,
+               msg[0] ? " — " : "", msg);
+  std::abort();
+}
+
+}  // namespace dfth
+
+#define DFTH_CHECK(cond)                                         \
+  do {                                                           \
+    if (!(cond)) ::dfth::check_fail(#cond, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define DFTH_CHECK_MSG(cond, msg)                                  \
+  do {                                                             \
+    if (!(cond)) ::dfth::check_fail(#cond, __FILE__, __LINE__, msg); \
+  } while (0)
+
+#ifdef NDEBUG
+#define DFTH_DCHECK(cond) \
+  do {                    \
+  } while (0)
+#else
+#define DFTH_DCHECK(cond) DFTH_CHECK(cond)
+#endif

@@ -1,0 +1,105 @@
+#include "util/cli.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace dfth {
+
+Cli::Cli(std::string program, std::string summary)
+    : program_(std::move(program)), summary_(std::move(summary)) {}
+
+bool* Cli::flag(const std::string& name, bool def, const std::string& help) {
+  bools_.push_back(std::make_unique<bool>(def));
+  opts_.push_back({name, help, Kind::Bool, bools_.size() - 1, def ? "true" : "false"});
+  return bools_.back().get();
+}
+
+std::int64_t* Cli::int_opt(const std::string& name, std::int64_t def,
+                           const std::string& help) {
+  ints_.push_back(std::make_unique<std::int64_t>(def));
+  opts_.push_back({name, help, Kind::Int, ints_.size() - 1, std::to_string(def)});
+  return ints_.back().get();
+}
+
+double* Cli::double_opt(const std::string& name, double def, const std::string& help) {
+  doubles_.push_back(std::make_unique<double>(def));
+  opts_.push_back({name, help, Kind::Double, doubles_.size() - 1, std::to_string(def)});
+  return doubles_.back().get();
+}
+
+std::string* Cli::str_opt(const std::string& name, std::string def,
+                          const std::string& help) {
+  strings_.push_back(std::make_unique<std::string>(def));
+  opts_.push_back({name, help, Kind::Str, strings_.size() - 1, def});
+  return strings_.back().get();
+}
+
+Cli::Opt* Cli::find(const std::string& name) {
+  for (auto& opt : opts_) {
+    if (opt.name == name) return &opt;
+  }
+  return nullptr;
+}
+
+void Cli::fail(const std::string& message) {
+  std::fprintf(stderr, "%s: %s\n", program_.c_str(), message.c_str());
+  print_help();
+  std::exit(2);
+}
+
+bool Cli::parse(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      print_help();
+      return false;
+    }
+    if (arg.rfind("--", 0) != 0) fail("unexpected positional argument '" + arg + "'");
+    arg = arg.substr(2);
+    std::string value;
+    bool has_value = false;
+    if (auto eq = arg.find('='); eq != std::string::npos) {
+      value = arg.substr(eq + 1);
+      arg = arg.substr(0, eq);
+      has_value = true;
+    }
+    Opt* opt = find(arg);
+    if (!opt) fail("unknown option '--" + arg + "'");
+    if (opt->kind == Kind::Bool && !has_value) {
+      *bools_[opt->index] = true;
+      continue;
+    }
+    if (!has_value) {
+      if (i + 1 >= argc) fail("option '--" + arg + "' expects a value");
+      value = argv[++i];
+    }
+    char* end = nullptr;
+    switch (opt->kind) {
+      case Kind::Bool:
+        *bools_[opt->index] = (value == "1" || value == "true" || value == "yes");
+        break;
+      case Kind::Int:
+        *ints_[opt->index] = std::strtoll(value.c_str(), &end, 0);
+        if (end == value.c_str() || *end) fail("bad integer for '--" + arg + "': " + value);
+        break;
+      case Kind::Double:
+        *doubles_[opt->index] = std::strtod(value.c_str(), &end);
+        if (end == value.c_str() || *end) fail("bad number for '--" + arg + "': " + value);
+        break;
+      case Kind::Str:
+        *strings_[opt->index] = value;
+        break;
+    }
+  }
+  return true;
+}
+
+void Cli::print_help() const {
+  std::printf("%s — %s\n\nOptions:\n", program_.c_str(), summary_.c_str());
+  for (const auto& opt : opts_) {
+    std::printf("  --%-22s %s (default: %s)\n", opt.name.c_str(), opt.help.c_str(),
+                opt.default_repr.c_str());
+  }
+}
+
+}  // namespace dfth

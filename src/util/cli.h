@@ -1,0 +1,54 @@
+// Tiny command-line parser shared by the benches and examples.
+//
+// Supported forms: --name value, --name=value, and bare boolean --name.
+// Unknown flags are an error (so typos in experiment sweeps fail loudly).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace dfth {
+
+class Cli {
+ public:
+  /// `summary` is printed at the top of --help output.
+  Cli(std::string program, std::string summary);
+
+  // Registration. Each returns a stable pointer the caller reads after parse().
+  bool* flag(const std::string& name, bool def, const std::string& help);
+  std::int64_t* int_opt(const std::string& name, std::int64_t def, const std::string& help);
+  double* double_opt(const std::string& name, double def, const std::string& help);
+  std::string* str_opt(const std::string& name, std::string def, const std::string& help);
+
+  /// Parses argv. On --help prints usage and returns false (caller exits 0).
+  /// On a malformed/unknown flag prints an error + usage and calls exit(2).
+  bool parse(int argc, char** argv);
+
+  void print_help() const;
+
+ private:
+  enum class Kind { Bool, Int, Double, Str };
+  struct Opt {
+    std::string name;
+    std::string help;
+    Kind kind;
+    std::size_t index;  // into the typed storage vector
+    std::string default_repr;
+  };
+
+  Opt* find(const std::string& name);
+  [[noreturn]] void fail(const std::string& message);
+
+  std::string program_;
+  std::string summary_;
+  std::vector<Opt> opts_;
+  // Deques of stable storage (vectors of unique_ptr-like deque semantics).
+  std::vector<std::unique_ptr<bool>> bools_;
+  std::vector<std::unique_ptr<std::int64_t>> ints_;
+  std::vector<std::unique_ptr<double>> doubles_;
+  std::vector<std::unique_ptr<std::string>> strings_;
+};
+
+}  // namespace dfth

@@ -1,0 +1,23 @@
+// Minimal leveled logger. Off (Warn) by default so library users see nothing
+// unless they opt in; benches raise the level with --verbose.
+#pragma once
+
+#include <cstdarg>
+
+namespace dfth {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/// Sets the global minimum level that is actually printed.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// printf-style logging; cheap early-out below the active level.
+void logf(LogLevel level, const char* fmt, ...) __attribute__((format(printf, 2, 3)));
+
+}  // namespace dfth
+
+#define DFTH_LOG_DEBUG(...) ::dfth::logf(::dfth::LogLevel::Debug, __VA_ARGS__)
+#define DFTH_LOG_INFO(...) ::dfth::logf(::dfth::LogLevel::Info, __VA_ARGS__)
+#define DFTH_LOG_WARN(...) ::dfth::logf(::dfth::LogLevel::Warn, __VA_ARGS__)
+#define DFTH_LOG_ERROR(...) ::dfth::logf(::dfth::LogLevel::Error, __VA_ARGS__)

@@ -1,0 +1,79 @@
+// Small statistics helpers: running summaries and fixed-bucket histograms.
+// Used by engines for per-category accounting and by benches for reporting.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace dfth {
+
+/// Streaming min/max/mean/stddev accumulator (Welford's algorithm).
+class RunningStat {
+ public:
+  void add(double x) {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    if (x < min_) min_ = x;
+    if (x > max_) max_ = x;
+    sum_ += x;
+  }
+
+  std::uint64_t count() const { return n_; }
+  double sum() const { return sum_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double variance() const { return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0; }
+  double stddev() const;
+
+  void merge(const RunningStat& other);
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Histogram over [lo, hi) with uniform buckets plus under/overflow bins.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t buckets);
+
+  void add(double x);
+  std::uint64_t total() const { return total_; }
+  std::uint64_t bucket(std::size_t i) const { return counts_[i]; }
+  std::size_t buckets() const { return counts_.size(); }
+  double bucket_lo(std::size_t i) const;
+  double percentile(double p) const;
+  std::string to_string(std::size_t max_width = 40) const;
+
+ private:
+  double lo_, hi_, width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t underflow_ = 0, overflow_ = 0, total_ = 0;
+};
+
+/// High-water-mark counter: tracks a current level and its historical peak.
+class HighWater {
+ public:
+  void add(std::int64_t delta) {
+    current_ += delta;
+    if (current_ > peak_) peak_ = current_;
+  }
+  void reset() { current_ = 0; peak_ = 0; }
+  std::int64_t current() const { return current_; }
+  std::int64_t peak() const { return peak_; }
+
+ private:
+  std::int64_t current_ = 0;
+  std::int64_t peak_ = 0;
+};
+
+}  // namespace dfth

@@ -1,0 +1,89 @@
+#include "util/table.h"
+
+#include <cstdio>
+
+#include "util/check.h"
+
+namespace dfth {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  DFTH_CHECK(!headers_.empty());
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  DFTH_CHECK_MSG(cells.size() == headers_.size(), "row width mismatch");
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::fmt(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+std::string Table::fmt_int(long long v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%lld", v);
+  return buf;
+}
+
+std::string Table::fmt_bytes(long long bytes) {
+  char buf[64];
+  const double b = static_cast<double>(bytes);
+  if (bytes >= (1LL << 30)) {
+    std::snprintf(buf, sizeof buf, "%.2f GB", b / static_cast<double>(1LL << 30));
+  } else if (bytes >= (1LL << 20)) {
+    std::snprintf(buf, sizeof buf, "%.1f MB", b / static_cast<double>(1LL << 20));
+  } else if (bytes >= (1LL << 10)) {
+    std::snprintf(buf, sizeof buf, "%.1f KB", b / static_cast<double>(1LL << 10));
+  } else {
+    std::snprintf(buf, sizeof buf, "%lld B", bytes);
+  }
+  return buf;
+}
+
+std::string Table::to_string(const std::string& title) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (row[c].size() > widths[c]) widths[c] = row[c].size();
+    }
+  }
+
+  std::string out;
+  if (!title.empty()) {
+    out += "== " + title + " ==\n";
+  }
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      out += cells[c];
+      if (c + 1 < cells.size()) out.append(widths[c] - cells[c].size() + 2, ' ');
+    }
+    out += '\n';
+  };
+  emit_row(headers_);
+  std::size_t rule = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c) rule += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+  out.append(rule, '-');
+  out += '\n';
+  for (const auto& row : rows_) emit_row(row);
+  return out;
+}
+
+bool Table::write_csv(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) return false;
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      std::fputs(cells[c].c_str(), f);
+      std::fputc(c + 1 < cells.size() ? ',' : '\n', f);
+    }
+  };
+  emit(headers_);
+  for (const auto& row : rows_) emit(row);
+  std::fclose(f);
+  return true;
+}
+
+}  // namespace dfth

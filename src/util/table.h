@@ -1,0 +1,38 @@
+// Column-aligned text tables + CSV emission.
+//
+// Every bench prints its paper table/figure as one of these, and optionally
+// writes the same rows to a CSV file for plotting.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace dfth {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends a row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience formatters for numeric cells.
+  static std::string fmt(double v, int precision = 2);
+  static std::string fmt_int(long long v);
+  static std::string fmt_bytes(long long bytes);  // "12.3 MB"
+
+  /// Renders with aligned columns; `title` (if nonempty) becomes a caption.
+  std::string to_string(const std::string& title = "") const;
+
+  /// Writes headers+rows as CSV to `path`; returns false on I/O error.
+  bool write_csv(const std::string& path) const;
+
+  std::size_t rows() const { return rows_.size(); }
+  const std::vector<std::string>& row(std::size_t i) const { return rows_[i]; }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace dfth

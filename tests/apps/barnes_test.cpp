@@ -1,0 +1,164 @@
+// Barnes-Hut: Plummer generator, tree forces vs direct summation, and the
+// three versions (serial / costzones-coarse / fine) agreeing.
+#include "apps/barnes/barnes.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "runtime/api.h"
+
+namespace dfth {
+namespace {
+
+using apps::BarnesConfig;
+using apps::Body;
+
+BarnesConfig small_config() {
+  BarnesConfig cfg;
+  cfg.bodies = 1500;
+  cfg.timesteps = 1;
+  return cfg;
+}
+
+TEST(BarnesGenerate, PlummerProperties) {
+  BarnesConfig cfg = small_config();
+  cfg.bodies = 20000;
+  const auto bodies = apps::barnes_generate(cfg);
+  ASSERT_EQ(bodies.size(), cfg.bodies);
+  double total_mass = 0;
+  double com[3] = {0, 0, 0};
+  std::size_t inside_unit = 0;
+  for (const auto& b : bodies) {
+    total_mass += b.mass;
+    for (int d = 0; d < 3; ++d) com[d] += b.mass * b.pos[d];
+    const double r2 =
+        b.pos[0] * b.pos[0] + b.pos[1] * b.pos[1] + b.pos[2] * b.pos[2];
+    inside_unit += (r2 < 1.0);
+  }
+  EXPECT_NEAR(total_mass, 1.0, 1e-9);
+  for (double c : com) EXPECT_NEAR(c, 0.0, 0.05);
+  // Plummer: ~35% of the mass lies within the scale radius (r < 1).
+  const double frac =
+      static_cast<double>(inside_unit) / static_cast<double>(cfg.bodies);
+  EXPECT_GT(frac, 0.25);
+  EXPECT_LT(frac, 0.45);
+}
+
+TEST(BarnesGenerate, Deterministic) {
+  BarnesConfig cfg = small_config();
+  const auto a = apps::barnes_generate(cfg);
+  const auto b = apps::barnes_generate(cfg);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].pos[0], b[i].pos[0]);
+    EXPECT_EQ(a[i].vel[2], b[i].vel[2]);
+  }
+}
+
+TEST(BarnesSerial, TreeForcesApproximateDirect) {
+  BarnesConfig cfg = small_config();
+  cfg.theta = 0.5;
+  auto bodies = apps::barnes_generate(cfg);
+  auto reference = bodies;
+  apps::barnes_direct_forces(reference, cfg);
+
+  // One force evaluation: run 1 step with dt=0 so positions stay put.
+  BarnesConfig frozen = cfg;
+  frozen.dt = 0.0;
+  const auto result = apps::barnes_serial(bodies, frozen);
+  const double err = apps::barnes_max_rel_acc_error(result.bodies, reference);
+  EXPECT_LT(err, 0.05);  // theta=0.5 multipole acceptance
+  EXPECT_GT(result.interactions, bodies.size());  // nontrivial traversal
+  // Fewer interactions than direct N^2 even at this small N...
+  EXPECT_LT(result.interactions, bodies.size() * bodies.size());
+  // ...and the growth is subquadratic (doubling N must much less than
+  // quadruple the interactions — the O(N log N) tree at work).
+  BarnesConfig big = frozen;
+  big.bodies = 2 * cfg.bodies;
+  auto big_bodies = apps::barnes_generate(big);
+  const auto big_result = apps::barnes_serial(big_bodies, big);
+  EXPECT_LT(static_cast<double>(big_result.interactions),
+            3.6 * static_cast<double>(result.interactions));
+}
+
+struct BarnesParam {
+  EngineKind engine;
+  SchedKind sched;
+};
+
+class BarnesParallelTest : public ::testing::TestWithParam<BarnesParam> {};
+
+TEST_P(BarnesParallelTest, FineMatchesSerial) {
+  BarnesConfig cfg = small_config();
+  auto bodies = apps::barnes_generate(cfg);
+  const auto serial = apps::barnes_serial(bodies, cfg);
+
+  RuntimeOptions o;
+  o.engine = GetParam().engine;
+  o.sched = GetParam().sched;
+  o.nprocs = 4;
+  o.default_stack_size = 8 << 10;
+  apps::BarnesResult fine;
+  run(o, [&] { fine = apps::barnes_fine(bodies, cfg); });
+  ASSERT_EQ(fine.bodies.size(), serial.bodies.size());
+  // Same tree => same interaction multiset; leaf summation order may differ,
+  // so positions agree to fp-accumulation tolerance.
+  EXPECT_EQ(fine.interactions, serial.interactions);
+  double worst = 0;
+  for (std::size_t i = 0; i < fine.bodies.size(); ++i) {
+    for (int d = 0; d < 3; ++d) {
+      worst = std::max(worst,
+                       std::fabs(fine.bodies[i].pos[d] - serial.bodies[i].pos[d]));
+    }
+  }
+  EXPECT_LT(worst, 1e-9);
+}
+
+TEST_P(BarnesParallelTest, CoarseMatchesSerial) {
+  BarnesConfig cfg = small_config();
+  auto bodies = apps::barnes_generate(cfg);
+  const auto serial = apps::barnes_serial(bodies, cfg);
+
+  RuntimeOptions o;
+  o.engine = GetParam().engine;
+  o.sched = GetParam().sched;
+  o.nprocs = 4;
+  o.default_stack_size = 8 << 10;
+  apps::BarnesResult coarse;
+  run(o, [&] { coarse = apps::barnes_coarse(bodies, cfg, 4); });
+  EXPECT_EQ(coarse.interactions, serial.interactions);
+  double worst = 0;
+  for (std::size_t i = 0; i < coarse.bodies.size(); ++i) {
+    for (int d = 0; d < 3; ++d) {
+      worst = std::max(
+          worst, std::fabs(coarse.bodies[i].pos[d] - serial.bodies[i].pos[d]));
+    }
+  }
+  EXPECT_LT(worst, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    EnginesSchedulers, BarnesParallelTest,
+    ::testing::Values(BarnesParam{EngineKind::Sim, SchedKind::AsyncDf},
+                      BarnesParam{EngineKind::Sim, SchedKind::Fifo},
+                      BarnesParam{EngineKind::Real, SchedKind::AsyncDf},
+                      BarnesParam{EngineKind::Real, SchedKind::WorkSteal}),
+    [](const ::testing::TestParamInfo<BarnesParam>& info) {
+      return std::string(to_string(info.param.engine)) + "_" +
+             to_string(info.param.sched);
+    });
+
+TEST(Barnes, EnergyRoughlyConservedOverSteps) {
+  BarnesConfig cfg = small_config();
+  cfg.bodies = 800;
+  cfg.timesteps = 5;
+  auto bodies = apps::barnes_generate(cfg);
+  const double e0 = apps::barnes_total_energy(bodies, cfg.eps);
+  const auto result = apps::barnes_serial(bodies, cfg);
+  const double e1 = apps::barnes_total_energy(result.bodies, cfg.eps);
+  // Leapfrog + tree approximation: small drift expected, blowup is a bug.
+  EXPECT_LT(std::fabs(e1 - e0), 0.15 * std::fabs(e0) + 0.02);
+}
+
+}  // namespace
+}  // namespace dfth

@@ -1,0 +1,126 @@
+// Decision-tree builder: generator, serial build sanity, and the threaded
+// build producing the identical tree.
+#include "apps/dtree/dtree.h"
+
+#include <gtest/gtest.h>
+
+#include "runtime/api.h"
+
+namespace dfth {
+namespace {
+
+using apps::DtreeConfig;
+using apps::Instance;
+
+DtreeConfig small_config() {
+  DtreeConfig cfg;
+  cfg.instances = 8000;
+  cfg.serial_cutoff = 500;
+  cfg.min_leaf = 32;
+  return cfg;
+}
+
+TEST(DtreeGenerate, ShapeAndDeterminism) {
+  DtreeConfig cfg = small_config();
+  const auto a = apps::dtree_generate(cfg);
+  const auto b = apps::dtree_generate(cfg);
+  ASSERT_EQ(a.size(), cfg.instances);
+  std::size_t positives = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    for (int k = 0; k < apps::kDtreeAttrs; ++k) {
+      EXPECT_EQ(a[i].attr[k], b[i].attr[k]);
+    }
+    EXPECT_EQ(a[i].label, b[i].label);
+    positives += a[i].label;
+  }
+  // Balanced-ish classes.
+  EXPECT_GT(positives, cfg.instances / 3);
+  EXPECT_LT(positives, cfg.instances * 2 / 3);
+}
+
+TEST(DtreeSerial, LearnsBetterThanChance) {
+  DtreeConfig cfg = small_config();
+  const auto data = apps::dtree_generate(cfg);
+  const auto tree = apps::dtree_build_serial(data, cfg);
+  ASSERT_NE(tree, nullptr);
+  const double acc = apps::dtree_accuracy(*tree, data);
+  // Gaussian clusters with 8% label noise: a real tree should fit well
+  // above the 50% base rate.
+  EXPECT_GT(acc, 0.75);
+  const auto shape = apps::dtree_shape(*tree);
+  EXPECT_GT(shape.nodes, 10u);  // a nontrivial, multi-split tree
+  EXPECT_EQ(shape.nodes, 2 * shape.leaves - 1);  // proper binary tree
+}
+
+TEST(DtreeSerial, RespectsMinLeafAndDepth) {
+  DtreeConfig cfg = small_config();
+  cfg.max_depth = 4;
+  const auto data = apps::dtree_generate(cfg);
+  const auto tree = apps::dtree_build_serial(data, cfg);
+  const auto shape = apps::dtree_shape(*tree);
+  EXPECT_LE(shape.depth, 5);  // depth counts nodes, max_depth counts splits
+}
+
+struct DtreeParam {
+  EngineKind engine;
+  SchedKind sched;
+};
+
+class DtreeParallelTest : public ::testing::TestWithParam<DtreeParam> {};
+
+TEST_P(DtreeParallelTest, ThreadedBuildsIdenticalTree) {
+  DtreeConfig cfg = small_config();
+  const auto data = apps::dtree_generate(cfg);
+  const auto serial_tree = apps::dtree_build_serial(data, cfg);
+
+  RuntimeOptions o;
+  o.engine = GetParam().engine;
+  o.sched = GetParam().sched;
+  o.nprocs = 4;
+  o.default_stack_size = 8 << 10;
+  std::unique_ptr<apps::DtreeNode> threaded_tree;
+  RunStats stats = run(o, [&] {
+    threaded_tree = apps::dtree_build_threaded(data, cfg);
+  });
+  ASSERT_NE(threaded_tree, nullptr);
+  EXPECT_TRUE(apps::dtree_equal(*serial_tree, *threaded_tree));
+  EXPECT_GT(stats.threads_created, 10u);  // actually went parallel
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    EnginesSchedulers, DtreeParallelTest,
+    ::testing::Values(DtreeParam{EngineKind::Sim, SchedKind::Fifo},
+                      DtreeParam{EngineKind::Sim, SchedKind::AsyncDf},
+                      DtreeParam{EngineKind::Sim, SchedKind::WorkSteal},
+                      DtreeParam{EngineKind::Real, SchedKind::AsyncDf}),
+    [](const ::testing::TestParamInfo<DtreeParam>& info) {
+      return std::string(to_string(info.param.engine)) + "_" +
+             to_string(info.param.sched);
+    });
+
+TEST(Dtree, ClassifyFollowsSplits) {
+  // Hand-built stump: attr0 <= 0 -> class 0, else class 1.
+  apps::DtreeNode root;
+  root.leaf = false;
+  root.attr = 0;
+  root.threshold = 0.0f;
+  root.left = std::make_unique<apps::DtreeNode>();
+  root.left->majority = 0;
+  root.right = std::make_unique<apps::DtreeNode>();
+  root.right->majority = 1;
+  Instance lo{{-1, 0, 0, 0}, 0}, hi{{1, 0, 0, 0}, 1};
+  EXPECT_EQ(apps::dtree_classify(root, lo), 0);
+  EXPECT_EQ(apps::dtree_classify(root, hi), 1);
+}
+
+TEST(Dtree, PureDataYieldsSingleLeaf) {
+  DtreeConfig cfg = small_config();
+  auto data = apps::dtree_generate(cfg);
+  for (auto& inst : data) inst.label = 1;
+  const auto tree = apps::dtree_build_serial(data, cfg);
+  EXPECT_TRUE(tree->leaf);
+  EXPECT_EQ(tree->majority, 1);
+}
+
+}  // namespace
+}  // namespace dfth

@@ -1,0 +1,120 @@
+// FFT correctness: against the naive DFT, inverse round trips, Parseval,
+// and scheduler/thread-count insensitivity of the result.
+#include "apps/fft/fft.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "runtime/api.h"
+
+namespace dfth {
+namespace {
+
+using apps::Complex;
+using apps::FftPlan;
+
+class FftSizeTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FftSizeTest, SerialMatchesNaiveDft) {
+  const std::size_t n = GetParam();
+  std::vector<Complex> in(n), out(n), oracle(n);
+  apps::fft_fill(in.data(), n, n);
+  FftPlan plan(n);
+  plan.execute_serial(in.data(), out.data());
+  apps::naive_dft(in.data(), oracle.data(), n);
+  EXPECT_LT(apps::fft_max_abs_diff(out.data(), oracle.data(), n),
+            1e-9 * static_cast<double>(n));
+}
+
+INSTANTIATE_TEST_SUITE_P(PowersOfTwo, FftSizeTest,
+                         ::testing::Values(1, 2, 4, 8, 16, 64, 256, 1024));
+
+TEST(Fft, InverseRoundTrip) {
+  const std::size_t n = 4096;
+  std::vector<Complex> in(n), freq(n), back(n);
+  apps::fft_fill(in.data(), n, 5);
+  FftPlan fwd(n), inv(n, /*inverse=*/true);
+  fwd.execute_serial(in.data(), freq.data());
+  inv.execute_serial(freq.data(), back.data());
+  for (auto& v : back) v /= static_cast<double>(n);
+  EXPECT_LT(apps::fft_max_abs_diff(in.data(), back.data(), n), 1e-10);
+}
+
+TEST(Fft, Parseval) {
+  const std::size_t n = 1 << 14;
+  std::vector<Complex> in(n), out(n);
+  apps::fft_fill(in.data(), n, 9);
+  FftPlan plan(n);
+  plan.execute_serial(in.data(), out.data());
+  double time_energy = 0, freq_energy = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    time_energy += std::norm(in[i]);
+    freq_energy += std::norm(out[i]);
+  }
+  EXPECT_NEAR(freq_energy / static_cast<double>(n), time_energy,
+              1e-8 * time_energy);
+}
+
+struct FftThreadParam {
+  SchedKind sched;
+  int nthreads;
+};
+
+class FftThreadedTest : public ::testing::TestWithParam<FftThreadParam> {};
+
+TEST_P(FftThreadedTest, ThreadedMatchesSerial) {
+  const std::size_t n = 1 << 12;
+  std::vector<Complex> in(n), serial(n), parallel(n);
+  apps::fft_fill(in.data(), n, 11);
+  FftPlan plan(n);
+  plan.execute_serial(in.data(), serial.data());
+
+  RuntimeOptions o;
+  o.engine = EngineKind::Sim;
+  o.sched = GetParam().sched;
+  o.nprocs = 4;
+  o.default_stack_size = 8 << 10;
+  RunStats stats = run(o, [&] {
+    plan.execute_threaded(in.data(), parallel.data(), GetParam().nthreads);
+  });
+  EXPECT_LT(apps::fft_max_abs_diff(serial.data(), parallel.data(), n), 1e-12);
+  // FFTW's model: nthreads - 1 forks (plus the main thread).
+  EXPECT_EQ(stats.threads_created,
+            static_cast<std::uint64_t>(GetParam().nthreads));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SchedsAndCounts, FftThreadedTest,
+    ::testing::Values(FftThreadParam{SchedKind::Fifo, 4},
+                      FftThreadParam{SchedKind::AsyncDf, 4},
+                      FftThreadParam{SchedKind::AsyncDf, 256},
+                      FftThreadParam{SchedKind::Fifo, 256},
+                      FftThreadParam{SchedKind::WorkSteal, 16},
+                      FftThreadParam{SchedKind::Lifo, 7}),
+    [](const ::testing::TestParamInfo<FftThreadParam>& info) {
+      return std::string(to_string(info.param.sched)) + "_" +
+             std::to_string(info.param.nthreads);
+    });
+
+TEST(Fft, ThreadedOnRealEngine) {
+  const std::size_t n = 1 << 12;
+  std::vector<Complex> in(n), serial(n), parallel(n);
+  apps::fft_fill(in.data(), n, 13);
+  FftPlan plan(n);
+  plan.execute_serial(in.data(), serial.data());
+  RuntimeOptions o;
+  o.engine = EngineKind::Real;
+  o.nprocs = 4;
+  run(o, [&] { plan.execute_threaded(in.data(), parallel.data(), 32); });
+  EXPECT_LT(apps::fft_max_abs_diff(serial.data(), parallel.data(), n), 1e-12);
+}
+
+TEST(Fft, TotalOpsFormula) {
+  EXPECT_EQ(apps::fft_total_ops(8), 5u * 8 * 3);
+  EXPECT_EQ(apps::fft_total_ops(1 << 20), 5ull * (1 << 20) * 20);
+}
+
+}  // namespace
+}  // namespace dfth

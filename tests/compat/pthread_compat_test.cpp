@@ -1,0 +1,187 @@
+// The Pthreads source-compatibility layer: a classic pthread-style program
+// (C call shapes, function pointers, void* arguments) running unchanged on
+// the DFThreads runtime — the paper's "any existing Pthreads program can be
+// executed using our space-efficient scheduler".
+#include "compat/dfth_pthread.h"
+
+#include <gtest/gtest.h>
+
+#include "runtime/api.h"
+
+namespace {
+
+// --------- a pthread-style worker crew, written as C would write it ---------
+
+struct CrewShared {
+  dfth_pthread_mutex_t mu;
+  dfth_pthread_cond_t work_ready;
+  dfth_pthread_barrier_t barrier;
+  int next_item = 0;
+  int items = 0;
+  long long sum = 0;
+  bool go = false;
+};
+
+struct CrewArg {
+  CrewShared* shared;
+  int id;
+  long long local_sum = 0;
+};
+
+void* crew_worker(void* argp) {
+  auto* arg = static_cast<CrewArg*>(argp);
+  CrewShared* s = arg->shared;
+
+  dfth_pthread_mutex_lock(&s->mu);
+  while (!s->go) dfth_pthread_cond_wait(&s->work_ready, &s->mu);
+  dfth_pthread_mutex_unlock(&s->mu);
+
+  while (true) {
+    dfth_pthread_mutex_lock(&s->mu);
+    const int item = s->next_item < s->items ? s->next_item++ : -1;
+    dfth_pthread_mutex_unlock(&s->mu);
+    if (item < 0) break;
+    arg->local_sum += item;
+  }
+
+  dfth_pthread_barrier_wait(&s->barrier);
+
+  dfth_pthread_mutex_lock(&s->mu);
+  s->sum += arg->local_sum;
+  dfth_pthread_mutex_unlock(&s->mu);
+  return arg;
+}
+
+TEST(PthreadCompat, WorkerCrewProgramRunsUnchanged) {
+  for (dfth::EngineKind engine : {dfth::EngineKind::Sim, dfth::EngineKind::Real}) {
+    dfth::RuntimeOptions o;
+    o.engine = engine;
+    o.sched = dfth::SchedKind::AsyncDf;
+    o.nprocs = 4;
+    o.default_stack_size = 8 << 10;
+    long long result = 0;
+    dfth::run(o, [&] {
+      constexpr int kWorkers = 6;
+      CrewShared shared;
+      shared.items = 1000;
+      dfth_pthread_mutex_init(&shared.mu);
+      dfth_pthread_cond_init(&shared.work_ready);
+      dfth_pthread_barrier_init(&shared.barrier, nullptr, kWorkers);
+
+      CrewArg args[kWorkers];
+      dfth_pthread_t workers[kWorkers];
+      dfth_pthread_attr_t attr;
+      dfth_pthread_attr_init(&attr);
+      dfth_pthread_attr_setstacksize(&attr, 8 << 10);
+      for (int i = 0; i < kWorkers; ++i) {
+        args[i] = CrewArg{&shared, i};
+        ASSERT_EQ(dfth_pthread_create(&workers[i], &attr, crew_worker, &args[i]), 0);
+      }
+
+      dfth_pthread_mutex_lock(&shared.mu);
+      shared.go = true;
+      dfth_pthread_cond_broadcast(&shared.work_ready);
+      dfth_pthread_mutex_unlock(&shared.mu);
+
+      for (auto& w : workers) {
+        void* ret = nullptr;
+        ASSERT_EQ(dfth_pthread_join(w, &ret), 0);
+        ASSERT_NE(ret, nullptr);
+      }
+      result = shared.sum;
+      dfth_pthread_barrier_destroy(&shared.barrier);
+    });
+    EXPECT_EQ(result, 999LL * 1000 / 2) << to_string(engine);
+  }
+}
+
+// --------- attributes, scope, detach, TLS, once ---------
+
+std::atomic<int> g_once_calls{0};
+void once_fn() { g_once_calls.fetch_add(1); }
+
+void* tls_worker(void* keyp) {
+  const auto key = *static_cast<dfth_pthread_key_t*>(keyp);
+  dfth_pthread_setspecific(key, reinterpret_cast<void*>(dfth_pthread_self()));
+  dfth_sched_yield();
+  const auto back = reinterpret_cast<std::uint64_t>(dfth_pthread_getspecific(key));
+  return reinterpret_cast<void*>(static_cast<intptr_t>(back == dfth_pthread_self()));
+}
+
+TEST(PthreadCompat, OnceTlsScopeDetach) {
+  dfth::RuntimeOptions o;
+  o.engine = dfth::EngineKind::Real;
+  o.nprocs = 2;
+  o.default_stack_size = 8 << 10;
+  g_once_calls = 0;
+  dfth::run(o, [&] {
+    static dfth_pthread_once_t once;
+    dfth_pthread_once(&once, once_fn);
+    dfth_pthread_once(&once, once_fn);
+
+    dfth_pthread_key_t key;
+    dfth_pthread_key_create(&key);
+    dfth_pthread_t threads[8];
+    for (auto& t : threads) {
+      ASSERT_EQ(dfth_pthread_create(&t, nullptr, tls_worker, &key), 0);
+    }
+    for (auto& t : threads) {
+      void* ok = nullptr;
+      dfth_pthread_join(t, &ok);
+      EXPECT_EQ(reinterpret_cast<intptr_t>(ok), 1);
+    }
+
+    // Bound ("system scope") thread through the attr API.
+    dfth_pthread_attr_t attr;
+    dfth_pthread_attr_init(&attr);
+    dfth_pthread_attr_setscope(&attr, DFTH_PTHREAD_SCOPE_SYSTEM);
+    dfth_pthread_t bound;
+    ASSERT_EQ(dfth_pthread_create(
+                  &bound, &attr,
+                  [](void*) -> void* { return reinterpret_cast<void*>(0x5); },
+                  nullptr),
+              0);
+    void* r = nullptr;
+    dfth_pthread_join(bound, &r);
+    EXPECT_EQ(r, reinterpret_cast<void*>(0x5));
+
+    // Detached thread via attr.
+    dfth_pthread_attr_setscope(&attr, DFTH_PTHREAD_SCOPE_PROCESS);
+    dfth_pthread_attr_setdetachstate(&attr, DFTH_PTHREAD_CREATE_DETACHED);
+    dfth_pthread_t detached;
+    ASSERT_EQ(dfth_pthread_create(
+                  &detached, &attr, [](void*) -> void* { return nullptr; },
+                  nullptr),
+              0);
+    // run() drains detached threads before returning.
+  });
+  EXPECT_EQ(g_once_calls.load(), 1);
+}
+
+// --------- rwlock + semaphore through the compat surface ---------
+
+TEST(PthreadCompat, RwlockAndSemaphore) {
+  dfth::RuntimeOptions o;
+  o.engine = dfth::EngineKind::Sim;
+  o.nprocs = 4;
+  dfth::run(o, [] {
+    dfth_pthread_rwlock_t lock;
+    EXPECT_EQ(dfth_pthread_rwlock_rdlock(&lock), 0);
+    EXPECT_EQ(dfth_pthread_rwlock_tryrdlock(&lock), 0);
+    EXPECT_NE(dfth_pthread_rwlock_trywrlock(&lock), 0);
+    dfth_pthread_rwlock_unlock_rd(&lock);
+    dfth_pthread_rwlock_unlock_rd(&lock);
+    EXPECT_EQ(dfth_pthread_rwlock_wrlock(&lock), 0);
+    dfth_pthread_rwlock_unlock_wr(&lock);
+
+    dfth_sem_t sem;
+    dfth_sem_init(&sem, 0, 2);
+    EXPECT_EQ(dfth_sem_trywait(&sem), 0);
+    EXPECT_EQ(dfth_sem_trywait(&sem), 0);
+    EXPECT_NE(dfth_sem_trywait(&sem), 0);
+    dfth_sem_post(&sem);
+    EXPECT_EQ(dfth_sem_wait(&sem), 0);
+  });
+}
+
+}  // namespace

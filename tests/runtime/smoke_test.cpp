@@ -1,0 +1,144 @@
+// End-to-end smoke tests: the API surface on both engines and all four
+// schedulers, with small fork trees.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+
+#include "runtime/api.h"
+#include "runtime/sync.h"
+
+namespace dfth {
+namespace {
+
+struct Config {
+  EngineKind engine;
+  SchedKind sched;
+};
+
+class SmokeTest : public ::testing::TestWithParam<Config> {
+ protected:
+  RuntimeOptions opts() const {
+    RuntimeOptions o;
+    o.engine = GetParam().engine;
+    o.sched = GetParam().sched;
+    o.nprocs = 4;
+    o.default_stack_size = 8 << 10;
+    return o;
+  }
+};
+
+std::string config_name(const ::testing::TestParamInfo<Config>& info) {
+  return std::string(to_string(info.param.engine)) + "_" +
+         to_string(info.param.sched);
+}
+
+TEST_P(SmokeTest, SpawnJoinReturnsResult) {
+  RunStats stats = run(opts(), [] {
+    auto t = spawn([]() -> void* { return reinterpret_cast<void*>(0x42); });
+    EXPECT_EQ(join(t), reinterpret_cast<void*>(0x42));
+  });
+  EXPECT_EQ(stats.threads_created, 2u);
+}
+
+TEST_P(SmokeTest, ParallelSumOfForkTree) {
+  // Recursive fork tree computing sum 1..n; exercises nested spawn/join.
+  std::atomic<std::int64_t> result{0};
+  run(opts(), [&] {
+    struct Summer {
+      static std::int64_t sum(std::int64_t lo, std::int64_t hi) {
+        if (hi - lo < 8) {
+          std::int64_t s = 0;
+          for (std::int64_t i = lo; i < hi; ++i) s += i;
+          annotate_work(static_cast<std::uint64_t>(hi - lo));
+          return s;
+        }
+        const std::int64_t mid = lo + (hi - lo) / 2;
+        auto left = spawn([lo, mid]() -> void* {
+          return reinterpret_cast<void*>(sum(lo, mid));
+        });
+        const std::int64_t right = sum(mid, hi);
+        const auto leftv = reinterpret_cast<std::int64_t>(join(left));
+        return leftv + right;
+      }
+    };
+    result = Summer::sum(1, 1001);
+  });
+  EXPECT_EQ(result.load(), 500500);
+}
+
+TEST_P(SmokeTest, ManyThreads) {
+  std::atomic<int> count{0};
+  RunStats stats = run(opts(), [&] {
+    std::vector<Thread> threads;
+    threads.reserve(500);
+    for (int i = 0; i < 500; ++i) {
+      threads.push_back(spawn([&count]() -> void* {
+        count.fetch_add(1, std::memory_order_relaxed);
+        annotate_work(100);
+        return nullptr;
+      }));
+    }
+    for (auto& t : threads) join(t);
+  });
+  EXPECT_EQ(count.load(), 500);
+  EXPECT_EQ(stats.threads_created, 501u);
+  EXPECT_GE(stats.max_live_threads, 1);
+}
+
+TEST_P(SmokeTest, DetachedThreadsComplete) {
+  std::atomic<int> count{0};
+  run(opts(), [&] {
+    for (int i = 0; i < 32; ++i) {
+      Attr attr;
+      attr.detached = true;
+      spawn(
+          [&count]() -> void* {
+            count.fetch_add(1, std::memory_order_relaxed);
+            return nullptr;
+          },
+          attr);
+    }
+    // run() only returns when every thread, detached included, has exited.
+  });
+  EXPECT_EQ(count.load(), 32);
+}
+
+TEST_P(SmokeTest, DfMallocTracksAndFrees) {
+  RunStats stats = run(opts(), [] {
+    void* p = df_malloc(1 << 20);
+    ASSERT_NE(p, nullptr);
+    df_free(p);
+  });
+  EXPECT_GE(stats.heap_peak, 1 << 20);
+}
+
+TEST_P(SmokeTest, YieldIsHarmless) {
+  run(opts(), [] {
+    auto t = spawn([]() -> void* {
+      for (int i = 0; i < 10; ++i) yield();
+      return nullptr;
+    });
+    for (int i = 0; i < 10; ++i) yield();
+    join(t);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllEnginesAllSchedulers, SmokeTest,
+    ::testing::Values(Config{EngineKind::Sim, SchedKind::Fifo},
+                      Config{EngineKind::Sim, SchedKind::Lifo},
+                      Config{EngineKind::Sim, SchedKind::AsyncDf},
+                      Config{EngineKind::Sim, SchedKind::WorkSteal},
+                      Config{EngineKind::Sim, SchedKind::ClusteredAdf},
+                      Config{EngineKind::Sim, SchedKind::DfDeques},
+                      Config{EngineKind::Real, SchedKind::Fifo},
+                      Config{EngineKind::Real, SchedKind::Lifo},
+                      Config{EngineKind::Real, SchedKind::AsyncDf},
+                      Config{EngineKind::Real, SchedKind::WorkSteal},
+                      Config{EngineKind::Real, SchedKind::ClusteredAdf},
+                      Config{EngineKind::Real, SchedKind::DfDeques}),
+    config_name);
+
+}  // namespace
+}  // namespace dfth

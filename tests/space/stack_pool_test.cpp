@@ -1,0 +1,81 @@
+#include "space/stack_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <csetjmp>
+#include <csignal>
+#include <cstring>
+
+namespace dfth {
+namespace {
+
+TEST(StackPool, AcquireGivesWritableRegion) {
+  auto& pool = StackPool::instance();
+  Stack s = pool.acquire(32 << 10);
+  ASSERT_TRUE(s);
+  EXPECT_GE(s.size, 32u << 10);
+  // Entire usable region is writable.
+  std::memset(s.base, 0x5A, s.size);
+  pool.release(s);
+}
+
+TEST(StackPool, ReusesSameSizeClass) {
+  auto& pool = StackPool::instance();
+  pool.begin_epoch();
+  Stack a = pool.acquire(64 << 10);
+  void* base = a.base;
+  pool.release(a);
+  Stack b = pool.acquire(64 << 10);
+  EXPECT_EQ(b.base, base);
+  EXPECT_FALSE(b.fresh);
+  EXPECT_EQ(pool.reuse_count(), 1u);
+  pool.release(b);
+}
+
+TEST(StackPool, DifferentSizesDoNotMix) {
+  auto& pool = StackPool::instance();
+  pool.trim();
+  Stack a = pool.acquire(16 << 10);
+  pool.release(a);
+  Stack b = pool.acquire(32 << 10);
+  EXPECT_TRUE(b.fresh);
+  pool.release(b);
+  pool.trim();
+}
+
+TEST(StackPool, LivePeakAccounting) {
+  auto& pool = StackPool::instance();
+  pool.trim();
+  pool.begin_epoch();
+  const auto base_live = pool.live_bytes();
+  Stack a = pool.acquire(16 << 10);
+  Stack b = pool.acquire(16 << 10);
+  EXPECT_EQ(pool.live_bytes(), base_live + 2 * (16 << 10));
+  pool.release(a);
+  EXPECT_EQ(pool.live_bytes(), base_live + (16 << 10));
+  EXPECT_GE(pool.peak_bytes(), base_live + 2 * (16 << 10));
+  pool.release(b);
+}
+
+TEST(StackPool, SizeRoundsToPages) {
+  auto& pool = StackPool::instance();
+  Stack s = pool.acquire(1);  // sub-page request
+  EXPECT_GE(s.size, 4096u);
+  EXPECT_EQ(s.size % 4096, 0u);
+  pool.release(s);
+}
+
+TEST(StackPoolDeathTest, GuardPageCatchesOverflow) {
+  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  EXPECT_DEATH(
+      {
+        auto& pool = StackPool::instance();
+        Stack s = pool.acquire(8 << 10);
+        // Write below the usable region — into the PROT_NONE guard page.
+        static_cast<char*>(s.base)[-1] = 1;
+      },
+      "");
+}
+
+}  // namespace
+}  // namespace dfth

@@ -1,0 +1,92 @@
+#include "util/cli.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace dfth {
+namespace {
+
+// argv builder (non-const char* as main() receives).
+struct Argv {
+  explicit Argv(std::vector<std::string> args) : storage(std::move(args)) {
+    ptrs.push_back(prog);
+    for (auto& s : storage) ptrs.push_back(s.data());
+  }
+  int argc() const { return static_cast<int>(ptrs.size()); }
+  char** argv() { return ptrs.data(); }
+
+  char prog[5] = "test";
+  std::vector<std::string> storage;
+  std::vector<char*> ptrs;
+};
+
+TEST(Cli, DefaultsWhenUnset) {
+  Cli cli("t", "test");
+  auto* n = cli.int_opt("n", 42, "");
+  auto* f = cli.flag("fast", false, "");
+  Argv a({});
+  EXPECT_TRUE(cli.parse(a.argc(), a.argv()));
+  EXPECT_EQ(*n, 42);
+  EXPECT_FALSE(*f);
+}
+
+TEST(Cli, ParsesSeparateAndEqualsForms) {
+  Cli cli("t", "test");
+  auto* n = cli.int_opt("n", 0, "");
+  auto* r = cli.double_opt("rate", 0.0, "");
+  auto* s = cli.str_opt("name", "", "");
+  Argv a({"--n", "7", "--rate=2.5", "--name=matmul"});
+  EXPECT_TRUE(cli.parse(a.argc(), a.argv()));
+  EXPECT_EQ(*n, 7);
+  EXPECT_DOUBLE_EQ(*r, 2.5);
+  EXPECT_EQ(*s, "matmul");
+}
+
+TEST(Cli, BareBooleanFlag) {
+  Cli cli("t", "test");
+  auto* f = cli.flag("full", false, "");
+  Argv a({"--full"});
+  EXPECT_TRUE(cli.parse(a.argc(), a.argv()));
+  EXPECT_TRUE(*f);
+}
+
+TEST(Cli, BooleanExplicitValue) {
+  Cli cli("t", "test");
+  auto* f = cli.flag("full", true, "");
+  Argv a({"--full=false"});
+  EXPECT_TRUE(cli.parse(a.argc(), a.argv()));
+  EXPECT_FALSE(*f);
+}
+
+TEST(Cli, HelpReturnsFalse) {
+  Cli cli("t", "test");
+  Argv a({"--help"});
+  EXPECT_FALSE(cli.parse(a.argc(), a.argv()));
+}
+
+TEST(Cli, UnknownFlagDies) {
+  Cli cli("t", "test");
+  Argv a({"--bogus", "1"});
+  EXPECT_EXIT(cli.parse(a.argc(), a.argv()), ::testing::ExitedWithCode(2), "unknown");
+}
+
+TEST(Cli, BadIntegerDies) {
+  Cli cli("t", "test");
+  cli.int_opt("n", 0, "");
+  Argv a({"--n", "abc"});
+  EXPECT_EXIT(cli.parse(a.argc(), a.argv()), ::testing::ExitedWithCode(2), "bad integer");
+}
+
+TEST(Cli, NegativeAndHexIntegers) {
+  Cli cli("t", "test");
+  auto* n = cli.int_opt("n", 0, "");
+  auto* k = cli.int_opt("k", 0, "");
+  Argv a({"--n", "-12", "--k", "0x40"});
+  EXPECT_TRUE(cli.parse(a.argc(), a.argv()));
+  EXPECT_EQ(*n, -12);
+  EXPECT_EQ(*k, 64);
+}
+
+}  // namespace
+}  // namespace dfth

@@ -1,0 +1,72 @@
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+namespace dfth {
+namespace {
+
+TEST(RunningStat, BasicMoments) {
+  RunningStat s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_NEAR(s.stddev(), 2.138, 1e-3);  // sample stddev
+}
+
+TEST(RunningStat, EmptyIsZero) {
+  RunningStat s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+}
+
+TEST(RunningStat, MergeMatchesCombined) {
+  RunningStat a, b, all;
+  for (int i = 0; i < 100; ++i) {
+    const double v = i * 0.37 - 5.0;
+    (i % 2 ? a : b).add(v);
+    all.add(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(Histogram, BucketsAndOverflow) {
+  Histogram h(0.0, 10.0, 10);
+  for (int i = 0; i < 10; ++i) h.add(i + 0.5);
+  h.add(-1.0);
+  h.add(42.0);
+  EXPECT_EQ(h.total(), 12u);
+  for (std::size_t i = 0; i < 10; ++i) EXPECT_EQ(h.bucket(i), 1u);
+}
+
+TEST(Histogram, PercentileMonotone) {
+  Histogram h(0.0, 100.0, 100);
+  for (int i = 0; i < 1000; ++i) h.add(static_cast<double>(i % 100));
+  EXPECT_LE(h.percentile(10), h.percentile(50));
+  EXPECT_LE(h.percentile(50), h.percentile(90));
+  EXPECT_NEAR(h.percentile(50), 50.0, 2.0);
+}
+
+TEST(HighWater, TracksPeak) {
+  HighWater hw;
+  hw.add(100);
+  hw.add(-40);
+  hw.add(30);
+  EXPECT_EQ(hw.current(), 90);
+  EXPECT_EQ(hw.peak(), 100);
+  hw.add(50);
+  EXPECT_EQ(hw.peak(), 140);
+  hw.reset();
+  EXPECT_EQ(hw.current(), 0);
+  EXPECT_EQ(hw.peak(), 0);
+}
+
+}  // namespace
+}  // namespace dfth

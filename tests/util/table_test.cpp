@@ -1,0 +1,53 @@
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+namespace dfth {
+namespace {
+
+TEST(Table, AlignsColumns) {
+  Table t({"name", "value"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer-name", "23456"});
+  const std::string s = t.to_string();
+  // Both data lines end at an aligned "value" column.
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("longer-name"), std::string::npos);
+  EXPECT_NE(s.find("-----"), std::string::npos);
+}
+
+TEST(Table, FormatHelpers) {
+  EXPECT_EQ(Table::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::fmt_int(-7), "-7");
+  EXPECT_EQ(Table::fmt_bytes(512), "512 B");
+  EXPECT_EQ(Table::fmt_bytes(2048), "2.0 KB");
+  EXPECT_EQ(Table::fmt_bytes(3 << 20), "3.0 MB");
+  EXPECT_EQ(Table::fmt_bytes(5LL << 30), "5.00 GB");
+}
+
+TEST(Table, CsvRoundTrip) {
+  Table t({"a", "b"});
+  t.add_row({"1", "2"});
+  t.add_row({"3", "4"});
+  const std::string path = ::testing::TempDir() + "/dfth_table_test.csv";
+  ASSERT_TRUE(t.write_csv(path));
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  char buf[256];
+  ASSERT_NE(std::fgets(buf, sizeof buf, f), nullptr);
+  EXPECT_STREQ(buf, "a,b\n");
+  ASSERT_NE(std::fgets(buf, sizeof buf, f), nullptr);
+  EXPECT_STREQ(buf, "1,2\n");
+  std::fclose(f);
+  std::remove(path.c_str());
+}
+
+TEST(Table, RowWidthMismatchAborts) {
+  Table t({"a", "b"});
+  EXPECT_DEATH(t.add_row({"only-one"}), "row width");
+}
+
+}  // namespace
+}  // namespace dfth
