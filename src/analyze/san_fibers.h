@@ -1,0 +1,205 @@
+// Sanitizer fiber annotations — the glue that keeps ASan and TSan coherent
+// across user-level context switches.
+//
+// Off-the-shelf sanitizers assume one stack per kernel thread. This runtime
+// multiplexes thousands of fiber stacks over a few kernel threads, so
+// without help ASan misattributes every frame after a switch (its
+// fake-stack and stack-bounds state still describe the previous fiber) and
+// TSan's shadow call stack walks off into another fiber's history. Both
+// sanitizers export an annotation API for exactly this situation:
+//
+//  * ASan/common: __sanitizer_start_switch_fiber must run immediately
+//    before a stack switch (passing the destination stack's bounds) and
+//    __sanitizer_finish_switch_fiber immediately after control lands on the
+//    new stack. Passing a null fake-stack slot on the *final* switch out of
+//    a dying fiber frees its fake stack.
+//  * TSan: every fiber needs a __tsan_create_fiber context; the switcher
+//    calls __tsan_switch_to_fiber right before the real switch and
+//    __tsan_destroy_fiber once the fiber has exited.
+//
+// The functions below are called from the context backends
+// (threads/context_asm.cpp, threads/context_ucontext.cpp) and from the
+// engines' exit/cleanup paths. Everything compiles to nothing when neither
+// sanitizer is active, preserving the fast path exactly.
+//
+// Host-thread stacks: worker/loop contexts are created implicitly by their
+// first save, so their bounds are unknown up front. We recover them from
+// __sanitizer_finish_switch_fiber, which reports the bounds of the stack
+// just switched away from: the switching side records itself in a
+// thread-local (`tl_switch_from`), and the resumed side writes the reported
+// bounds back into that context the first time.
+#pragma once
+
+#include <cstddef>
+
+#include "threads/context.h"
+
+#if defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define DFTH_ASAN_ENABLED 1
+#endif
+#if __has_feature(thread_sanitizer)
+#define DFTH_TSAN_ENABLED 1
+#endif
+#endif
+#if defined(__SANITIZE_ADDRESS__) && !defined(DFTH_ASAN_ENABLED)
+#define DFTH_ASAN_ENABLED 1
+#endif
+#if defined(__SANITIZE_THREAD__) && !defined(DFTH_TSAN_ENABLED)
+#define DFTH_TSAN_ENABLED 1
+#endif
+
+#if defined(DFTH_ASAN_ENABLED)
+#include <sanitizer/asan_interface.h>
+#include <sanitizer/common_interface_defs.h>
+#endif
+#if defined(DFTH_TSAN_ENABLED)
+#include <sanitizer/tsan_interface.h>
+#endif
+
+namespace dfth {
+namespace san {
+
+/// True when either sanitizer's fiber annotations are compiled in.
+constexpr bool annotations_enabled() {
+#if defined(DFTH_ASAN_ENABLED) || defined(DFTH_TSAN_ENABLED)
+  return true;
+#else
+  return false;
+#endif
+}
+
+#if defined(DFTH_ASAN_ENABLED) || defined(DFTH_TSAN_ENABLED)
+
+/// The context that most recently initiated a switch on this kernel thread;
+/// the resumed side uses it to back-fill host-stack bounds (header comment).
+inline thread_local Context* tl_switch_from = nullptr;
+
+/// Records stack bounds and creates the TSan fiber for a freshly made
+/// context. Called from context_make.
+inline void fiber_made(Context* ctx, void* stack_lo, void* stack_hi) {
+  ctx->san.stack_bottom = stack_lo;
+  ctx->san.stack_bytes = static_cast<std::size_t>(static_cast<char*>(stack_hi) -
+                                                  static_cast<char*>(stack_lo));
+#if defined(DFTH_TSAN_ENABLED)
+  if (ctx->san.tsan_fiber == nullptr) {
+    ctx->san.tsan_fiber = __tsan_create_fiber(0);
+    ctx->san.tsan_fiber_owned = true;
+  }
+#endif
+}
+
+/// Runs immediately before the raw switch; `save` will resume later.
+inline void pre_switch(Context* save, const Context* restore) {
+#if defined(DFTH_ASAN_ENABLED)
+  __sanitizer_start_switch_fiber(&save->san.asan_fake_stack,
+                                 restore->san.stack_bottom,
+                                 restore->san.stack_bytes);
+#endif
+#if defined(DFTH_TSAN_ENABLED)
+  if (save->san.tsan_fiber == nullptr) {
+    // A host-thread context being saved for the first time: its TSan
+    // "fiber" is the kernel thread's own context, which we must not own.
+    save->san.tsan_fiber = __tsan_get_current_fiber();
+  }
+  __tsan_switch_to_fiber(restore->san.tsan_fiber, 0);
+#endif
+  tl_switch_from = save;
+}
+
+/// Runs immediately before the raw switch out of a fiber that never
+/// resumes: frees the dying fiber's ASan fake stack.
+inline void pre_final_switch(const Context* restore) {
+#if defined(DFTH_ASAN_ENABLED)
+  __sanitizer_start_switch_fiber(nullptr, restore->san.stack_bottom,
+                                 restore->san.stack_bytes);
+#endif
+#if defined(DFTH_TSAN_ENABLED)
+  __tsan_switch_to_fiber(restore->san.tsan_fiber, 0);
+#endif
+  tl_switch_from = nullptr;
+}
+
+/// Runs as the first action after a raw switch returned into `self`.
+inline void post_switch(Context* self) {
+#if defined(DFTH_ASAN_ENABLED)
+  const void* from_bottom = nullptr;
+  std::size_t from_bytes = 0;
+  __sanitizer_finish_switch_fiber(self->san.asan_fake_stack, &from_bottom,
+                                  &from_bytes);
+  self->san.asan_fake_stack = nullptr;
+  if (Context* from = tl_switch_from) {
+    if (from->san.stack_bottom == nullptr) {
+      from->san.stack_bottom = from_bottom;
+      from->san.stack_bytes = from_bytes;
+    }
+  }
+#else
+  (void)self;
+#endif
+  tl_switch_from = nullptr;
+}
+
+/// Runs as the first action of a brand-new fiber (via the entry shim).
+inline void fiber_started(Context* /*self*/) {
+#if defined(DFTH_ASAN_ENABLED)
+  const void* from_bottom = nullptr;
+  std::size_t from_bytes = 0;
+  __sanitizer_finish_switch_fiber(nullptr, &from_bottom, &from_bytes);
+  if (Context* from = tl_switch_from) {
+    if (from->san.stack_bottom == nullptr) {
+      from->san.stack_bottom = from_bottom;
+      from->san.stack_bytes = from_bytes;
+    }
+  }
+#endif
+  tl_switch_from = nullptr;
+}
+
+/// Entry shim installed by context_make in sanitizer builds so that every
+/// fiber's first action is fiber_started, with no engine cooperation needed.
+inline void entry_shim(void* arg) {
+  Context* ctx = static_cast<Context*>(arg);
+  fiber_started(ctx);
+  ctx->san.entry(ctx->san.entry_arg);
+}
+
+/// Tears down sanitizer state of an exited fiber (TSan fiber context).
+/// Idempotent; never touches host-thread contexts (tsan_fiber_owned guards).
+inline void fiber_released(Context* ctx) {
+#if defined(DFTH_TSAN_ENABLED)
+  if (ctx->san.tsan_fiber != nullptr && ctx->san.tsan_fiber_owned) {
+    __tsan_destroy_fiber(ctx->san.tsan_fiber);
+    ctx->san.tsan_fiber = nullptr;
+    ctx->san.tsan_fiber_owned = false;
+  }
+#else
+  (void)ctx;
+#endif
+}
+
+#endif  // DFTH_ASAN_ENABLED || DFTH_TSAN_ENABLED
+
+/// Marks a released fiber stack unaddressable so a stray pointer into a
+/// cached (but not live) stack is an ASan report, not silent reuse.
+inline void poison_stack(void* lo, std::size_t bytes) {
+#if defined(DFTH_ASAN_ENABLED)
+  __asan_poison_memory_region(lo, bytes);
+#else
+  (void)lo;
+  (void)bytes;
+#endif
+}
+
+/// Re-arms a stack region for use (pool reuse, or unmapping on trim).
+inline void unpoison_stack(void* lo, std::size_t bytes) {
+#if defined(DFTH_ASAN_ENABLED)
+  __asan_unpoison_memory_region(lo, bytes);
+#else
+  (void)lo;
+  (void)bytes;
+#endif
+}
+
+}  // namespace san
+}  // namespace dfth

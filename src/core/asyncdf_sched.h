@@ -36,7 +36,9 @@
 
 namespace dfth {
 
-class AsyncDfScheduler final : public Scheduler {
+// Not final: the invariant-auditor tests subclass it with a deliberately
+// wrong pick_next to prove the auditor catches scheduler bugs.
+class AsyncDfScheduler : public Scheduler {
  public:
   SchedKind kind() const override { return SchedKind::AsyncDf; }
   bool needs_quota() const override { return true; }
@@ -55,6 +57,12 @@ class AsyncDfScheduler final : public Scheduler {
 
   /// True iff `a` precedes `b` in the serial order (same priority only).
   bool serial_before(const Tcb* a, const Tcb* b) const;
+
+  /// Direct view of one priority level's serial-order list (the invariant
+  /// auditor re-checks leftmost dispatch and tag monotonicity through it).
+  const OrderList& order_list(int priority) const {
+    return lists_[static_cast<std::size_t>(priority)];
+  }
 
  private:
   std::array<OrderList, kNumPriorities> lists_;

@@ -2,6 +2,7 @@
 
 #include <memory>
 
+#include "analyze/auditor.h"
 #include "core/asyncdf_sched.h"
 #include "core/clustered_sched.h"
 #include "core/dfdeques_sched.h"
@@ -36,18 +37,26 @@ SchedKind sched_kind_from_string(const std::string& name) {
 
 std::unique_ptr<Scheduler> make_scheduler(SchedKind kind, int nprocs,
                                           std::uint64_t seed, int cluster_size) {
+  std::unique_ptr<Scheduler> sched;
   switch (kind) {
-    case SchedKind::Fifo: return std::make_unique<FifoScheduler>();
-    case SchedKind::Lifo: return std::make_unique<LifoScheduler>();
-    case SchedKind::AsyncDf: return std::make_unique<AsyncDfScheduler>();
+    case SchedKind::Fifo: sched = std::make_unique<FifoScheduler>(); break;
+    case SchedKind::Lifo: sched = std::make_unique<LifoScheduler>(); break;
+    case SchedKind::AsyncDf: sched = std::make_unique<AsyncDfScheduler>(); break;
     case SchedKind::WorkSteal:
-      return std::make_unique<WorkStealScheduler>(nprocs, seed);
+      sched = std::make_unique<WorkStealScheduler>(nprocs, seed);
+      break;
     case SchedKind::ClusteredAdf:
-      return std::make_unique<ClusteredAdfScheduler>(nprocs, cluster_size);
+      sched = std::make_unique<ClusteredAdfScheduler>(nprocs, cluster_size);
+      break;
     case SchedKind::DfDeques:
-      return std::make_unique<DfDequesScheduler>(nprocs);
+      sched = std::make_unique<DfDequesScheduler>(nprocs);
+      break;
   }
-  DFTH_CHECK_MSG(false, "unknown scheduler kind");
+  DFTH_CHECK_MSG(sched != nullptr, "unknown scheduler kind");
+#if DFTH_VALIDATE
+  sched = std::make_unique<analyze::AuditedScheduler>(std::move(sched));
+#endif
+  return sched;
 }
 
 }  // namespace dfth

@@ -70,6 +70,11 @@ class Scheduler {
   /// Number of threads currently in the ready structure (stats/tests).
   virtual std::size_t ready_count() const = 0;
 
+  /// The concrete policy object, unwrapping any validation decorator
+  /// (DFTH_VALIDATE builds wrap every policy in analyze::AuditedScheduler);
+  /// engines dynamic_cast this for policy-specific stats.
+  virtual Scheduler* underlying() { return this; }
+
   /// Serialization domain of a processor's queue operations: the simulator
   /// models one scheduler lock per domain. The single-list schedulers all
   /// share domain 0 (the paper's serialized global lock, §6); the clustered

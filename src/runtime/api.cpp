@@ -3,6 +3,9 @@
 #include <atomic>
 
 #include "graph/recorder.h"
+#if DFTH_VALIDATE
+#include "analyze/auditor.h"
+#endif
 #include "runtime/real_engine.h"
 #include "runtime/sim_engine.h"
 #include "space/tracked_heap.h"
@@ -133,6 +136,15 @@ void* df_malloc(std::size_t bytes) {
       insert_dummy_threads((bytes + quota - 1) / quota);
     }
   }
+#if DFTH_VALIDATE
+  // Audited after the dummy-tree insertion so the δ credit those dummies
+  // earn at registration is visible to the oversized-allocation check.
+  if (e && e->uses_alloc_quota()) {
+    if (analyze::InvariantAuditor* aud = analyze::active_auditor()) {
+      aud->on_alloc(e->current(), bytes, e->quota_bytes());
+    }
+  }
+#endif
   std::int64_t fresh = 0;
   void* p = TrackedHeap::instance().allocate_ex(bytes, &fresh);
   if (e) e->on_alloc(bytes, fresh);  // may quota-preempt the calling thread

@@ -44,6 +44,7 @@ RealEngine::RealEngine(const RuntimeOptions& opts) : opts_(opts) {
 RealEngine::~RealEngine() {
   for (Tcb* t : all_tcbs_) {
     if (t->stack) StackPool::instance().release(t->stack);
+    context_destroy(&t->ctx);
     delete t;
   }
 }
@@ -75,8 +76,7 @@ void RealEngine::fiber_entry(void* arg) {
   Worker* w = this_worker();
   w->post = Post::ExitCleanup;
   w->post_fiber = t;
-  context_switch(&t->ctx, &w->ctx);
-  DFTH_CHECK_MSG(false, "exited fiber resumed");
+  context_switch_final(&t->ctx, &w->ctx);
 }
 
 void RealEngine::finish_thread(Tcb* t) {
@@ -203,6 +203,8 @@ void RealEngine::yield() {
 void RealEngine::block_current(SpinLock* guard) {
   Tcb* cur = current();
   DFTH_CHECK(cur && cur->state.load(std::memory_order_relaxed) == ThreadState::Blocked);
+  DFTH_CHECK_MSG(guard->is_locked(),
+                 "block_current without holding the wait-list guard");
   Worker* w = this_worker();
   if (!w || cur->attr.bound) {
     // Bound threads have no fiber to switch away from: release the guard
@@ -276,6 +278,7 @@ void RealEngine::handle_post(Worker& w) {
       break;  // caller inspects post_next
     case Post::ExitCleanup: {
       Tcb* t = w.post_fiber;
+      context_finalize(&t->ctx);
       StackPool::instance().release(t->stack);
       t->stack = Stack{};
       break;
@@ -385,6 +388,9 @@ RunStats RealEngine::run(const std::function<void()>& main_fn) {
     done_cv_.wait(lk, [this] { return done_; });
   }
   for (auto& w : workers_) w.thread.join();
+  // Worker dispatch-loop contexts are created implicitly by their first
+  // save; the ucontext backend heap-allocates an impl for them.
+  for (auto& w : workers_) context_destroy(&w.ctx);
   for (auto& bt : bound_threads_) bt.join();
   bound_threads_.clear();
 
@@ -393,7 +399,7 @@ RunStats RealEngine::run(const std::function<void()>& main_fn) {
   stats_.stack_peak = StackPool::instance().peak_bytes();
   stats_.stacks_fresh = StackPool::instance().fresh_count();
   stats_.stacks_reused = StackPool::instance().reuse_count();
-  if (auto* ws = dynamic_cast<WorkStealScheduler*>(sched_.get())) {
+  if (auto* ws = dynamic_cast<WorkStealScheduler*>(sched_->underlying())) {
     stats_.steals = ws->steal_count();
   }
   return stats_;

@@ -21,6 +21,7 @@
 // its context is half-saved.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <memory>
@@ -103,7 +104,9 @@ class RealEngine final : public Engine {
   std::int64_t live_ = 0;
   std::int64_t bound_live_ = 0;
   int idle_workers_ = 0;
-  std::uint64_t next_tid_ = 1;
+  // Atomic: make_tcb runs in the spawning fiber before it takes mu_, so
+  // concurrent spawns on different workers allocate ids in parallel.
+  std::atomic<std::uint64_t> next_tid_{1};
 
   std::vector<Worker> workers_;
   std::vector<Tcb*> all_tcbs_;    ///< guarded by mu_

@@ -61,8 +61,10 @@ SimEngine::SimEngine(const RuntimeOptions& opts) : opts_(opts) {
 SimEngine::~SimEngine() {
   for (Tcb* t : all_tcbs_) {
     if (t->stack) StackPool::instance().release(t->stack);
+    context_destroy(&t->ctx);
     delete t;
   }
+  context_destroy(&loop_ctx_);
 }
 
 void SimEngine::fiber_entry(void* arg) {
@@ -72,8 +74,7 @@ void SimEngine::fiber_entry(void* arg) {
   t->entry = nullptr;  // release captured resources promptly
   self->charge(kThread, self->opts_.cost.exit_us);
   self->ev_ = Ev::Exit;
-  self->switch_to_loop();
-  DFTH_CHECK_MSG(false, "exited fiber resumed");
+  context_switch_final(&t->ctx, &self->loop_ctx_);
 }
 
 Tcb* SimEngine::make_tcb(std::function<void*()> fn, const Attr& attr, bool is_dummy) {
@@ -148,6 +149,8 @@ void SimEngine::yield() {
 void SimEngine::block_current(SpinLock* guard) {
   DFTH_CHECK_MSG(in_fiber_, "block outside a thread");
   DFTH_CHECK(cur_->state.load(std::memory_order_relaxed) == ThreadState::Blocked);
+  DFTH_CHECK_MSG(guard == nullptr || guard->is_locked(),
+                 "block_current without holding the wait-list guard");
   charge(kSync, opts_.cost.block_us);
   ev_ = Ev::Block;
   ev_guard_ = guard;
@@ -319,7 +322,7 @@ RunStats SimEngine::run(const std::function<void()>& main_fn) {
     stats_.heap_peak = std::max(stats_.heap_peak, heap_level);
   }
   stats_.stack_peak = sim_stack_peak_;
-  if (auto* ws = dynamic_cast<WorkStealScheduler*>(sched_.get())) {
+  if (auto* ws = dynamic_cast<WorkStealScheduler*>(sched_->underlying())) {
     stats_.steals = ws->steal_count();
   }
   return stats_;
@@ -487,6 +490,7 @@ void SimEngine::handle_event(VProc& vp, int pid) {
       t->state.store(ThreadState::Done, std::memory_order_relaxed);
       --live_;
       live_events_.emplace_back(vp.clock_ns, -1);
+      context_finalize(&t->ctx);
       StackPool::instance().release(t->stack);
       t->stack = Stack{};
       sim_stack_release(t->attr.stack_size);

@@ -3,6 +3,18 @@
 #include "runtime/engine.h"
 #include "util/check.h"
 
+// Lockset hooks (analyze/lock_graph.h): every exclusive acquire/release of a
+// Mutex or RwLock-in-write-mode is reported to the global lock-order graph
+// in DFTH_VALIDATE builds; release builds compile the hooks away entirely.
+#if DFTH_VALIDATE
+#include "analyze/lock_graph.h"
+#define DFTH_LOCK_ACQUIRED(t, l) ::dfth::analyze::LockGraph::instance().on_acquire((t), (l))
+#define DFTH_LOCK_RELEASED(t, l) ::dfth::analyze::LockGraph::instance().on_release((t), (l))
+#else
+#define DFTH_LOCK_ACQUIRED(t, l) ((void)0)
+#define DFTH_LOCK_RELEASED(t, l) ((void)0)
+#endif
+
 namespace dfth {
 namespace {
 
@@ -24,6 +36,7 @@ void Mutex::lock() {
   if (owner_ == nullptr) {
     owner_ = cur;
     guard_.unlock();
+    DFTH_LOCK_ACQUIRED(cur, this);
     return;
   }
   DFTH_CHECK_MSG(owner_ != cur, "recursive Mutex::lock");
@@ -31,6 +44,7 @@ void Mutex::lock() {
   cur->state.store(ThreadState::Blocked, std::memory_order_relaxed);
   e->block_current(&guard_);
   // unlock() handed ownership to us before waking.
+  DFTH_LOCK_ACQUIRED(cur, this);
 }
 
 bool Mutex::try_lock() {
@@ -43,6 +57,7 @@ bool Mutex::try_lock() {
   }
   owner_ = e->current();
   guard_.unlock();
+  DFTH_LOCK_ACQUIRED(e->current(), this);
   return true;
 }
 
@@ -54,6 +69,7 @@ void Mutex::unlock() {
   Tcb* next = waiters_.pop();
   owner_ = next;  // direct handoff keeps the queue FIFO-fair
   guard_.unlock();
+  DFTH_LOCK_RELEASED(e->current(), this);
   if (next) e->wake(next);
 }
 
@@ -62,8 +78,9 @@ void Mutex::unlock() {
 void CondVar::wait(Mutex& m) {
   Engine* e = checked_engine();
   e->charge_sync_op();
-  guard_.lock();
   Tcb* cur = e->current();
+  DFTH_CHECK_MSG(m.held_by(cur), "CondVar::wait caller does not hold the mutex");
+  guard_.lock();
   waiters_.push(cur);
   cur->state.store(ThreadState::Blocked, std::memory_order_relaxed);
   // Release the user mutex only after we are on the wait list (we still hold
@@ -199,17 +216,19 @@ void RwLock::wrlock() {
   Engine* e = checked_engine();
   e->charge_sync_op();
   guard_.lock();
+  Tcb* cur = e->current();
   if (!writer_ && readers_ == 0) {
     writer_ = true;
     guard_.unlock();
+    DFTH_LOCK_ACQUIRED(cur, this);
     return;
   }
   ++waiting_writers_;
-  Tcb* cur = e->current();
   write_waiters_.push(cur);
   cur->state.store(ThreadState::Blocked, std::memory_order_relaxed);
   e->block_current(&guard_);
   // The releasing thread set writer_ = true on our behalf.
+  DFTH_LOCK_ACQUIRED(cur, this);
 }
 
 bool RwLock::try_wrlock() {
@@ -219,6 +238,7 @@ bool RwLock::try_wrlock() {
   const bool ok = !writer_ && readers_ == 0;
   if (ok) writer_ = true;
   guard_.unlock();
+  if (ok) DFTH_LOCK_ACQUIRED(e->current(), this);
   return ok;
 }
 
@@ -228,6 +248,7 @@ void RwLock::wrunlock() {
   guard_.lock();
   DFTH_CHECK_MSG(writer_, "wrunlock without wrlock");
   writer_ = false;
+  DFTH_LOCK_RELEASED(e->current(), this);
   release_to_next();
 }
 

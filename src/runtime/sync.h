@@ -36,6 +36,11 @@ class Mutex {
   /// The thread currently holding the mutex (diagnostics/tests).
   bool held() const { return owner_ != nullptr; }
 
+  /// True iff `t` is the current owner. CondVar::wait asserts this on its
+  /// caller — waiting without holding the mutex is the classic lost-wakeup
+  /// bug and is unconditionally fatal.
+  bool held_by(const Tcb* t) const { return owner_ == t; }
+
  private:
   SpinLock guard_;
   Tcb* owner_ = nullptr;

@@ -5,6 +5,7 @@
 
 #include <cstdlib>
 
+#include "analyze/san_fibers.h"
 #include "util/check.h"
 
 namespace dfth {
@@ -44,6 +45,8 @@ Stack StackPool::acquire(std::size_t usable_bytes) {
       ++reuse_;
       live_ += static_cast<std::int64_t>(usable);
       if (live_ > peak_) peak_ = live_;
+      // Cached stacks are poisoned while idle (release below); re-arm.
+      san::unpoison_stack(base, usable);
       return Stack{base, usable, /*fresh=*/false};
     }
   }
@@ -67,6 +70,9 @@ Stack StackPool::acquire(std::size_t usable_bytes) {
 
 void StackPool::release(Stack stack) {
   if (!stack) return;
+  // Poison the idle stack: any access to a cached-but-unowned stack (a
+  // use-after-exit through a stale fiber pointer) becomes an ASan report.
+  san::poison_stack(stack.base, stack.size);
   std::lock_guard<std::mutex> lock(mu_);
   live_ -= static_cast<std::int64_t>(stack.size);
   cache_[stack.size].push_back(stack.base);
@@ -76,6 +82,9 @@ void StackPool::trim() {
   std::lock_guard<std::mutex> lock(mu_);
   for (auto& [size, bases] : cache_) {
     for (void* usable_lo : bases) {
+      // Clear our poisoning before the pages go back to the OS — the address
+      // range may be recycled by an unrelated mmap with stale shadow.
+      san::unpoison_stack(usable_lo, size);
       void* mapping = static_cast<char*>(usable_lo) - page_size();
       ::munmap(mapping, size + page_size());
     }

@@ -3,6 +3,7 @@
 #include <cstdlib>
 #include <new>
 
+#include "analyze/san_fibers.h"
 #include "util/check.h"
 
 namespace dfth {
@@ -15,6 +16,20 @@ struct alignas(16) Header {
   std::uint64_t magic;
 };
 constexpr std::uint64_t kMagic = 0xdf7ea11ced0c0de5ULL;
+
+// Peeking at the header of a pointer that did not come from df_malloc is
+// itself an out-of-bounds read under ASan (e.g. a redzone below a stack
+// variable), so ASan would report the peek before our own diagnostic runs.
+// Probe addressability first and let the DFTH_CHECK fire instead.
+bool header_readable(const Header* header) {
+#if defined(DFTH_ASAN_ENABLED)
+  return __asan_region_is_poisoned(const_cast<Header*>(header),
+                                   sizeof(Header)) == nullptr;
+#else
+  (void)header;
+  return true;
+#endif
+}
 
 }  // namespace
 
@@ -55,7 +70,8 @@ void* TrackedHeap::allocate_ex(std::size_t bytes, std::int64_t* fresh_bytes_out)
 void TrackedHeap::deallocate(void* p) {
   if (!p) return;
   auto* header = static_cast<Header*>(p) - 1;
-  DFTH_CHECK_MSG(header->magic == kMagic, "df_free of pointer not from df_malloc");
+  DFTH_CHECK_MSG(header_readable(header) && header->magic == kMagic,
+                 "df_free of pointer not from df_malloc");
   header->magic = 0;
   frees_.fetch_add(1, std::memory_order_relaxed);
   live_.fetch_sub(static_cast<std::int64_t>(header->size), std::memory_order_relaxed);
@@ -64,7 +80,8 @@ void TrackedHeap::deallocate(void* p) {
 
 std::size_t TrackedHeap::allocated_size(const void* p) {
   auto* header = static_cast<const Header*>(p) - 1;
-  DFTH_CHECK_MSG(header->magic == kMagic, "allocated_size of foreign pointer");
+  DFTH_CHECK_MSG(header_readable(header) && header->magic == kMagic,
+                 "allocated_size of foreign pointer");
   return header->size;
 }
 

@@ -22,10 +22,24 @@ namespace dfth {
 
 using FiberEntry = void (*)(void* arg);
 
+// Sanitizer bookkeeping carried by every context (see analyze/san_fibers.h).
+// In non-sanitizer builds the fields are never read or written after
+// initialization, so they cost four pointers of storage and nothing else.
+struct ContextSanState {
+  const void* stack_bottom = nullptr;  ///< fiber stack low address (lo..lo+bytes)
+  std::size_t stack_bytes = 0;
+  void* asan_fake_stack = nullptr;     ///< ASan fake-stack handle across a switch
+  void* tsan_fiber = nullptr;          ///< TSan fiber (owned iff tsan_fiber_owned)
+  bool tsan_fiber_owned = false;
+  FiberEntry entry = nullptr;          ///< original entry, when shimmed
+  void* entry_arg = nullptr;
+};
+
 #ifndef DFTH_USE_UCONTEXT
 
 struct Context {
   void* sp = nullptr;
+  ContextSanState san;
 };
 
 #else
@@ -33,6 +47,7 @@ struct Context {
 struct ContextImpl;  // wraps ucontext_t
 struct Context {
   ContextImpl* impl = nullptr;
+  ContextSanState san;
 };
 
 #endif
@@ -45,6 +60,17 @@ void context_make(Context* ctx, void* stack_lo, void* stack_hi, FiberEntry entry
 /// Saves the current execution state into *save and resumes *restore.
 /// Returns (into *save) when something later switches back to it.
 void context_switch(Context* save, Context* restore);
+
+/// Last switch out of a fiber that will never resume (its entry is done).
+/// Identical to context_switch except that sanitizer builds tear down the
+/// dying fiber's ASan fake stack instead of preserving it. `dying` is still
+/// written (the engine owns the Tcb until cleanup) but must not be resumed.
+void context_switch_final(Context* dying, Context* restore);
+
+/// Releases sanitizer state of an exited (or never-started) fiber context.
+/// Must not be called on the context currently executing. Safe to call more
+/// than once; a no-op outside sanitizer builds.
+void context_finalize(Context* ctx);
 
 /// Releases any heap state behind ctx (no-op for the assembly version).
 void context_destroy(Context* ctx);

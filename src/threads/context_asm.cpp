@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <cstring>
 
+#include "analyze/san_fibers.h"
 #include "threads/context.h"
 #include "util/check.h"
 
@@ -47,6 +48,15 @@ void context_make(Context* ctx, void* stack_lo, void* stack_hi, FiberEntry entry
   frame[kSlotFpCtl] = static_cast<std::uint64_t>(mxcsr) |
                       (static_cast<std::uint64_t>(fcw) << 32);
 
+#if defined(DFTH_ASAN_ENABLED) || defined(DFTH_TSAN_ENABLED)
+  // Route the first activation through the sanitizer entry shim so ASan/TSan
+  // see the switch completed before any user frame runs.
+  san::fiber_made(ctx, stack_lo, stack_hi);
+  ctx->san.entry = entry;
+  ctx->san.entry_arg = arg;
+  entry = &san::entry_shim;
+  arg = ctx;
+#endif
   frame[kSlotR12] = reinterpret_cast<std::uint64_t>(entry);
   frame[kSlotR13] = reinterpret_cast<std::uint64_t>(arg);
   frame[kSlotRet] = reinterpret_cast<std::uint64_t>(&dfth_asm_trampoline);
@@ -54,10 +64,35 @@ void context_make(Context* ctx, void* stack_lo, void* stack_hi, FiberEntry entry
 }
 
 void context_switch(Context* save, Context* restore) {
+#if defined(DFTH_ASAN_ENABLED) || defined(DFTH_TSAN_ENABLED)
+  san::pre_switch(save, restore);
   dfth_asm_switch(&save->sp, restore->sp);
+  san::post_switch(save);
+#else
+  dfth_asm_switch(&save->sp, restore->sp);
+#endif
 }
 
-void context_destroy(Context* ctx) { ctx->sp = nullptr; }
+void context_switch_final(Context* dying, Context* restore) {
+#if defined(DFTH_ASAN_ENABLED) || defined(DFTH_TSAN_ENABLED)
+  san::pre_final_switch(restore);
+#endif
+  dfth_asm_switch(&dying->sp, restore->sp);
+  DFTH_CHECK_MSG(false, "finalized fiber context resumed");
+}
+
+void context_finalize(Context* ctx) {
+#if defined(DFTH_ASAN_ENABLED) || defined(DFTH_TSAN_ENABLED)
+  san::fiber_released(ctx);
+#else
+  (void)ctx;
+#endif
+}
+
+void context_destroy(Context* ctx) {
+  context_finalize(ctx);
+  ctx->sp = nullptr;
+}
 
 }  // namespace dfth
 

@@ -279,7 +279,7 @@ TEST(SimEngine, MutexHandoffIsFifoAcrossPriorities) {
 }
 
 TEST(SimEngineDeath, DeadlockIsReported) {
-  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
   EXPECT_DEATH(
       {
         run(sim_opts(SchedKind::AsyncDf, 2), [] {
@@ -292,7 +292,7 @@ TEST(SimEngineDeath, DeadlockIsReported) {
 }
 
 TEST(SimEngineDeath, CrossThreadDeadlockIsReported) {
-  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
   EXPECT_DEATH(
       {
         run(sim_opts(SchedKind::Fifo, 2), [] {

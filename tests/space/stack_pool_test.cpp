@@ -66,7 +66,7 @@ TEST(StackPool, SizeRoundsToPages) {
 }
 
 TEST(StackPoolDeathTest, GuardPageCatchesOverflow) {
-  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
   EXPECT_DEATH(
       {
         auto& pool = StackPool::instance();

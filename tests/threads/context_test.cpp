@@ -41,6 +41,8 @@ TEST(Context, PingPongPreservesControlFlow) {
   pp.trace.push_back(4);
 
   EXPECT_EQ(pp.trace, (std::vector<int>{0, 1, 2, 3, 4}));
+  context_destroy(&pp.fiber_ctx);
+  context_destroy(&pp.main_ctx);
   pool.release(stack);
 }
 
@@ -94,6 +96,8 @@ TEST(Context, ManyFibersKeepIndependentState) {
       expect = local + static_cast<std::uint64_t>(fp * 4.0);
     }
     EXPECT_EQ(fibers[i].value, expect) << "fiber " << i;
+    context_destroy(&fibers[i].ctx);
+    context_destroy(&fibers[i].main_ctx);
     pool.release(fibers[i].stack);
   }
 }
@@ -123,6 +127,8 @@ TEST(Context, LargeFrameOnFiberStack) {
   context_make(&d.ctx, stack.base, stack.top(), &deep_entry, &d);
   context_switch(&d.main_ctx, &d.ctx);
   EXPECT_NE(d.checksum, 0u);
+  context_destroy(&d.ctx);
+  context_destroy(&d.main_ctx);
   pool.release(stack);
 }
 

@@ -1,0 +1,65 @@
+#!/usr/bin/env bash
+# Repository lint: clang-tidy (when installed) over the library sources plus
+# a grep audit that keeps the benchmark apps honest — every app must go
+# through the dfth_pthread.h shims and the tracked heap (df_malloc/df_free),
+# never raw pthreads or untracked allocation, or the space measurements the
+# apps exist for are silently wrong.
+set -u
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$repo_root"
+status=0
+
+# ---- 1. app-layer bypass audit ---------------------------------------------
+app_files=$(find src/apps -name '*.cpp' -o -name '*.h')
+
+# Greps the app sources with // comments stripped, so prose like "forks a
+# new thread" in a comment doesn't trip the allocation check.
+app_grep() {
+  local pattern="$1" f out found=1
+  for f in $app_files; do
+    out=$(sed 's|//.*||' "$f" | grep -nE "$pattern")
+    if [ -n "$out" ]; then
+      printf '%s\n' "$out" | sed "s|^|$f:|"
+      found=0
+    fi
+  done
+  return $found
+}
+
+# Raw pthread usage (the apps must use the dfth_pthread.h shims).
+if app_grep '\bpthread_[a-z_]+[[:space:]]*\('; then
+  echo "lint: raw pthread_* call in src/apps (use compat/dfth_pthread.h)" >&2
+  status=1
+fi
+
+# Untracked heap allocation. Placement-new is fine (constructs in storage
+# the tracked heap already accounts for); allocating new/new[] is not.
+if app_grep '\b(malloc|calloc|realloc|free)[[:space:]]*\('; then
+  echo "lint: raw malloc/free in src/apps (use df_malloc/df_free)" >&2
+  status=1
+fi
+if app_grep '\bnew\b' | grep -vE 'new[[:space:]]*\('; then
+  echo "lint: allocating new in src/apps (use df_malloc or placement-new)" >&2
+  status=1
+fi
+
+if [ "$status" -eq 0 ]; then
+  echo "lint: app-layer allocation/threading audit clean"
+fi
+
+# ---- 2. clang-tidy (optional: skipped when not installed) -------------------
+if command -v clang-tidy >/dev/null 2>&1; then
+  if [ ! -f build/compile_commands.json ]; then
+    cmake -B build -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+  fi
+  tidy_files=$(find src -name '*.cpp' ! -name 'context_x86_64*')
+  if ! clang-tidy -p build --quiet $tidy_files; then
+    echo "lint: clang-tidy reported errors" >&2
+    status=1
+  fi
+else
+  echo "lint: clang-tidy not installed, skipping static analysis"
+fi
+
+exit $status
