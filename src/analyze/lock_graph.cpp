@@ -55,6 +55,13 @@ void LockGraph::on_acquire(Tcb* t, const void* lock) {
   if (abort_on_cycle_) std::abort();
 }
 
+void LockGraph::on_acquire_shared(Tcb* t, const void* lock) {
+  // A shared hold constrains lock order exactly like an exclusive one under
+  // the writer-preferring RwLock (it blocks the next writer), so the edge
+  // and held-set bookkeeping are identical.
+  on_acquire(t, lock);
+}
+
 void LockGraph::on_release(Tcb* t, const void* lock) {
   std::lock_guard<std::mutex> g(mu_);
   // Erase the most recent acquisition (locks are usually released LIFO, so

@@ -1,5 +1,6 @@
 // Lockset-based deadlock detection (the classic lock-order-graph algorithm):
-// every thread tracks the set of exclusive locks it holds (Tcb::held_locks);
+// every thread tracks the set of locks it holds — exclusive Mutex/RwLock
+// write acquisitions and RwLock read acquisitions alike (Tcb::held_locks);
 // acquiring L while holding H records the order edge H → L in a global
 // graph. A cycle in that graph means two code paths take the same locks in
 // opposite orders — a *potential* deadlock, reported even when the
@@ -51,8 +52,16 @@ class LockGraph {
   /// DFTH_CHECK-style.
   void on_acquire(Tcb* t, const void* lock);
 
-  /// Records that `t` released `lock`. Order edges persist — the algorithm
-  /// is about acquisition history, not current ownership.
+  /// Records that `t` acquired `lock` in shared (read) mode. Shared
+  /// acquisitions participate in the order graph exactly like exclusive
+  /// ones: under a writer-preferring RwLock a held read lock blocks the
+  /// next writer, so reader/writer ABBA inversions deadlock just the same
+  /// — two threads each holding a read lock and requesting the other's
+  /// write side can never proceed.
+  void on_acquire_shared(Tcb* t, const void* lock);
+
+  /// Records that `t` released `lock` (either mode). Order edges persist —
+  /// the algorithm is about acquisition history, not current ownership.
   void on_release(Tcb* t, const void* lock);
 
   void set_abort_on_cycle(bool abort_on_cycle);

@@ -37,9 +37,17 @@ struct ConstView {
 /// Serial blocked kernel: C += A·B for an n×n block (ikj order for stride-1
 /// inner loops). One work annotation covers the whole call.
 void serial_mult_add(ConstView a, ConstView b, View c, std::size_t n) {
+  // Race-detector annotations are per row (the views are strided, so one
+  // span per matrix would cover bytes the kernel never touches). C is
+  // read-modify-write; the write annotation is the stronger claim.
+  for (std::size_t k = 0; k < n; ++k) {
+    df_read(b.p + k * b.ld, n * sizeof(double), "matmul/serial_mult_add:B");
+  }
   for (std::size_t i = 0; i < n; ++i) {
     const double* arow = a.p + i * a.ld;
     double* crow = c.p + i * c.ld;
+    df_read(arow, n * sizeof(double), "matmul/serial_mult_add:A");
+    df_write(crow, n * sizeof(double), "matmul/serial_mult_add:C");
     for (std::size_t k = 0; k < n; ++k) {
       const double aik = arow[k];
       const double* brow = b.p + k * b.ld;
@@ -53,6 +61,8 @@ void serial_add(ConstView t, View c, std::size_t n) {
   for (std::size_t i = 0; i < n; ++i) {
     const double* trow = t.p + i * t.ld;
     double* crow = c.p + i * c.ld;
+    df_read(trow, n * sizeof(double), "matmul/serial_add:T");
+    df_write(crow, n * sizeof(double), "matmul/serial_add:C");
     for (std::size_t j = 0; j < n; ++j) crow[j] += trow[j];
   }
   annotate_work(n * n);
@@ -164,6 +174,9 @@ void add_into(ConstView a, ConstView b, View dst, std::size_t h, double sign) {
     const double* ar = a.p + i * a.ld;
     const double* br = b.p + i * b.ld;
     double* dr = dst.p + i * dst.ld;
+    df_read(ar, h * sizeof(double), "matmul/add_into:A");
+    df_read(br, h * sizeof(double), "matmul/add_into:B");
+    df_write(dr, h * sizeof(double), "matmul/add_into:dst");
     for (std::size_t j = 0; j < h; ++j) dr[j] = ar[j] + sign * br[j];
   }
   annotate_work(h * h);

@@ -6,6 +6,7 @@
 #if DFTH_VALIDATE
 #include "analyze/auditor.h"
 #endif
+#include "analyze/race_hooks.h"
 #include "runtime/real_engine.h"
 #include "runtime/sim_engine.h"
 #include "space/tracked_heap.h"
@@ -43,6 +44,10 @@ RunStats run(const RuntimeOptions& opts, const std::function<void()>& main_fn) {
 
   if (opts.recorder) detail::set_recorder(opts.recorder);
 
+  // Fiber ids restart per run, so stale happens-before state from a prior
+  // run must not leak into this one (accumulated reports are kept).
+  DFTH_RACE_BEGIN_RUN();
+
   detail::set_engine(eng.get());
   RunStats stats = eng->run(main_fn);
   detail::set_engine(nullptr);
@@ -65,6 +70,9 @@ void* join(Thread t) {
   DFTH_CHECK_MSG(e, "join outside dfth::run");
   DFTH_CHECK_MSG(t.valid(), "join of invalid thread handle");
   void* result = e->join(t.tcb_);
+  // Exit→joiner edge: everything the child (and its whole joined subtree)
+  // did happens-before the code after this join.
+  DFTH_RACE_JOIN(e->current(), t.tcb_);
   if (Recorder* rec = active_recorder()) {
     rec->on_join(t.tcb_->id, e->current() ? e->current()->id : 0);
   }
@@ -163,6 +171,24 @@ void df_free(void* p) {
     rec->on_alloc(self_id(), -static_cast<std::int64_t>(bytes));
   }
 }
+
+#if DFTH_RACE
+void df_read(const void* p, std::size_t bytes, const char* site) {
+  Engine* e = engine();
+  if (!e) return;
+  if (Tcb* cur = e->current()) {
+    analyze::RaceDetector::instance().on_read(cur, p, bytes, site);
+  }
+}
+
+void df_write(const void* p, std::size_t bytes, const char* site) {
+  Engine* e = engine();
+  if (!e) return;
+  if (Tcb* cur = e->current()) {
+    analyze::RaceDetector::instance().on_write(cur, p, bytes, site);
+  }
+}
+#endif
 
 void annotate_work(std::uint64_t ops) {
   if (ops == 0) return;

@@ -121,6 +121,23 @@ struct TrackedAllocator {
   bool operator==(const TrackedAllocator&) const { return true; }
 };
 
+// -- race-detector annotations -------------------------------------------------
+
+/// Declares that the calling thread reads/writes [p, p+bytes) of df_malloc'd
+/// memory. The happens-before race detector (analyze/race_detector.h) checks
+/// the access against its shadow cells and reports when it is unordered with
+/// a prior access from another logical thread — on *any* schedule, not just
+/// the one that ran. `site` must be a string with static storage duration
+/// naming the access site (it is kept by pointer in reports). Compiled to
+/// inline no-ops unless the build sets -DDFTH_RACE=ON.
+#if DFTH_RACE
+void df_read(const void* p, std::size_t bytes, const char* site);
+void df_write(const void* p, std::size_t bytes, const char* site);
+#else
+inline void df_read(const void*, std::size_t, const char*) {}
+inline void df_write(const void*, std::size_t, const char*) {}
+#endif
+
 // -- simulator annotations -----------------------------------------------------
 
 /// Accrues `ops` units of computation (≈ flops) to the calling thread's

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <limits>
 
+#include "analyze/race_hooks.h"
 #include "core/worksteal_sched.h"
 #include "space/tracked_heap.h"
 #include "util/check.h"
@@ -103,6 +104,7 @@ Tcb* RealEngine::spawn(std::function<void*()> fn, const Attr& attr, bool is_dumm
   Worker* w = this_worker();
   Tcb* parent = current();
   child->parent = parent;
+  DFTH_RACE_FORK(child, parent);
   if (Recorder* rec = active_recorder()) {
     rec->on_thread_start(child->id, parent ? parent->id : 0);
   }
@@ -364,6 +366,7 @@ RunStats RealEngine::run(const std::function<void()>& main_fn) {
       },
       Attr{}, /*is_dummy=*/false);
   main->is_main = true;
+  DFTH_RACE_FORK(main, nullptr);
   {
     std::lock_guard<std::mutex> lk(mu_);
     all_tcbs_.push_back(main);

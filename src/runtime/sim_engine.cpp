@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <limits>
 
+#include "analyze/race_hooks.h"
 #include "core/worksteal_sched.h"
 #include "space/tracked_heap.h"
 #include "util/check.h"
@@ -113,6 +114,7 @@ Tcb* SimEngine::spawn(std::function<void*()> fn, const Attr& attr, bool is_dummy
   DFTH_CHECK_MSG(in_fiber_, "spawn outside a thread");
   Tcb* child = make_tcb(std::move(fn), attr, is_dummy);
   child->parent = cur_;
+  DFTH_RACE_FORK(child, cur_);
   if (Recorder* rec = active_recorder()) rec->on_thread_start(child->id, cur_->id);
   ev_ = Ev::Spawn;
   ev_child_ = child;
@@ -267,6 +269,7 @@ RunStats SimEngine::run(const std::function<void()>& main_fn) {
   main->stack = StackPool::instance().acquire(kRealMainStackBytes);
   context_make(&main->ctx, main->stack.base, main->stack.top(), &fiber_entry, main);
   all_tcbs_.push_back(main);
+  DFTH_RACE_FORK(main, nullptr);
 
   live_ = 1;
   stats_.threads_created = 1;

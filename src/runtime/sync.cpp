@@ -3,17 +3,28 @@
 #include "runtime/engine.h"
 #include "util/check.h"
 
-// Lockset hooks (analyze/lock_graph.h): every exclusive acquire/release of a
-// Mutex or RwLock-in-write-mode is reported to the global lock-order graph
-// in DFTH_VALIDATE builds; release builds compile the hooks away entirely.
+// Lockset hooks (analyze/lock_graph.h): every acquire/release of a Mutex or
+// RwLock — write *and* read mode, since a shared hold blocks the next writer
+// under the writer-preferring discipline — is reported to the global
+// lock-order graph in DFTH_VALIDATE builds; release builds compile the hooks
+// away entirely.
 #if DFTH_VALIDATE
 #include "analyze/lock_graph.h"
 #define DFTH_LOCK_ACQUIRED(t, l) ::dfth::analyze::LockGraph::instance().on_acquire((t), (l))
+#define DFTH_LOCK_ACQUIRED_SHARED(t, l) \
+  ::dfth::analyze::LockGraph::instance().on_acquire_shared((t), (l))
 #define DFTH_LOCK_RELEASED(t, l) ::dfth::analyze::LockGraph::instance().on_release((t), (l))
 #else
 #define DFTH_LOCK_ACQUIRED(t, l) ((void)0)
+#define DFTH_LOCK_ACQUIRED_SHARED(t, l) ((void)0)
 #define DFTH_LOCK_RELEASED(t, l) ((void)0)
 #endif
+
+// Happens-before hooks (analyze/race_hooks.h, -DDFTH_RACE builds): every
+// primitive publishes release→acquire edges to the race detector. See the
+// placement contract in race_hooks.h — release-side and fast-path
+// acquire-side hooks run under the object's guard_.
+#include "analyze/race_hooks.h"
 
 namespace dfth {
 namespace {
@@ -35,6 +46,7 @@ void Mutex::lock() {
   Tcb* cur = e->current();
   if (owner_ == nullptr) {
     owner_ = cur;
+    DFTH_RACE_ACQUIRE(cur, this);
     guard_.unlock();
     DFTH_LOCK_ACQUIRED(cur, this);
     return;
@@ -43,7 +55,9 @@ void Mutex::lock() {
   waiters_.push(cur);
   cur->state.store(ThreadState::Blocked, std::memory_order_relaxed);
   e->block_current(&guard_);
-  // unlock() handed ownership to us before waking.
+  // unlock() handed ownership to us before waking (and recorded its release
+  // clock under the guard, so this acquire needs no guard).
+  DFTH_RACE_ACQUIRE(cur, this);
   DFTH_LOCK_ACQUIRED(cur, this);
 }
 
@@ -56,6 +70,7 @@ bool Mutex::try_lock() {
     return false;
   }
   owner_ = e->current();
+  DFTH_RACE_ACQUIRE(owner_, this);
   guard_.unlock();
   DFTH_LOCK_ACQUIRED(e->current(), this);
   return true;
@@ -66,6 +81,7 @@ void Mutex::unlock() {
   e->charge_sync_op();
   guard_.lock();
   DFTH_CHECK_MSG(owner_ == e->current(), "Mutex::unlock by non-owner");
+  DFTH_RACE_RELEASE(e->current(), this);
   Tcb* next = waiters_.pop();
   owner_ = next;  // direct handoff keeps the queue FIFO-fair
   guard_.unlock();
@@ -90,6 +106,8 @@ void CondVar::wait(Mutex& m) {
   e->block_current(&guard_);
   // Re-fetch the engine: we may resume on another kernel thread.
   engine()->current();  // (no-op read; documents the refetch discipline)
+  // signal()/broadcast() recorded the signaler's clock before waking us.
+  DFTH_RACE_ACQUIRE(cur, this);
   m.lock();
 }
 
@@ -97,6 +115,7 @@ void CondVar::signal() {
   Engine* e = checked_engine();
   e->charge_sync_op();
   guard_.lock();
+  DFTH_RACE_RELEASE(e->current(), this);
   Tcb* t = waiters_.pop();
   guard_.unlock();
   if (t) e->wake(t);
@@ -106,6 +125,7 @@ void CondVar::broadcast() {
   Engine* e = checked_engine();
   e->charge_sync_op();
   guard_.lock();
+  DFTH_RACE_RELEASE(e->current(), this);
   WaitList woken;
   while (Tcb* t = waiters_.pop()) woken.push(t);
   guard_.unlock();
@@ -118,16 +138,19 @@ void Semaphore::acquire() {
   Engine* e = checked_engine();
   e->charge_sync_op();
   guard_.lock();
+  Tcb* cur = e->current();
   if (count_ > 0) {
     --count_;
+    DFTH_RACE_ACQUIRE(cur, this);
     guard_.unlock();
     return;
   }
-  Tcb* cur = e->current();
   waiters_.push(cur);
   cur->state.store(ThreadState::Blocked, std::memory_order_relaxed);
   e->block_current(&guard_);
-  // release() transferred one unit directly to us.
+  // release() transferred one unit directly to us (V→P edge recorded under
+  // the guard before the wake).
+  DFTH_RACE_ACQUIRE(cur, this);
 }
 
 bool Semaphore::try_acquire() {
@@ -135,7 +158,10 @@ bool Semaphore::try_acquire() {
   e->charge_sync_op();
   guard_.lock();
   const bool ok = count_ > 0;
-  if (ok) --count_;
+  if (ok) {
+    --count_;
+    DFTH_RACE_ACQUIRE(e->current(), this);
+  }
   guard_.unlock();
   return ok;
 }
@@ -144,6 +170,7 @@ void Semaphore::release() {
   Engine* e = checked_engine();
   e->charge_sync_op();
   guard_.lock();
+  DFTH_RACE_RELEASE(e->current(), this);
   Tcb* t = waiters_.pop();
   if (!t) ++count_;
   guard_.unlock();
@@ -156,19 +183,27 @@ void Barrier::arrive_and_wait() {
   Engine* e = checked_engine();
   e->charge_sync_op();
   guard_.lock();
+  Tcb* cur = e->current();
+  const std::uint64_t gen = generation_.load(std::memory_order_relaxed);
   if (++arrived_ == parties_) {
     arrived_ = 0;
-    ++generation_;
+    generation_.fetch_add(1, std::memory_order_release);
+    // Every earlier arrival recorded its clock under the guard; the `last`
+    // arrival seals generation `gen` as an all-to-all edge and inherits it
+    // immediately (it never blocks).
+    DFTH_RACE_BARRIER_ARRIVE(cur, this, gen, /*last=*/true);
+    DFTH_RACE_BARRIER_LEAVE(cur, this, gen);
     WaitList woken;
     while (Tcb* t = waiters_.pop()) woken.push(t);
     guard_.unlock();
     while (Tcb* t = woken.pop()) e->wake(t);
     return;
   }
-  Tcb* cur = e->current();
+  DFTH_RACE_BARRIER_ARRIVE(cur, this, gen, /*last=*/false);
   waiters_.push(cur);
   cur->state.store(ThreadState::Blocked, std::memory_order_relaxed);
   e->block_current(&guard_);
+  DFTH_RACE_BARRIER_LEAVE(cur, this, gen);
 }
 
 // -- RwLock ----------------------------------------------------------------------
@@ -177,16 +212,20 @@ void RwLock::rdlock() {
   Engine* e = checked_engine();
   e->charge_sync_op();
   guard_.lock();
+  Tcb* cur = e->current();
   if (!writer_ && waiting_writers_ == 0) {
     ++readers_;
+    DFTH_RACE_RD_ACQUIRE(cur, this);
     guard_.unlock();
+    DFTH_LOCK_ACQUIRED_SHARED(cur, this);
     return;
   }
-  Tcb* cur = e->current();
   read_waiters_.push(cur);
   cur->state.store(ThreadState::Blocked, std::memory_order_relaxed);
   e->block_current(&guard_);
   // The releasing thread counted us into readers_ before waking us.
+  DFTH_RACE_RD_ACQUIRE(cur, this);
+  DFTH_LOCK_ACQUIRED_SHARED(cur, this);
 }
 
 bool RwLock::try_rdlock() {
@@ -194,8 +233,12 @@ bool RwLock::try_rdlock() {
   e->charge_sync_op();
   guard_.lock();
   const bool ok = !writer_ && waiting_writers_ == 0;
-  if (ok) ++readers_;
+  if (ok) {
+    ++readers_;
+    DFTH_RACE_RD_ACQUIRE(e->current(), this);
+  }
   guard_.unlock();
+  if (ok) DFTH_LOCK_ACQUIRED_SHARED(e->current(), this);
   return ok;
 }
 
@@ -205,6 +248,8 @@ void RwLock::rdunlock() {
   guard_.lock();
   DFTH_CHECK_MSG(readers_ > 0, "rdunlock without rdlock");
   --readers_;
+  DFTH_RACE_RD_RELEASE(e->current(), this);
+  DFTH_LOCK_RELEASED(e->current(), this);
   if (readers_ == 0 && !writer_) {
     release_to_next();
     return;  // release_to_next unlocked the guard
@@ -219,6 +264,7 @@ void RwLock::wrlock() {
   Tcb* cur = e->current();
   if (!writer_ && readers_ == 0) {
     writer_ = true;
+    DFTH_RACE_WR_ACQUIRE(cur, this);
     guard_.unlock();
     DFTH_LOCK_ACQUIRED(cur, this);
     return;
@@ -228,6 +274,7 @@ void RwLock::wrlock() {
   cur->state.store(ThreadState::Blocked, std::memory_order_relaxed);
   e->block_current(&guard_);
   // The releasing thread set writer_ = true on our behalf.
+  DFTH_RACE_WR_ACQUIRE(cur, this);
   DFTH_LOCK_ACQUIRED(cur, this);
 }
 
@@ -236,7 +283,10 @@ bool RwLock::try_wrlock() {
   e->charge_sync_op();
   guard_.lock();
   const bool ok = !writer_ && readers_ == 0;
-  if (ok) writer_ = true;
+  if (ok) {
+    writer_ = true;
+    DFTH_RACE_WR_ACQUIRE(e->current(), this);
+  }
   guard_.unlock();
   if (ok) DFTH_LOCK_ACQUIRED(e->current(), this);
   return ok;
@@ -248,6 +298,7 @@ void RwLock::wrunlock() {
   guard_.lock();
   DFTH_CHECK_MSG(writer_, "wrunlock without wrlock");
   writer_ = false;
+  DFTH_RACE_RELEASE(e->current(), this);
   DFTH_LOCK_RELEASED(e->current(), this);
   release_to_next();
 }
@@ -275,12 +326,25 @@ void RwLock::release_to_next() {
 // -- Once ------------------------------------------------------------------------
 
 void Once::call(const std::function<void()>& fn) {
-  if (done_.load(std::memory_order_acquire)) return;
+  if (done_.load(std::memory_order_acquire)) {
+#if DFTH_RACE
+    // Fast-path observers synchronize with the runner through done_ alone
+    // (no mutex), so the run→observe edge must be inherited here too. The
+    // release clock is recorded before the store that made done_ visible.
+    if (Engine* e = engine()) {
+      if (Tcb* cur = e->current()) DFTH_RACE_ACQUIRE(cur, this);
+    }
+#endif
+    return;
+  }
   LockGuard lock(m_);
   if (!done_.load(std::memory_order_relaxed)) {
     fn();
+    DFTH_RACE_RELEASE(engine()->current(), this);
     done_.store(true, std::memory_order_release);
   }
+  // Slow-path observers inherit the runner's clock through m_'s own
+  // release→acquire edge.
 }
 
 }  // namespace dfth

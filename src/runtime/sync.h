@@ -108,13 +108,19 @@ class Barrier {
   /// and the barrier is immediately reusable.
   void arrive_and_wait();
 
-  std::uint64_t generation() const { return generation_; }
+  /// Completed-generation count. Atomic because observers poll it without
+  /// the guard (a plain read here raced with arrive_and_wait's increment
+  /// under the RealEngine — exactly the class of bug the happens-before
+  /// race detector exists to catch).
+  std::uint64_t generation() const {
+    return generation_.load(std::memory_order_acquire);
+  }
 
  private:
   SpinLock guard_;
   const int parties_;
   int arrived_ = 0;
-  std::uint64_t generation_ = 0;
+  std::atomic<std::uint64_t> generation_{0};
   WaitList waiters_;
 };
 

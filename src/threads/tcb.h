@@ -69,9 +69,12 @@ struct Tcb {
   // -- thread-specific data (pthread_key_t equivalent) -------------------------
   std::vector<void*> tls;
 
-  // -- correctness analysis (src/analyze/; updated only in DFTH_VALIDATE
-  //    builds, but always present so layout is flag-independent) -------------
-  std::vector<const void*> held_locks;  ///< exclusive locks held, in acquire order
+  // -- correctness analysis (src/analyze/; updated only in DFTH_VALIDATE /
+  //    DFTH_RACE builds, but always present so layout is flag-independent) ---
+  std::vector<const void*> held_locks;  ///< locks held (exclusive or read
+                                        ///< mode), in acquire order
+  std::vector<std::uint64_t> race_vc;   ///< happens-before vector clock,
+                                        ///< index = fiber id (race_detector)
   std::int64_t audit_alloc_since_dispatch = 0;  ///< df_malloc bytes since last pick
   std::uint64_t audit_dummy_credit = 0;  ///< δ dummies forked, not yet consumed
 };

@@ -89,6 +89,34 @@ TEST(LockGraph, ThreeLockCycle) {
   EXPECT_EQ(g.cycles_detected(), 1u);
 }
 
+TEST(LockGraph, AbbaViaRdlockDetected) {
+  // Reader/writer ABBA: under the writer-preferring RwLock a held read lock
+  // blocks the next writer, so opposite-order acquisition chains deadlock
+  // even when one side is only a read acquisition.
+  analyze::LockGraph g;
+  g.set_abort_on_cycle(false);
+  Tcb t1(1), t2(2);
+  int rw = 0, m = 0;
+  g.on_acquire_shared(&t1, &rw);
+  g.on_acquire(&t1, &m);  // edge rw -> m
+  g.on_release(&t1, &m);
+  g.on_release(&t1, &rw);
+  g.on_acquire(&t2, &m);
+  g.on_acquire_shared(&t2, &rw);  // edge m -> rw: closes the cycle
+  EXPECT_EQ(g.cycles_detected(), 1u);
+}
+
+TEST(LockGraph, SharedAcquireTracksHeldSet) {
+  analyze::LockGraph g;
+  g.set_abort_on_cycle(false);
+  Tcb t(1);
+  int rw = 0;
+  g.on_acquire_shared(&t, &rw);
+  EXPECT_EQ(t.held_locks.size(), 1u);
+  g.on_release(&t, &rw);
+  EXPECT_TRUE(t.held_locks.empty());
+}
+
 TEST(LockGraph, ClearResets) {
   analyze::LockGraph g;
   g.set_abort_on_cycle(false);
@@ -181,6 +209,38 @@ TEST(LockGraphEngine, RwLockWriteModeParticipates) {
   });
   // (m and rw have static storage so the captureless fiber lambdas above can
   // legally name them.)
+  EXPECT_GE(g.cycles_detected(), 1u);
+  g.clear();
+  g.set_abort_on_cycle(true);
+}
+
+TEST(LockGraphEngine, RwLockReadModeParticipates) {
+  if (!analyze::validate_enabled()) {
+    GTEST_SKIP() << "lockset hooks need -DDFTH_VALIDATE=ON";
+  }
+  analyze::LockGraph& g = analyze::LockGraph::instance();
+  g.clear();
+  g.set_abort_on_cycle(false);
+  run(sim_opts(), [] {
+    static Mutex m;
+    static RwLock rw;
+    Thread first = spawn([]() -> void* {
+      rw.rdlock();
+      m.lock();
+      m.unlock();
+      rw.rdunlock();
+      return nullptr;
+    });
+    join(first);
+    Thread second = spawn([]() -> void* {
+      m.lock();
+      rw.rdlock();
+      rw.rdunlock();
+      m.unlock();
+      return nullptr;
+    });
+    join(second);
+  });
   EXPECT_GE(g.cycles_detected(), 1u);
   g.clear();
   g.set_abort_on_cycle(true);

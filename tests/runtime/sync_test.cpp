@@ -184,6 +184,32 @@ TEST_P(SyncTest, BarrierPhases) {
   EXPECT_TRUE(ok);
 }
 
+TEST_P(SyncTest, BarrierGenerationIsSafeToPollConcurrently) {
+  // Regression: generation() used to be a plain load of a counter the last
+  // arrival increments under the barrier's guard — a data race whenever an
+  // observer polls it from another kernel thread (RealEngine). It is now an
+  // acquire load of an atomic; this test keeps a poller racing against
+  // arrivals on both engines.
+  constexpr std::uint64_t kGenerations = 25;
+  std::uint64_t observed = 0;
+  run(opts(), [&] {
+    Barrier barrier(2);
+    Thread a = spawn([&]() -> void* {
+      for (std::uint64_t i = 0; i < kGenerations; ++i) barrier.arrive_and_wait();
+      return nullptr;
+    });
+    Thread b = spawn([&]() -> void* {
+      for (std::uint64_t i = 0; i < kGenerations; ++i) barrier.arrive_and_wait();
+      return nullptr;
+    });
+    while (barrier.generation() < kGenerations) yield();
+    observed = barrier.generation();
+    join(a);
+    join(b);
+  });
+  EXPECT_EQ(observed, kGenerations);
+}
+
 TEST_P(SyncTest, OnceRunsExactlyOnce) {
   std::atomic<int> calls{0};
   run(opts(), [&] {

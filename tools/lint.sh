@@ -10,14 +10,16 @@ repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 cd "$repo_root"
 status=0
 
-# ---- 1. app-layer bypass audit ---------------------------------------------
+# ---- 1. bypass audit --------------------------------------------------------
 app_files=$(find src/apps -name '*.cpp' -o -name '*.h')
+aux_files=$(find tests bench -name '*.cpp' -o -name '*.h')
 
-# Greps the app sources with // comments stripped, so prose like "forks a
-# new thread" in a comment doesn't trip the allocation check.
-app_grep() {
-  local pattern="$1" f out found=1
-  for f in $app_files; do
+# Greps the given sources with // comments stripped, so prose like "forks a
+# new thread" in a comment doesn't trip the allocation check. First argument
+# is the file list, second is the pattern.
+audit_grep() {
+  local files="$1" pattern="$2" f out found=1
+  for f in $files; do
     out=$(sed 's|//.*||' "$f" | grep -nE "$pattern")
     if [ -n "$out" ]; then
       printf '%s\n' "$out" | sed "s|^|$f:|"
@@ -28,24 +30,45 @@ app_grep() {
 }
 
 # Raw pthread usage (the apps must use the dfth_pthread.h shims).
-if app_grep '\bpthread_[a-z_]+[[:space:]]*\('; then
+if audit_grep "$app_files" '\bpthread_[a-z_]+[[:space:]]*\('; then
   echo "lint: raw pthread_* call in src/apps (use compat/dfth_pthread.h)" >&2
+  status=1
+fi
+
+# Apps must not sidestep the runtime with kernel threads either: std::thread
+# workers are invisible to the scheduler, the space accounting, and the
+# fork/join DAG the race detector reasons over.
+if audit_grep "$app_files" '\bstd::thread\b'; then
+  echo "lint: std::thread in src/apps (use dfth::spawn/join)" >&2
   status=1
 fi
 
 # Untracked heap allocation. Placement-new is fine (constructs in storage
 # the tracked heap already accounts for); allocating new/new[] is not.
-if app_grep '\b(malloc|calloc|realloc|free)[[:space:]]*\('; then
+if audit_grep "$app_files" '\b(malloc|calloc|realloc|free)[[:space:]]*\('; then
   echo "lint: raw malloc/free in src/apps (use df_malloc/df_free)" >&2
   status=1
 fi
-if app_grep '\bnew\b' | grep -vE 'new[[:space:]]*\('; then
+if audit_grep "$app_files" '\bnew\b' | grep -vE 'new[[:space:]]*\('; then
   echo "lint: allocating new in src/apps (use df_malloc or placement-new)" >&2
   status=1
 fi
 
+# Tests and benchmarks go through the shims and tracked heap too, or the
+# suites stop exercising the code paths they exist to cover. (std::thread is
+# allowed there: harness code that drives the runtime from outside — and the
+# fig03 kernel-thread reference column — legitimately needs it.)
+if audit_grep "$aux_files" '\bpthread_[a-z_]+[[:space:]]*\('; then
+  echo "lint: raw pthread_* call in tests/bench (use compat/dfth_pthread.h)" >&2
+  status=1
+fi
+if audit_grep "$aux_files" '\b(malloc|calloc|realloc|free)[[:space:]]*\('; then
+  echo "lint: raw malloc/free in tests/bench (use df_malloc/df_free)" >&2
+  status=1
+fi
+
 if [ "$status" -eq 0 ]; then
-  echo "lint: app-layer allocation/threading audit clean"
+  echo "lint: allocation/threading audit clean (src/apps, tests, bench)"
 fi
 
 # ---- 2. clang-tidy (optional: skipped when not installed) -------------------
