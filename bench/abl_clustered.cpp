@@ -41,6 +41,8 @@ int main(int argc, char** argv) {
     };
     const RunStats g = one(global);
     const RunStats c = one(clustered);
+    common.record("matmul p" + std::to_string(p) + " global", global, g);
+    common.record("matmul p" + std::to_string(p) + " clustered", clustered, c);
     table.add_row({Table::fmt_int(p),
                    Table::fmt(serial.elapsed_us / g.elapsed_us, 2),
                    Table::fmt(serial.elapsed_us / c.elapsed_us, 2),
@@ -87,6 +89,8 @@ int main(int argc, char** argv) {
     clustered.cluster_size = static_cast<int>(*cluster);
     const RunStats g = run(global, churn_work);
     const RunStats c = run(clustered, churn_work);
+    common.record("churn p" + std::to_string(p) + " global", global, g);
+    common.record("churn p" + std::to_string(p) + " clustered", clustered, c);
     churn.add_row({Table::fmt_int(p),
                    Table::fmt(churn_serial / g.elapsed_us, 2),
                    Table::fmt(churn_serial / c.elapsed_us, 2),
@@ -98,5 +102,6 @@ int main(int argc, char** argv) {
       "(expected: comparable on coarse work at any p; under fork churn the "
       "global lock's wait time explodes past ~16 procs while the clustered "
       "scheduler keeps scaling)");
+  common.write_json();
   return 0;
 }

@@ -28,6 +28,7 @@ int main(int argc, char** argv) {
     o.mem_quota = k;
     const RunStats stats =
         run(o, [&] { apps::matmul_threaded(input.a, input.b, input.c, input.cfg); });
+    common.record("K=" + std::to_string(k), o, stats);
     table.add_row({Table::fmt_bytes(static_cast<long long>(k)),
                    Table::fmt(stats.elapsed_us / 1e6, 3),
                    Table::fmt(serial.elapsed_us / stats.elapsed_us, 2),
@@ -38,5 +39,6 @@ int main(int argc, char** argv) {
   }
   common.emit(table, "Quota sweep: matmul " + std::to_string(n) + "², p=" +
                          std::to_string(p) + ", AsyncDF");
+  common.write_json();
   return 0;
 }

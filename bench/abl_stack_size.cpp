@@ -28,6 +28,8 @@ int main(int argc, char** argv) {
     };
     const RunStats fifo = one(SchedKind::Fifo);
     const RunStats adf = one(SchedKind::AsyncDf);
+    common.record("stack" + std::to_string(stack) + " fifo", fifo);
+    common.record("stack" + std::to_string(stack) + " asyncdf", adf);
     table.add_row({Table::fmt_bytes(static_cast<long long>(stack)),
                    Table::fmt(serial.elapsed_us / fifo.elapsed_us, 2),
                    Table::fmt_bytes(fifo.stack_peak),
@@ -42,5 +44,6 @@ int main(int argc, char** argv) {
       "(paper: 1 MB defaults hurt when many threads are simultaneously "
       "live; 8 KB removes the cost; the space-efficient scheduler is nearly "
       "insensitive because it keeps few threads live)");
+  common.write_json();
   return 0;
 }

@@ -34,6 +34,8 @@ int main(int argc, char** argv) {
     const RunStats strassen = run(o, [&] {
       apps::matmul_strassen_threaded(input.a, input.b, input.c, input.cfg);
     });
+    common.record("classical p" + std::to_string(p), o, classical);
+    common.record("strassen p" + std::to_string(p), o, strassen);
     table.add_row({Table::fmt_int(p), Table::fmt(classical.elapsed_us / 1e6, 3),
                    Table::fmt(strassen.elapsed_us / 1e6, 3),
                    Table::fmt(strassen.elapsed_us / classical.elapsed_us, 2),
@@ -50,6 +52,7 @@ int main(int argc, char** argv) {
     const RunStats stats = run(o, [&] {
       apps::matmul_strassen_threaded(input.a, input.b, input.c, input.cfg);
     });
+    common.record(std::string("strassen sched ") + to_string(kind), o, stats);
     sched.add_row({to_string(kind), Table::fmt(stats.elapsed_us / 1e6, 3),
                    bench::mb(stats.heap_peak),
                    Table::fmt_int(stats.max_live_threads)});
@@ -58,5 +61,6 @@ int main(int argc, char** argv) {
   std::puts(
       "(expected: Strassen beats classical in time; its temporaries explode "
       "under FIFO and stay near one root-to-leaf path under AsyncDF)");
+  common.write_json();
   return 0;
 }

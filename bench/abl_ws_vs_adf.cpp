@@ -52,6 +52,8 @@ int main(int argc, char** argv) {
   for (int p = 1; p <= static_cast<int>(*common.procs_max); p *= 2) {
     const RunStats ws = bench::matmul_run(input, SchedKind::WorkSteal, p, 8 << 10, seed);
     const RunStats adf = bench::matmul_run(input, SchedKind::AsyncDf, p, 8 << 10, seed);
+    common.record("matmul p" + std::to_string(p) + " worksteal", ws);
+    common.record("matmul p" + std::to_string(p) + " asyncdf", adf);
     mm.add_row({Table::fmt_int(p), Table::fmt(serial.elapsed_us / ws.elapsed_us, 2),
                 Table::fmt(serial.elapsed_us / adf.elapsed_us, 2),
                 bench::mb(ws.heap_peak), bench::mb(adf.heap_peak),
@@ -70,6 +72,8 @@ int main(int argc, char** argv) {
     };
     const RunStats ws = one(SchedKind::WorkSteal);
     const RunStats adf = one(SchedKind::AsyncDf);
+    common.record("tree p" + std::to_string(p) + " worksteal", ws);
+    common.record("tree p" + std::to_string(p) + " asyncdf", adf);
     chain.add_row({Table::fmt_int(p), bench::mb(ws.heap_peak),
                    bench::mb(adf.heap_peak), Table::fmt_int(ws.max_live_threads),
                    Table::fmt_int(adf.max_live_threads)});
@@ -77,5 +81,6 @@ int main(int argc, char** argv) {
   common.emit(chain, "WS vs AsyncDF: allocating binary fork tree (depth 12, "
                      "128 KB per node)");
   std::puts("(expected shape: WS memory grows ~linearly with p; ADF stays near S1)");
+  common.write_json();
   return 0;
 }

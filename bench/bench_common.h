@@ -10,12 +10,25 @@
 
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "runtime/api.h"
 #include "util/cli.h"
 #include "util/table.h"
 
 namespace dfth::bench {
+
+/// One machine-readable result row for BENCH_<name>.json: the fields every
+/// downstream comparison needs, regardless of which figure produced them.
+struct BenchRecord {
+  std::string label;       ///< row/series identifier within the bench
+  std::string scheduler;
+  int nprocs = 0;
+  std::uint64_t quota_bytes = 0;
+  double elapsed_us = 0;
+  std::int64_t heap_peak = 0;
+  std::int64_t max_live_threads = 0;
+};
 
 /// Standard options shared by the harnesses.
 struct Common {
@@ -24,13 +37,17 @@ struct Common {
   std::string* csv;
   bool* full;
   std::int64_t* seed;
+  std::string* json;
 
   Common(const std::string& name, const std::string& what)
       : cli(name, what),
         procs_max(cli.int_opt("max-procs", 8, "largest processor count swept")),
         csv(cli.str_opt("csv", "", "also write the table to this CSV path")),
         full(cli.flag("full", false, "use the paper's full problem sizes")),
-        seed(cli.int_opt("seed", 0x5eed, "RNG seed for generators/schedulers")) {}
+        seed(cli.int_opt("seed", 0x5eed, "RNG seed for generators/schedulers")),
+        json(cli.str_opt("json", "BENCH_" + name + ".json",
+                         "machine-readable results path (empty disables)")),
+        name_(name) {}
 
   bool parse(int argc, char** argv) { return cli.parse(argc, argv); }
 
@@ -45,6 +62,79 @@ struct Common {
     }
     std::fflush(stdout);
   }
+
+  /// Records one measured run for the JSON dump.
+  void record(const std::string& label, const RuntimeOptions& opts,
+              const RunStats& stats) {
+    BenchRecord r;
+    r.label = label;
+    r.scheduler = to_string(stats.sched);
+    r.nprocs = stats.nprocs;
+    r.quota_bytes = opts.mem_quota;
+    r.elapsed_us = stats.elapsed_us;
+    r.heap_peak = stats.heap_peak;
+    r.max_live_threads = stats.max_live_threads;
+    records_.push_back(std::move(r));
+  }
+
+  /// Records one measured run whose harness built its options out of line
+  /// (quota defaults to the runtime's default K).
+  void record(const std::string& label, const RunStats& stats,
+              std::uint64_t quota_bytes = RuntimeOptions{}.mem_quota) {
+    BenchRecord r;
+    r.label = label;
+    r.scheduler = to_string(stats.sched);
+    r.nprocs = stats.nprocs;
+    r.quota_bytes = quota_bytes;
+    r.elapsed_us = stats.elapsed_us;
+    r.heap_peak = stats.heap_peak;
+    r.max_live_threads = stats.max_live_threads;
+    records_.push_back(std::move(r));
+  }
+
+  /// Records a row with no RunStats behind it (e.g. measured op costs).
+  void record_raw(const std::string& label, const std::string& scheduler,
+                  int nprocs, double elapsed_us, std::int64_t heap_peak = 0) {
+    BenchRecord r;
+    r.label = label;
+    r.scheduler = scheduler;
+    r.nprocs = nprocs;
+    r.elapsed_us = elapsed_us;
+    r.heap_peak = heap_peak;
+    records_.push_back(std::move(r));
+  }
+
+  /// Writes BENCH_<name>.json (one record per line). Call once at the end
+  /// of main; a no-op when --json '' was passed.
+  void write_json() const {
+    if (json->empty()) return;
+    std::FILE* f = std::fopen(json->c_str(), "w");
+    if (!f) {
+      std::fprintf(stderr, "failed to write %s\n", json->c_str());
+      return;
+    }
+    std::fprintf(f, "{\"bench\": \"%s\", \"records\": [", name_.c_str());
+    bool first = true;
+    for (const BenchRecord& r : records_) {
+      std::fprintf(f,
+                   "%s\n{\"label\": \"%s\", \"scheduler\": \"%s\", "
+                   "\"nprocs\": %d, \"quota_bytes\": %llu, "
+                   "\"elapsed_us\": %.3f, \"heap_peak\": %lld, "
+                   "\"max_live_threads\": %lld}",
+                   first ? "" : ",", r.label.c_str(), r.scheduler.c_str(),
+                   r.nprocs, static_cast<unsigned long long>(r.quota_bytes),
+                   r.elapsed_us, static_cast<long long>(r.heap_peak),
+                   static_cast<long long>(r.max_live_threads));
+      first = false;
+    }
+    std::fprintf(f, "\n]}\n");
+    std::fclose(f);
+    std::printf("(json written to %s)\n", json->c_str());
+  }
+
+ private:
+  std::string name_;
+  std::vector<BenchRecord> records_;
 };
 
 /// Simulation options for one run.

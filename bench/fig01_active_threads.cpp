@@ -42,10 +42,11 @@ int main(int argc, char** argv) {
     row.push_back(Table::fmt_int((1LL << depth) - 1));
     for (auto sched : {SchedKind::Fifo, SchedKind::Lifo, SchedKind::AsyncDf,
                        SchedKind::WorkSteal}) {
-      RunStats stats = run(bench::sim_opts(sched, 1, 8 << 10,
-                                           static_cast<std::uint64_t>(*common.seed)),
-                           [depth] { fork_tree(depth); });
+      auto opts = bench::sim_opts(sched, 1, 8 << 10,
+                                  static_cast<std::uint64_t>(*common.seed));
+      RunStats stats = run(opts, [depth] { fork_tree(depth); });
       row.push_back(Table::fmt_int(stats.max_live_threads));
+      common.record("depth" + std::to_string(depth), opts, stats);
     }
     table.add_row(row);
   }
@@ -53,5 +54,6 @@ int main(int argc, char** argv) {
               "Figure 1: max simultaneously-active threads, serial execution "
               "(binary fork/join tree)");
   std::puts("(paper: depth-3 tree -> 7 live under FIFO, at most 3 under LIFO/DF)");
+  common.write_json();
   return 0;
 }

@@ -115,26 +115,29 @@ int main(int argc, char** argv) {
 
   CostModel paper;  // the Figure-3-calibrated constants used by the simulator
   Table table({"operation", "this library (host µs)", "paper/sim model (µs)"});
-  table.add_row({"create+join unbound (cached stack)",
-                 Table::fmt(create_join_us(false, n), 2),
-                 Table::fmt(paper.create_unbound_us + paper.join_us, 2)});
-  table.add_row({"create+join bound (kernel thread)",
-                 Table::fmt(create_join_us(true, std::max(100, n / 10)), 2),
-                 Table::fmt(paper.create_bound_us + paper.join_us, 2)});
-  table.add_row({"join with exited thread", Table::fmt(join_exited_us(n), 3),
-                 Table::fmt(paper.join_us, 2)});
-  table.add_row({"semaphore synchronization", Table::fmt(semaphore_sync_us(n), 2),
-                 Table::fmt(paper.sem_sync_us, 2)});
-  table.add_row({"std::thread create+join (reference)",
-                 Table::fmt(std_thread_create_join_us(std::max(100, n / 10)), 2),
-                 "-"});
-  table.add_row({"function call (reference)", Table::fmt(function_call_us(n), 4),
-                 "-"});
+  auto row = [&](const char* op, double host_us, int digits,
+                 const std::string& model) {
+    table.add_row({op, Table::fmt(host_us, digits), model});
+    common.record_raw(op, "real", 1, host_us);
+  };
+  row("create+join unbound (cached stack)", create_join_us(false, n), 2,
+      Table::fmt(paper.create_unbound_us + paper.join_us, 2));
+  row("create+join bound (kernel thread)",
+      create_join_us(true, std::max(100, n / 10)), 2,
+      Table::fmt(paper.create_bound_us + paper.join_us, 2));
+  row("join with exited thread", join_exited_us(n), 3,
+      Table::fmt(paper.join_us, 2));
+  row("semaphore synchronization", semaphore_sync_us(n), 2,
+      Table::fmt(paper.sem_sync_us, 2));
+  row("std::thread create+join (reference)",
+      std_thread_create_join_us(std::max(100, n / 10)), 2, "-");
+  row("function call (reference)", function_call_us(n), 4, "-");
   table.add_row({"fresh stack 8 KB (model)", "-",
                  Table::fmt(paper.stack_fresh_us(8 << 10), 1)});
   table.add_row({"fresh stack 1 MB (model)", "-",
                  Table::fmt(paper.stack_fresh_us(1 << 20), 1)});
   common.emit(table, "Figure 3: thread operation overheads");
+  common.write_json();
   std::puts(
       "(paper, 167 MHz UltraSPARC: unbound create 20.5 us; bound ops ~10x "
       "unbound; fresh stacks 200-260 us)");

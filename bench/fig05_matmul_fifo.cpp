@@ -19,6 +19,7 @@ int main(int argc, char** argv) {
   const RunStats serial = bench::matmul_serial_stats(input);
   std::printf("serial C version: %.2f s, heap high-water %s MB\n",
               serial.elapsed_us / 1e6, bench::mb(serial.heap_peak).c_str());
+  common.record("serial", serial);
 
   Table table({"procs", "time (s)", "speedup", "heap peak (MB)", "max live threads"});
   for (int p = 1; p <= static_cast<int>(*common.procs_max); ++p) {
@@ -29,10 +30,12 @@ int main(int argc, char** argv) {
                    Table::fmt(serial.elapsed_us / stats.elapsed_us, 2),
                    bench::mb(stats.heap_peak),
                    Table::fmt_int(stats.max_live_threads)});
+    common.record("p" + std::to_string(p), stats, 1 << 20);
   }
   common.emit(table, "Figure 5: matmul " + std::to_string(n) + "² , FIFO scheduler");
   std::puts(
       "(paper @1024²: serial 25 MB; FIFO reaches ~115 MB on 8 procs, >4500 "
       "live threads, speedup 3.65 at p=8)");
+  common.write_json();
   return 0;
 }

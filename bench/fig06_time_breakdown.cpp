@@ -23,24 +23,45 @@ int main(int argc, char** argv) {
   const RunStats serial = bench::matmul_serial_stats(input);
   const double pure_work_us = serial.breakdown.work_us;
 
-  Table table({"procs", "work %", "work(excess) %", "mem ops %", "thread ops %",
-               "sched %", "idle %", "total (s)"});
+  // Build the columns from the Breakdown category list itself so a category
+  // added to the runtime can never silently desync this table from
+  // Breakdown::total_us(). "work" is split into the serial machine work and
+  // the memory-pressure excess (the paper's TLB/page-miss overhead).
+  std::vector<std::string> headers = {"procs"};
+  for (int c = 0; c < Breakdown::kNumCategories; ++c) {
+    const std::string name = Breakdown::category_name(c);
+    if (name == "work") {
+      headers.push_back("work %");
+      headers.push_back("work(excess) %");
+    } else {
+      headers.push_back(name + " %");
+    }
+  }
+  headers.push_back("total (s)");
+  Table table(headers);
   for (int p : {1, 2, 4, 8}) {
     if (p > *common.procs_max) break;
     const RunStats stats = bench::matmul_run(
         input, sched, p, 1 << 20, static_cast<std::uint64_t>(*common.seed));
     const Breakdown& bd = stats.breakdown;
     const double total = bd.total_us();
-    // Split "work" into the serial machine work and the memory-pressure
-    // excess (the paper's TLB/page-miss overhead).
-    const double excess = bd.work_us - pure_work_us;
     auto pct = [total](double us) { return Table::fmt(100.0 * us / total, 1); };
-    table.add_row({Table::fmt_int(p), pct(pure_work_us), pct(excess),
-                   pct(bd.mem_us), pct(bd.thread_us), pct(bd.sched_us),
-                   pct(bd.idle_us), Table::fmt(stats.elapsed_us / 1e6, 2)});
+    std::vector<std::string> cells = {Table::fmt_int(p)};
+    for (int c = 0; c < Breakdown::kNumCategories; ++c) {
+      if (std::string(Breakdown::category_name(c)) == "work") {
+        cells.push_back(pct(pure_work_us));
+        cells.push_back(pct(bd.category(c) - pure_work_us));
+      } else {
+        cells.push_back(pct(bd.category(c)));
+      }
+    }
+    cells.push_back(Table::fmt(stats.elapsed_us / 1e6, 2));
+    table.add_row(cells);
+    common.record("p" + std::to_string(p), stats, 1 << 20);
   }
   common.emit(table, "Figure 6: breakdown of processor time, matmul " +
                          std::to_string(n) + "² under " + to_string(sched));
+  common.write_json();
   std::puts(
       "(paper: under FIFO the processors spend a large fraction of time on "
       "memory-allocation system calls and page/TLB misses; compare with "

@@ -21,6 +21,7 @@ int main(int argc, char** argv) {
   const RunStats serial = bench::matmul_serial_stats(input);
   std::printf("serial C version: %.2f s, heap %s MB\n", serial.elapsed_us / 1e6,
               bench::mb(serial.heap_peak).c_str());
+  common.record("serial", serial);
 
   struct Variant {
     const char* name;
@@ -48,6 +49,7 @@ int main(int argc, char** argv) {
                             static_cast<std::uint64_t>(*common.seed));
       srow.push_back(Table::fmt(serial.elapsed_us / stats.elapsed_us, 2));
       mrow.push_back(bench::mb(stats.heap_peak));
+      common.record(std::string(variant.name) + " p" + std::to_string(p), stats);
     }
     speedups.add_row(srow);
     memory.add_row(mrow);
@@ -58,5 +60,6 @@ int main(int argc, char** argv) {
   std::puts(
       "(paper @1024², p=8: New scheduler cuts running time ~44% and memory "
       "~63% vs Original; LIFO in between; small stacks help both)");
+  common.write_json();
   return 0;
 }

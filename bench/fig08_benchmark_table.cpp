@@ -35,6 +35,9 @@ int main(int argc, char** argv) {
                    Table::fmt(t_serial / fine_orig.elapsed_us, 2),
                    Table::fmt(t_serial / fine_new.elapsed_us, 2),
                    Table::fmt_int(fine_new.max_live_threads)});
+    common.record(app.name + " serial", serial);
+    common.record(app.name + " fine+orig", fine_orig);
+    common.record(app.name + " fine+new", fine_new);
   }
   common.emit(table, "Figure 8: speedups on " + std::to_string(p) +
                          " processors over serial C");
@@ -42,5 +45,6 @@ int main(int argc, char** argv) {
       "(paper @8 procs: e.g. Matrix Mult 3.65 -> 6.56, Barnes 5.76 -> 7.80 "
       "(coarse 7.53), Sparse 4.41 -> 5.96 (coarse 6.14); fine+new matches or "
       "beats coarse, with tens of live threads)");
+  common.write_json();
   return 0;
 }

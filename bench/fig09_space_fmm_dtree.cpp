@@ -35,6 +35,8 @@ int main(int argc, char** argv) {
     };
     const RunStats fifo = one(SchedKind::Fifo);
     const RunStats adf = one(SchedKind::AsyncDf);
+    common.record("fmm p" + std::to_string(p) + " fifo", fifo);
+    common.record("fmm p" + std::to_string(p) + " asyncdf", adf);
     fmm_table.add_row({Table::fmt_int(p),
                        Table::fmt(static_cast<double>(fifo.heap_peak) / 1024, 0),
                        Table::fmt(static_cast<double>(adf.heap_peak) / 1024, 0),
@@ -58,6 +60,8 @@ int main(int argc, char** argv) {
     };
     const RunStats fifo = one(SchedKind::Fifo);
     const RunStats adf = one(SchedKind::AsyncDf);
+    common.record("dtree p" + std::to_string(p) + " fifo", fifo);
+    common.record("dtree p" + std::to_string(p) + " asyncdf", adf);
     dt_table.add_row({Table::fmt_int(p), bench::mb(fifo.heap_peak),
                       bench::mb(adf.heap_peak),
                       Table::fmt_int(fifo.max_live_threads),
@@ -67,5 +71,6 @@ int main(int argc, char** argv) {
   std::puts(
       "(paper: the new scheduling technique results in lower space "
       "requirement for both, and the gap does not grow with processors)");
+  common.write_json();
   return 0;
 }

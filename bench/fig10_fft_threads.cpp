@@ -22,12 +22,16 @@ int main(int argc, char** argv) {
   apps::fft_fill(in, n, seed);
 
   auto timed = [&](SchedKind sched, int p, int nthreads) {
-    return run(bench::sim_opts(sched, p, 8 << 10, seed), [&] {
-      apps::FftPlan plan(n);
-      auto* out = static_cast<apps::Complex*>(df_malloc(sizeof(apps::Complex) * n));
-      plan.execute_threaded(in, out, nthreads);
-      df_free(out);
-    }).elapsed_us;
+    const RunStats stats =
+        run(bench::sim_opts(sched, p, 8 << 10, seed), [&] {
+          apps::FftPlan plan(n);
+          auto* out =
+              static_cast<apps::Complex*>(df_malloc(sizeof(apps::Complex) * n));
+          plan.execute_threaded(in, out, nthreads);
+          df_free(out);
+        });
+    common.record(std::to_string(nthreads) + "thr p" + std::to_string(p), stats);
+    return stats.elapsed_us;
   };
   const double serial_us = run(bench::sim_opts(SchedKind::AsyncDf, 1), [&] {
                              apps::FftPlan plan(n);
@@ -50,6 +54,7 @@ int main(int argc, char** argv) {
       "(paper: for p in {2,4,8} the p-thread version is marginally faster; "
       "for every other p the 256-thread versions are better load balanced "
       "and win; schedulers comparable)");
+  common.write_json();
   df_free(in);
   return 0;
 }

@@ -42,6 +42,8 @@ int main(int argc, char** argv) {
     };
     const RunStats orig = one(SchedKind::Fifo);
     const RunStats fresh = one(SchedKind::AsyncDf);
+    common.record("grain" + std::to_string(grain) + " fifo", orig);
+    common.record("grain" + std::to_string(grain) + " asyncdf", fresh);
     const double hits =
         100.0 * static_cast<double>(fresh.cache_hits) /
         static_cast<double>(fresh.cache_hits + fresh.cache_misses + 1);
@@ -73,6 +75,8 @@ int main(int argc, char** argv) {
     };
     const RunStats adf = one(SchedKind::AsyncDf);
     const RunStats dfd = one(SchedKind::DfDeques);
+    common.record("tree grain" + std::to_string(grain) + " asyncdf", adf);
+    common.record("tree grain" + std::to_string(grain) + " dfdeques", dfd);
     auto hits = [](const RunStats& s) {
       return Table::fmt(100.0 * static_cast<double>(s.cache_hits) /
                             static_cast<double>(s.cache_hits + s.cache_misses + 1),
@@ -85,5 +89,6 @@ int main(int argc, char** argv) {
   }
   common.emit(tree, "§5.3 follow-up: tree-spawned fine threads, AsyncDF vs "
                     "locality-aware DfDeques");
+  common.write_json();
   return 0;
 }

@@ -23,11 +23,13 @@ int main(int argc, char** argv) {
     for (int p : {8, 12, 16}) {
       last = app.fine(SchedKind::AsyncDf, p, seed);
       row.push_back(Table::fmt(t_serial / last.elapsed_us, 2));
+      common.record(app.name + " p" + std::to_string(p), last);
     }
     row.push_back(Table::fmt_int(last.max_live_threads));
     table.add_row(row);
   }
   common.emit(table, "Scalability of the space-efficient scheduler to 16 procs");
   std::puts("(paper §5.2: 16-processor results similar to Figure 8)");
+  common.write_json();
   return 0;
 }

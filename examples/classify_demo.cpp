@@ -8,6 +8,7 @@
 #include <cstdio>
 
 #include "apps/dtree/dtree.h"
+#include "obs/export.h"
 #include "runtime/api.h"
 #include "util/cli.h"
 
@@ -18,6 +19,7 @@ int main(int argc, char** argv) {
   auto* instances = cli.int_opt("instances", 30000, "training instances");
   auto* procs = cli.int_opt("procs", 8, "simulated processors");
   auto* sched = cli.str_opt("sched", "asyncdf", "fifo|lifo|asyncdf|worksteal");
+  auto* stats_json = cli.str_opt("stats-json", "", "write RunStats JSON here");
   if (!cli.parse(argc, argv)) return 0;
 
   apps::DtreeConfig cfg;
@@ -48,5 +50,6 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(stats.threads_created),
               static_cast<long long>(stats.max_live_threads),
               static_cast<double>(stats.heap_peak) / (1 << 20));
+  if (!stats_json->empty()) obs::write_stats_json(stats, nullptr, *stats_json);
   return 0;
 }

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "apps/fft/fft.h"
+#include "obs/export.h"
 #include "runtime/api.h"
 #include "util/cli.h"
 
@@ -17,6 +18,7 @@ int main(int argc, char** argv) {
   Cli cli("fft_demo", "1-D complex FFT, p threads vs many threads");
   auto* lg = cli.int_opt("log2n", 18, "transform size exponent");
   auto* procs = cli.int_opt("procs", 6, "simulated processors (try odd counts!)");
+  auto* stats_json = cli.str_opt("stats-json", "", "write RunStats JSON here");
   if (!cli.parse(argc, argv)) return 0;
   const std::size_t n = std::size_t{1} << *lg;
   const int p = static_cast<int>(*procs);
@@ -35,9 +37,13 @@ int main(int argc, char** argv) {
     plan.execute_threaded(in.data(), out.data(), p);
   }).elapsed_us;
   const int many = 64;
-  const double t_many = run(opts, [&] {
+  const RunStats many_stats = run(opts, [&] {
     plan.execute_threaded(in.data(), out.data(), many);
-  }).elapsed_us;
+  });
+  const double t_many = many_stats.elapsed_us;
+  if (!stats_json->empty()) {
+    obs::write_stats_json(many_stats, nullptr, *stats_json);
+  }
 
   inverse.execute_serial(out.data(), back.data());
   double worst = 0;

@@ -7,6 +7,7 @@
 #include <cstdio>
 
 #include "apps/barnes/barnes.h"
+#include "obs/export.h"
 #include "runtime/api.h"
 #include "util/cli.h"
 
@@ -17,6 +18,8 @@ int main(int argc, char** argv) {
   auto* bodies_n = cli.int_opt("bodies", 4096, "number of bodies (Plummer model)");
   auto* steps = cli.int_opt("steps", 2, "timesteps");
   auto* procs = cli.int_opt("procs", 8, "simulated processors");
+  auto* stats_json =
+      cli.str_opt("stats-json", "", "write fine-grained run's RunStats JSON");
   if (!cli.parse(argc, argv)) return 0;
 
   apps::BarnesConfig cfg;
@@ -74,5 +77,6 @@ int main(int argc, char** argv) {
     std::printf("energy drift over %d steps: %.3f%%\n", cfg.timesteps,
                 100.0 * (e1 - e0) / std::abs(e0));
   }
+  if (!stats_json->empty()) obs::write_stats_json(fine, nullptr, *stats_json);
   return 0;
 }

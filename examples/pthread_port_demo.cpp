@@ -12,6 +12,7 @@
 #include <cstring>
 
 #include "compat/dfth_pthread.h"
+#include "obs/export.h"
 #include "util/cli.h"
 
 namespace {
@@ -77,6 +78,7 @@ int main(int argc, char** argv) {
   auto* workers = cli.int_opt("workers", 4, "producers and consumers each");
   auto* items = cli.int_opt("items", 5000, "work items to push through");
   auto* sched = cli.str_opt("sched", "asyncdf", "scheduler to run it under");
+  auto* stats_json = cli.str_opt("stats-json", "", "write RunStats JSON here");
   if (!cli.parse(argc, argv)) return 0;
 
   dfth::RuntimeOptions opts;
@@ -112,5 +114,8 @@ int main(int argc, char** argv) {
               "threads peak\n",
               to_string(stats.sched), stats.nprocs, stats.elapsed_us / 1e3,
               static_cast<long long>(stats.max_live_threads));
+  if (!stats_json->empty()) {
+    dfth::obs::write_stats_json(stats, nullptr, *stats_json);
+  }
   return sum == expect ? 0 : 1;
 }

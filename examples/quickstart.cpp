@@ -9,8 +9,10 @@
 // watch the live-thread count explode — the paper's core observation.
 #include <cstdio>
 
+#include "obs/export.h"
 #include "runtime/api.h"
 #include "runtime/sync.h"
+#include "util/cli.h"
 
 using namespace dfth;
 
@@ -31,7 +33,11 @@ long long fib(int n) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  Cli cli("quickstart", "the DFThreads API in one file");
+  auto* stats_json = cli.str_opt("stats-json", "", "write RunStats JSON here");
+  if (!cli.parse(argc, argv)) return 0;
+
   RuntimeOptions opts;
   opts.engine = EngineKind::Sim;      // deterministic virtual 8-way SMP
   opts.sched = SchedKind::AsyncDf;    // the paper's space-efficient scheduler
@@ -66,5 +72,6 @@ int main() {
               stats.elapsed_us / 1e3, stats.nprocs);
   std::printf("heap high-water:        %.2f MB\n",
               static_cast<double>(stats.heap_peak) / (1 << 20));
+  if (!stats_json->empty()) obs::write_stats_json(stats, nullptr, *stats_json);
   return 0;
 }

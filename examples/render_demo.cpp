@@ -7,6 +7,7 @@
 #include <cstdio>
 
 #include "apps/volrend/volrend.h"
+#include "obs/export.h"
 #include "runtime/api.h"
 #include "util/cli.h"
 
@@ -19,6 +20,7 @@ int main(int argc, char** argv) {
   auto* grain = cli.int_opt("tiles-per-thread", 64, "Fig 11 granularity knob");
   auto* procs = cli.int_opt("procs", 8, "simulated processors");
   auto* out = cli.str_opt("out", "head.pgm", "output PGM path");
+  auto* stats_json = cli.str_opt("stats-json", "", "write RunStats JSON here");
   if (!cli.parse(argc, argv)) return 0;
 
   apps::VolrendConfig cfg;
@@ -50,5 +52,6 @@ int main(int argc, char** argv) {
               apps::volrend_tile_count(cfg), cfg.tiles_per_thread,
               static_cast<unsigned long long>(stats.threads_created),
               stats.elapsed_us / 1e3, stats.nprocs, hit_rate);
+  if (!stats_json->empty()) obs::write_stats_json(stats, nullptr, *stats_json);
   return 0;
 }

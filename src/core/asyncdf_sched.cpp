@@ -2,6 +2,7 @@
 
 #include <limits>
 
+#include "obs/counters.h"
 #include "util/check.h"
 
 namespace dfth {
@@ -34,6 +35,7 @@ void AsyncDfScheduler::on_ready(Tcb* t, int proc) {
   DFTH_DCHECK(t->order.linked());
   DFTH_DCHECK(t->state.load(std::memory_order_relaxed) == ThreadState::Ready);
   ++ready_;
+  DFTH_COUNT(obs::Counter::ReadyPushes);
 }
 
 Tcb* AsyncDfScheduler::pick_next(int proc, std::uint64_t now, std::uint64_t* earliest) {
@@ -47,6 +49,7 @@ Tcb* AsyncDfScheduler::pick_next(int proc, std::uint64_t now, std::uint64_t* ear
       if (t->state.load(std::memory_order_relaxed) != ThreadState::Ready) continue;
       if (t->ready_at_ns <= now) {
         --ready_;
+        DFTH_COUNT(obs::Counter::ReadyPops);
         return t;  // leftmost ready thread at the highest non-empty level
       }
       if (t->ready_at_ns < *earliest) *earliest = t->ready_at_ns;

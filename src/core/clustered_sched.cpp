@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "obs/trace.h"
 #include "util/check.h"
 
 namespace dfth {
@@ -34,6 +35,7 @@ void ClusteredAdfScheduler::on_ready(Tcb* t, int proc) {
   DFTH_DCHECK(t->order.linked());
   DFTH_DCHECK(t->state.load(std::memory_order_relaxed) == ThreadState::Ready);
   ++ready_;
+  DFTH_COUNT(obs::Counter::ReadyPushes);
 }
 
 Tcb* ClusteredAdfScheduler::scan(int cluster, std::uint64_t now,
@@ -56,6 +58,7 @@ Tcb* ClusteredAdfScheduler::pick_next(int proc, std::uint64_t now,
                             static_cast<int>(lists_.size()) - 1);
   if (Tcb* t = scan(home, now, earliest)) {
     --ready_;
+    DFTH_COUNT(obs::Counter::ReadyPops);
     return t;
   }
   // "Threads would be moved between SMPs only when required": the home
@@ -72,6 +75,10 @@ Tcb* ClusteredAdfScheduler::pick_next(int proc, std::uint64_t now,
       t->home_proc = home;
       ++migrations_;
       --ready_;
+      DFTH_COUNT(obs::Counter::ReadyPops);
+      DFTH_COUNT(obs::Counter::Steals);
+      DFTH_TRACE_EMIT(proc, obs::EvKind::Steal, t->id,
+                      static_cast<std::uint64_t>(victim));
       return t;
     }
   }

@@ -2,6 +2,7 @@
 
 #include <limits>
 
+#include "obs/trace.h"
 #include "util/check.h"
 
 namespace dfth {
@@ -31,6 +32,7 @@ void DfDequesScheduler::on_ready(Tcb* t, int proc) {
   t->home_proc = dq.owner;
   dq.threads.push_back(t);  // back == top (owner's LIFO end)
   ++ready_;
+  DFTH_COUNT(obs::Counter::ReadyPushes);
 }
 
 Tcb* DfDequesScheduler::take(Deque& dq, bool from_top, std::uint64_t now,
@@ -65,7 +67,10 @@ Tcb* DfDequesScheduler::pick_next(int proc, std::uint64_t now,
   Deque& own = deque_of(proc);
 
   // Own deque first, newest thread first: the locality path.
-  if (Tcb* t = take(own, /*from_top=*/true, now, earliest)) return t;
+  if (Tcb* t = take(own, /*from_top=*/true, now, earliest)) {
+    DFTH_COUNT(obs::Counter::ReadyPops);
+    return t;
+  }
 
   // Steal: walk the global deque order from the left and take the BOTTOM
   // (serially earliest) thread of the first deque that has one.
@@ -75,6 +80,10 @@ Tcb* DfDequesScheduler::pick_next(int proc, std::uint64_t now,
     if (victim == &own) continue;
     if (Tcb* t = take(*victim, /*from_top=*/false, now, earliest)) {
       ++steals_;
+      DFTH_COUNT(obs::Counter::ReadyPops);
+      DFTH_COUNT(obs::Counter::Steals);
+      DFTH_TRACE_EMIT(proc, obs::EvKind::Steal, t->id,
+                      static_cast<std::uint64_t>(victim->owner));
       // Reposition the thief's deque right of the victim so work spawned
       // from the stolen thread keeps its serial-order neighborhood.
       order_.erase(&own.order);

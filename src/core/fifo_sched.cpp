@@ -2,6 +2,7 @@
 
 #include <limits>
 
+#include "obs/counters.h"
 #include "util/check.h"
 
 namespace dfth {
@@ -23,6 +24,7 @@ void FifoScheduler::on_ready(Tcb* t, int proc) {
   }
   q.tail = t;
   ++ready_;
+  DFTH_COUNT(obs::Counter::ReadyPushes);
 }
 
 Tcb* FifoScheduler::pick_next(int proc, std::uint64_t now, std::uint64_t* earliest) {
@@ -41,6 +43,7 @@ Tcb* FifoScheduler::pick_next(int proc, std::uint64_t now, std::uint64_t* earlie
         if (q.tail == t) q.tail = prev;
         t->sched_next = nullptr;
         --ready_;
+        DFTH_COUNT(obs::Counter::ReadyPops);
         return t;
       }
       if (t->ready_at_ns < *earliest) *earliest = t->ready_at_ns;

@@ -2,6 +2,7 @@
 
 #include <limits>
 
+#include "obs/trace.h"
 #include "util/check.h"
 
 namespace dfth {
@@ -22,6 +23,7 @@ void WorkStealScheduler::on_ready(Tcb* t, int proc) {
   t->home_proc = static_cast<int>(idx);
   deques_[idx].push_back(t);  // back == top (owner end)
   ++ready_;
+  DFTH_COUNT(obs::Counter::ReadyPushes);
 }
 
 Tcb* WorkStealScheduler::take(std::deque<Tcb*>& dq, bool from_top, std::uint64_t now,
@@ -57,7 +59,10 @@ Tcb* WorkStealScheduler::pick_next(int proc, std::uint64_t now, std::uint64_t* e
   const auto self = static_cast<std::size_t>(proc) % n;
 
   // Own deque first, owner end.
-  if (Tcb* t = take(deques_[self], /*from_top=*/true, now, earliest)) return t;
+  if (Tcb* t = take(deques_[self], /*from_top=*/true, now, earliest)) {
+    DFTH_COUNT(obs::Counter::ReadyPops);
+    return t;
+  }
 
   // Steal: random starting victim, then cycle, taking from the bottom.
   if (n > 1) {
@@ -67,6 +72,9 @@ Tcb* WorkStealScheduler::pick_next(int proc, std::uint64_t now, std::uint64_t* e
       if (victim == self) continue;
       if (Tcb* t = take(deques_[victim], /*from_top=*/false, now, earliest)) {
         ++steals_;
+        DFTH_COUNT(obs::Counter::ReadyPops);
+        DFTH_COUNT(obs::Counter::Steals);
+        DFTH_TRACE_EMIT(proc, obs::EvKind::Steal, t->id, victim);
         return t;
       }
     }

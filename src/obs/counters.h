@@ -1,0 +1,72 @@
+// Counters registry — the always-cheap half of the observability layer.
+//
+// One process-global array of relaxed atomic counters, shared by both
+// engines, all schedulers, the stack pool and the tracked heap. A trace
+// session (obs/trace.h) resets the registry at begin_run() and snapshots it
+// at end_run(), so the exported RunStats-superset JSON carries exact
+// per-run operation counts even for events the ring buffer dropped or that
+// fall under the alloc-event threshold.
+//
+// Increment through DFTH_COUNT so a -DDFTH_TRACE=OFF build compiles the
+// hook to nothing (the registry itself still exists for tests/tools).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace dfth::obs {
+
+enum class Counter : int {
+  Forks = 0,
+  Joins,
+  Dispatches,
+  Preempts,       ///< yield / quota / fork-dive switch-outs of runnable threads
+  QuotaExhausts,  ///< df_malloc drove a thread's memory quota to zero
+  DummySpawns,    ///< δ no-op threads forked before large allocations
+  Steals,         ///< WS/DFDeques steals + clustered migrations
+  Blocks,
+  Wakes,
+  Exits,
+  ReadyPushes,    ///< scheduler on_ready() calls (all policies)
+  ReadyPops,      ///< successful scheduler pick_next() calls
+  StacksFresh,
+  StacksReused,
+  Allocs,
+  Frees,
+  AllocBytes,
+  FreeBytes,
+  kCount,
+};
+
+inline constexpr int kNumCounters = static_cast<int>(Counter::kCount);
+
+const char* to_string(Counter c);
+
+class CounterRegistry {
+ public:
+  void inc(Counter c, std::uint64_t n = 1) {
+    vals_[static_cast<int>(c)].fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value(Counter c) const {
+    return vals_[static_cast<int>(c)].load(std::memory_order_relaxed);
+  }
+  void reset() {
+    for (auto& v : vals_) v.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> vals_[kNumCounters] = {};
+};
+
+/// The process-global registry.
+CounterRegistry& counters();
+
+}  // namespace dfth::obs
+
+#if DFTH_TRACE
+#define DFTH_COUNT(c) ::dfth::obs::counters().inc(c)
+#define DFTH_COUNT_N(c, n) ::dfth::obs::counters().inc((c), (n))
+#else
+#define DFTH_COUNT(c) ((void)0)
+#define DFTH_COUNT_N(c, n) ((void)0)
+#endif

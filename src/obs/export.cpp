@@ -1,0 +1,232 @@
+#include "obs/export.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <unordered_map>
+#include <vector>
+
+namespace dfth::obs {
+namespace {
+
+/// RAII stdio file — exporters may run from atexit-ish paths, keep it simple.
+struct File {
+  explicit File(const std::string& path) : f(std::fopen(path.c_str(), "w")) {}
+  ~File() {
+    if (f) std::fclose(f);
+  }
+  std::FILE* f = nullptr;
+};
+
+double us(std::uint64_t ts_ns) { return static_cast<double>(ts_ns) / 1000.0; }
+
+void chrome_event_prefix(std::FILE* f, bool& first) {
+  std::fprintf(f, first ? "\n" : ",\n");
+  first = false;
+}
+
+}  // namespace
+
+std::string to_json(const Breakdown& b) {
+  std::string out = "{";
+  char buf[64];
+  for (int i = 0; i < Breakdown::kNumCategories; ++i) {
+    std::snprintf(buf, sizeof buf, "%s\"%s_us\": %.3f", i ? ", " : "",
+                  Breakdown::category_name(i), b.category(i));
+    out += buf;
+  }
+  std::snprintf(buf, sizeof buf, ", \"total_us\": %.3f}", b.total_us());
+  out += buf;
+  return out;
+}
+
+std::string to_json(const RunStats& s) {
+  char buf[1024];
+  std::snprintf(
+      buf, sizeof buf,
+      "{\"engine\": \"%s\", \"scheduler\": \"%s\", \"nprocs\": %d, "
+      "\"threads_created\": %" PRIu64 ", \"dummy_threads\": %" PRIu64
+      ", \"max_live_threads\": %" PRId64 ", \"dispatches\": %" PRIu64
+      ", \"quota_preemptions\": %" PRIu64 ", \"steals\": %" PRIu64
+      ", \"heap_peak\": %" PRId64 ", \"stack_peak\": %" PRId64
+      ", \"stacks_fresh\": %" PRIu64 ", \"stacks_reused\": %" PRIu64
+      ", \"elapsed_us\": %.3f, \"cache_hits\": %" PRIu64
+      ", \"cache_misses\": %" PRIu64 ", \"breakdown\": ",
+      to_string(s.engine), to_string(s.sched), s.nprocs, s.threads_created,
+      s.dummy_threads, s.max_live_threads, s.dispatches, s.quota_preemptions,
+      s.steals, s.heap_peak, s.stack_peak, s.stacks_fresh, s.stacks_reused,
+      s.elapsed_us, s.cache_hits, s.cache_misses);
+  return std::string(buf) + to_json(s.breakdown) + "}";
+}
+
+bool write_stats_json(const RunStats& stats, const Tracer* tr,
+                      const std::string& path) {
+  File out(path);
+  if (!out.f) return false;
+  std::fprintf(out.f, "{\n\"stats\": %s", to_json(stats).c_str());
+  if (tr) {
+    std::fprintf(out.f, ",\n\"counters\": {");
+    for (int c = 0; c < kNumCounters; ++c) {
+      std::fprintf(out.f, "%s\"%s\": %" PRIu64, c ? ", " : "",
+                   to_string(static_cast<Counter>(c)),
+                   tr->counter(static_cast<Counter>(c)));
+    }
+    std::fprintf(out.f,
+                 "},\n\"trace\": {\"lanes\": %d, \"events\": %zu, "
+                 "\"dropped\": %" PRIu64 ", \"samples\": %zu}",
+                 tr->lanes(), tr->event_count(), tr->dropped(),
+                 tr->samples().size());
+  }
+  std::fprintf(out.f, "\n}\n");
+  return true;
+}
+
+bool write_chrome_trace(const Tracer& tr, const RunStats& stats,
+                        const std::string& path) {
+  File out(path);
+  if (!out.f) return false;
+  std::FILE* f = out.f;
+  bool first = true;
+  std::fprintf(f, "{\"displayTimeUnit\": \"ns\", \"traceEvents\": [");
+
+  // Lane metadata: one Chrome "thread" per worker/vproc.
+  for (int lane = 0; lane < tr.lanes(); ++lane) {
+    chrome_event_prefix(f, first);
+    const bool external = lane == tr.lanes() - 1 && lane == stats.nprocs;
+    std::fprintf(f,
+                 "{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 0, "
+                 "\"tid\": %d, \"args\": {\"name\": \"%s %d\"}}",
+                 lane, external ? "external" : "worker", lane);
+  }
+
+  // First dispatch per thread — the flow-arrow targets.
+  struct FirstDispatch {
+    std::uint64_t ts_ns;
+    int lane;
+  };
+  std::unordered_map<std::uint64_t, FirstDispatch> first_dispatch;
+  for (int lane = 0; lane < tr.lanes(); ++lane) {
+    for (const TraceEvent& ev : tr.lane_events(lane)) {
+      if (ev.kind == EvKind::Dispatch && !first_dispatch.count(ev.tid)) {
+        first_dispatch[ev.tid] = {ev.ts_ns, lane};
+      }
+    }
+  }
+
+  const std::uint64_t run_end_ns =
+      static_cast<std::uint64_t>(stats.elapsed_us * 1000.0);
+  std::uint64_t next_flow_id = 1;
+
+  for (int lane = 0; lane < tr.lanes(); ++lane) {
+    const auto events = tr.lane_events(lane);
+    // Open dispatch slice on this lane, if any.
+    bool open = false;
+    std::uint64_t open_tid = 0, open_ts = 0;
+    std::uint64_t lane_end = run_end_ns;
+    if (!events.empty()) lane_end = std::max(lane_end, events.back().ts_ns);
+
+    auto close_slice = [&](std::uint64_t end_ns) {
+      chrome_event_prefix(f, first);
+      std::fprintf(f,
+                   "{\"name\": \"T%" PRIu64
+                   "\", \"ph\": \"X\", \"pid\": 0, \"tid\": %d, "
+                   "\"ts\": %.3f, \"dur\": %.3f, \"args\": {\"thread\": %" PRIu64
+                   "}}",
+                   open_tid, lane, us(open_ts),
+                   us(end_ns >= open_ts ? end_ns - open_ts : 0), open_tid);
+      open = false;
+    };
+
+    for (const TraceEvent& ev : events) {
+      switch (ev.kind) {
+        case EvKind::Dispatch:
+          if (open) close_slice(ev.ts_ns);
+          open = true;
+          open_tid = ev.tid;
+          open_ts = ev.ts_ns;
+          break;
+        case EvKind::Preempt:
+        case EvKind::Block:
+        case EvKind::Exit:
+          if (open && ev.tid == open_tid) close_slice(ev.ts_ns);
+          break;
+        case EvKind::Fork:
+        case EvKind::DummySpawn: {
+          // Flow arrow fork → child's first dispatch.
+          auto it = first_dispatch.find(ev.arg);
+          if (it != first_dispatch.end() && it->second.ts_ns >= ev.ts_ns) {
+            const std::uint64_t id = next_flow_id++;
+            chrome_event_prefix(f, first);
+            std::fprintf(f,
+                         "{\"name\": \"fork\", \"cat\": \"fork\", \"ph\": "
+                         "\"s\", \"id\": %" PRIu64
+                         ", \"pid\": 0, \"tid\": %d, \"ts\": %.3f}",
+                         id, lane, us(ev.ts_ns));
+            chrome_event_prefix(f, first);
+            std::fprintf(f,
+                         "{\"name\": \"fork\", \"cat\": \"fork\", \"ph\": "
+                         "\"f\", \"bp\": \"e\", \"id\": %" PRIu64
+                         ", \"pid\": 0, \"tid\": %d, \"ts\": %.3f}",
+                         id, it->second.lane, us(it->second.ts_ns));
+          }
+          break;
+        }
+        default:
+          break;
+      }
+      // Instants for the notable point events (skip the slice machinery ones).
+      switch (ev.kind) {
+        case EvKind::QuotaExhaust:
+        case EvKind::Steal:
+        case EvKind::StackFresh:
+        case EvKind::StackReuse:
+        case EvKind::Alloc:
+        case EvKind::Free:
+          chrome_event_prefix(f, first);
+          std::fprintf(f,
+                       "{\"name\": \"%s\", \"ph\": \"i\", \"s\": \"t\", "
+                       "\"pid\": 0, \"tid\": %d, \"ts\": %.3f, \"args\": "
+                       "{\"thread\": %" PRIu64 ", \"arg\": %" PRIu64 "}}",
+                       to_string(ev.kind), lane, us(ev.ts_ns), ev.tid, ev.arg);
+          break;
+        default:
+          break;
+      }
+    }
+    if (open) close_slice(lane_end);
+  }
+
+  // Counter tracks from the time-series samples (Fig 1 / Fig 9 curves).
+  for (const Sample& s : tr.samples()) {
+    chrome_event_prefix(f, first);
+    std::fprintf(f,
+                 "{\"name\": \"threads\", \"ph\": \"C\", \"pid\": 0, \"tid\": "
+                 "0, \"ts\": %.3f, \"args\": {\"live\": %" PRId64
+                 ", \"ready\": %" PRId64 "}}",
+                 us(s.ts_ns), s.live_threads, s.ready);
+    chrome_event_prefix(f, first);
+    std::fprintf(f,
+                 "{\"name\": \"footprint\", \"ph\": \"C\", \"pid\": 0, "
+                 "\"tid\": 0, \"ts\": %.3f, \"args\": {\"heap\": %" PRId64
+                 ", \"stack\": %" PRId64 "}}",
+                 us(s.ts_ns), s.heap_bytes, s.stack_bytes);
+  }
+
+  std::fprintf(f, "\n]}\n");
+  return true;
+}
+
+bool write_timeseries_csv(const Tracer& tr, const std::string& path) {
+  File out(path);
+  if (!out.f) return false;
+  std::fprintf(out.f, "ts_us,live_threads,heap_bytes,stack_bytes,ready\n");
+  for (const Sample& s : tr.samples()) {
+    std::fprintf(out.f, "%.3f,%" PRId64 ",%" PRId64 ",%" PRId64 ",%" PRId64 "\n",
+                 us(s.ts_ns), s.live_threads, s.heap_bytes, s.stack_bytes,
+                 s.ready);
+  }
+  return true;
+}
+
+}  // namespace dfth::obs

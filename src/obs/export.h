@@ -1,0 +1,42 @@
+// Exporters for trace sessions and run statistics.
+//
+//  * write_chrome_trace — Chrome trace_event JSON ("X" slices, one lane per
+//    worker/vproc, "s"/"f" flow arrows fork → first dispatch, "i" instants,
+//    "C" counter tracks from the time-series samples). Loads directly in
+//    Perfetto / chrome://tracing; tools/dfth-trace parses the same file.
+//  * write_timeseries_csv — the Figure 1 / Figure 9 curves (live threads,
+//    heap and stack footprint, ready-queue depth over time).
+//  * write_stats_json — RunStats superset: everything RunStats carries plus
+//    the counter registry snapshot and trace-session totals.
+//
+// All writers emit one record per line with a fixed key order so the CLI can
+// parse them with plain string scanning — no JSON library in the toolchain.
+#pragma once
+
+#include <string>
+
+#include "obs/trace.h"
+#include "runtime/run_stats.h"
+
+namespace dfth::obs {
+
+/// JSON object literal for one Breakdown, keys from Breakdown::category_name.
+std::string to_json(const Breakdown& b);
+
+/// JSON object literal for one RunStats (embeds the breakdown).
+std::string to_json(const RunStats& stats);
+
+/// RunStats-superset blob: {"stats": ..., "counters": ..., "trace": ...}.
+/// `tr` may be null (stats only). Returns false on I/O failure.
+bool write_stats_json(const RunStats& stats, const Tracer* tr,
+                      const std::string& path);
+
+/// Chrome trace_event JSON for a finished session. Returns false on I/O
+/// failure or if `tr` is null.
+bool write_chrome_trace(const Tracer& tr, const RunStats& stats,
+                        const std::string& path);
+
+/// Time-series CSV: header "ts_us,live_threads,heap_bytes,stack_bytes,ready".
+bool write_timeseries_csv(const Tracer& tr, const std::string& path);
+
+}  // namespace dfth::obs

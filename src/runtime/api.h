@@ -33,6 +33,10 @@
 
 namespace dfth {
 
+namespace obs {
+class Tracer;
+}
+
 struct RuntimeOptions {
   EngineKind engine = EngineKind::Sim;
   SchedKind sched = SchedKind::AsyncDf;
@@ -58,6 +62,11 @@ struct RuntimeOptions {
   /// when set, the run records its fork/join DAG with per-segment work into
   /// it, for graph/analysis.h. Adds overhead; off by default.
   Recorder* recorder = nullptr;
+
+  /// Optional caller-owned trace session (obs/trace.h): when set (and the
+  /// build has DFTH_TRACE), the engine records scheduler events and
+  /// time-series samples into it for obs/export.h / tools/dfth-trace.
+  obs::Tracer* tracer = nullptr;
 };
 
 /// Opaque thread handle (cheap to copy). Valid until the enclosing run()

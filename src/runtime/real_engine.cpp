@@ -6,6 +6,7 @@
 
 #include "analyze/race_hooks.h"
 #include "core/worksteal_sched.h"
+#include "obs/trace.h"
 #include "space/tracked_heap.h"
 #include "util/check.h"
 #include "util/timer.h"
@@ -15,6 +16,13 @@ namespace {
 
 constexpr std::uint64_t kInf = std::numeric_limits<std::uint64_t>::max();
 constexpr std::size_t kRealStackFloor = 64 << 10;
+
+std::uint64_t steady_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
 
 thread_local void* tl_worker = nullptr;  // RealEngine::Worker*
 thread_local Tcb* tl_bound = nullptr;    // bound thread's own Tcb
@@ -63,6 +71,10 @@ Tcb* RealEngine::make_tcb(std::function<void*()> fn, const Attr& attr, bool is_d
     // benchmarks' serial base cases.
     t->stack = StackPool::instance().acquire(std::max(t->attr.stack_size, kRealStackFloor));
     context_make(&t->ctx, t->stack.base, t->stack.top(), &fiber_entry, t);
+    DFTH_TRACE_EMIT(this_worker() ? this_worker()->id : opts_.nprocs,
+                    t->stack.fresh ? obs::EvKind::StackFresh
+                                   : obs::EvKind::StackReuse,
+                    t->id, t->stack.size);
   }
   return t;
 }
@@ -81,6 +93,8 @@ void RealEngine::fiber_entry(void* arg) {
 }
 
 void RealEngine::finish_thread(Tcb* t) {
+  DFTH_TRACE_EMIT(this_worker() ? this_worker()->id : opts_.nprocs,
+                  obs::EvKind::Exit, t->id, 0);
   {
     std::lock_guard<std::mutex> lk(mu_);
     if (!t->attr.bound) sched_->unregister_thread(t);
@@ -108,6 +122,9 @@ Tcb* RealEngine::spawn(std::function<void*()> fn, const Attr& attr, bool is_dumm
   if (Recorder* rec = active_recorder()) {
     rec->on_thread_start(child->id, parent ? parent->id : 0);
   }
+  DFTH_TRACE_EMIT(w ? w->id : opts_.nprocs,
+                  is_dummy ? obs::EvKind::DummySpawn : obs::EvKind::Fork,
+                  parent ? parent->id : 0, child->id);
 
   if (child->attr.bound) {
     {
@@ -143,6 +160,8 @@ Tcb* RealEngine::spawn(std::function<void*()> fn, const Attr& attr, bool is_dumm
   if (preempt) {
     // Dive into the child; the worker requeues the parent once its context
     // is fully saved (save-before-publish, see header comment).
+    DFTH_TRACE_EMIT(w->id, obs::EvKind::Preempt, parent->id,
+                    obs::kPreemptForkDive);
     w->post = Post::RunNext;
     w->post_fiber = parent;
     w->post_next = child;
@@ -172,6 +191,8 @@ void RealEngine::start_bound_thread(Tcb* t) {
 void* RealEngine::join(Tcb* t) {
   DFTH_CHECK_MSG(!t->detached, "join of detached thread");
   DFTH_CHECK_MSG(!t->joined, "thread joined twice");
+  DFTH_TRACE_EMIT(this_worker() ? this_worker()->id : opts_.nprocs,
+                  obs::EvKind::Join, current() ? current()->id : 0, t->id);
   t->join_lock.lock();
   if (!t->finished) {
     Tcb* cur = current();
@@ -197,6 +218,7 @@ void RealEngine::yield() {
     return;
   }
   Tcb* cur = w->current;
+  DFTH_TRACE_EMIT(w->id, obs::EvKind::Preempt, cur->id, obs::kPreemptYield);
   w->post = Post::Requeue;
   w->post_fiber = cur;
   context_switch(&cur->ctx, &w->ctx);
@@ -208,6 +230,7 @@ void RealEngine::block_current(SpinLock* guard) {
   DFTH_CHECK_MSG(guard->is_locked(),
                  "block_current without holding the wait-list guard");
   Worker* w = this_worker();
+  DFTH_TRACE_EMIT(w ? w->id : opts_.nprocs, obs::EvKind::Block, cur->id, 0);
   if (!w || cur->attr.bound) {
     // Bound threads have no fiber to switch away from: release the guard
     // and wait for wake() to flip the state (kernel-level blocking stand-in).
@@ -223,6 +246,8 @@ void RealEngine::block_current(SpinLock* guard) {
 }
 
 void RealEngine::wake(Tcb* t) {
+  DFTH_TRACE_EMIT(this_worker() ? this_worker()->id : opts_.nprocs,
+                  obs::EvKind::Wake, t->id, current() ? current()->id : 0);
   if (t->attr.bound) {
     t->state.store(ThreadState::Ready, std::memory_order_release);
     return;
@@ -237,6 +262,9 @@ void RealEngine::wake(Tcb* t) {
 
 void RealEngine::on_alloc(std::size_t bytes, std::int64_t fresh_bytes) {
   (void)fresh_bytes;
+  DFTH_TRACE_ALLOC_EVENT(this_worker() ? this_worker()->id : opts_.nprocs,
+                         obs::EvKind::Alloc, current() ? current()->id : 0,
+                         bytes);
   if (!sched_->needs_quota()) return;
   Tcb* cur = current();
   Worker* w = this_worker();
@@ -247,10 +275,18 @@ void RealEngine::on_alloc(std::size_t bytes, std::int64_t fresh_bytes) {
       std::lock_guard<std::mutex> lk(mu_);
       ++stats_.quota_preemptions;
     }
+    DFTH_TRACE_EMIT(w->id, obs::EvKind::QuotaExhaust, cur->id, bytes);
+    DFTH_TRACE_EMIT(w->id, obs::EvKind::Preempt, cur->id, obs::kPreemptQuota);
     w->post = Post::Requeue;
     w->post_fiber = cur;
     context_switch(&cur->ctx, &w->ctx);
   }
+}
+
+void RealEngine::on_free(std::size_t bytes) {
+  DFTH_TRACE_ALLOC_EVENT(this_worker() ? this_worker()->id : opts_.nprocs,
+                         obs::EvKind::Free, current() ? current()->id : 0,
+                         bytes);
 }
 
 bool RealEngine::uses_alloc_quota() const { return sched_->needs_quota(); }
@@ -328,6 +364,7 @@ void RealEngine::worker_loop(Worker& w) {
     t->quota = static_cast<std::int64_t>(opts_.mem_quota);
     ++t->dispatches;
     ++stats_.dispatches;
+    DFTH_TRACE_EMIT(w.id, obs::EvKind::Dispatch, t->id, t->dispatches);
     lk.unlock();
 
     Tcb* next = t;
@@ -343,6 +380,8 @@ void RealEngine::worker_loop(Worker& w) {
           follow->quota = static_cast<std::int64_t>(opts_.mem_quota);
           ++follow->dispatches;
           ++stats_.dispatches;
+          DFTH_TRACE_EMIT(w.id, obs::EvKind::Dispatch, follow->id,
+                          follow->dispatches);
         }
         next = follow;
       } else {
@@ -357,6 +396,20 @@ void RealEngine::worker_loop(Worker& w) {
 RunStats RealEngine::run(const std::function<void()>& main_fn) {
   TrackedHeap::instance().begin_epoch();
   StackPool::instance().begin_epoch();
+
+#if DFTH_TRACE
+  std::thread sampler;
+  std::atomic<bool> sampler_stop{false};
+  if (opts_.tracer) {
+    obs::detail::set_tracer(opts_.tracer);
+    // One lane per worker plus a shared "external" lane for bound threads
+    // and engine-external callers.
+    opts_.tracer->begin_run(
+        opts_.nprocs + 1,
+        [t0 = steady_now_ns()] { return steady_now_ns() - t0; });
+  }
+#endif
+
   Timer timer;
 
   Tcb* main = make_tcb(
@@ -386,6 +439,28 @@ RunStats RealEngine::run(const std::function<void()>& main_fn) {
     w.thread = std::thread([this, &w] { worker_loop(w); });
   }
 
+#if DFTH_TRACE
+  if (obs::Tracer* tr = obs::tracer()) {
+    std::uint64_t interval_ns = tr->config().sample_interval_ns;
+    if (interval_ns == 0) interval_ns = 1'000'000;  // 1 ms
+    sampler = std::thread([this, tr, interval_ns, &sampler_stop] {
+      while (!sampler_stop.load(std::memory_order_acquire)) {
+        obs::Sample s;
+        s.ts_ns = tr->now();
+        {
+          std::lock_guard<std::mutex> lk(mu_);
+          s.live_threads = live_;
+          s.ready = static_cast<std::int64_t>(sched_->ready_count());
+        }
+        s.heap_bytes = TrackedHeap::instance().live_bytes();
+        s.stack_bytes = StackPool::instance().live_bytes();
+        tr->add_sample(s);
+        std::this_thread::sleep_for(std::chrono::nanoseconds(interval_ns));
+      }
+    });
+  }
+#endif
+
   {
     std::unique_lock<std::mutex> lk(mu_);
     done_cv_.wait(lk, [this] { return done_; });
@@ -405,6 +480,15 @@ RunStats RealEngine::run(const std::function<void()>& main_fn) {
   if (auto* ws = dynamic_cast<WorkStealScheduler*>(sched_->underlying())) {
     stats_.steals = ws->steal_count();
   }
+
+#if DFTH_TRACE
+  if (obs::Tracer* tr = obs::tracer()) {
+    sampler_stop.store(true, std::memory_order_release);
+    sampler.join();
+    tr->end_run();
+    obs::detail::set_tracer(nullptr);
+  }
+#endif
   return stats_;
 }
 

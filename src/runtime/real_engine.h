@@ -51,7 +51,7 @@ class RealEngine final : public Engine {
   void wake(Tcb* t) override;
   void charge_sync_op() override {}
   void on_alloc(std::size_t bytes, std::int64_t fresh_bytes) override;
-  void on_free(std::size_t /*bytes*/) override {}
+  void on_free(std::size_t bytes) override;
   bool uses_alloc_quota() const override;
   std::size_t quota_bytes() const override { return opts_.mem_quota; }
   void add_work(std::uint64_t ops) override { (void)ops; }

@@ -21,8 +21,29 @@ struct Breakdown {
   double sched_us = 0;       ///< ready-queue ops + scheduler-lock contention
   double idle_us = 0;        ///< processors with nothing eligible to run
 
+  /// The categories as an iterable list, so consumers (Figure 6 table, JSON
+  /// export, totals) cannot desync from the fields above.
+  static constexpr int kNumCategories = 6;
+  static const char* category_name(int i) {
+    constexpr const char* names[kNumCategories] = {
+        "work", "thread", "mem", "sync", "sched", "idle"};
+    return (i >= 0 && i < kNumCategories) ? names[i] : "?";
+  }
+  double category(int i) const {
+    const double vals[kNumCategories] = {work_us, thread_us, mem_us,
+                                         sync_us, sched_us,  idle_us};
+    return (i >= 0 && i < kNumCategories) ? vals[i] : 0;
+  }
+  double& category(int i) {
+    double* vals[kNumCategories] = {&work_us, &thread_us, &mem_us,
+                                    &sync_us, &sched_us,  &idle_us};
+    return *vals[(i >= 0 && i < kNumCategories) ? i : 0];
+  }
+
   double total_us() const {
-    return work_us + thread_us + mem_us + sync_us + sched_us + idle_us;
+    double t = 0;
+    for (int i = 0; i < kNumCategories; ++i) t += category(i);
+    return t;
   }
 };
 

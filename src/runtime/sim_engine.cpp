@@ -1,7 +1,6 @@
 #include "runtime/sim_engine.h"
 
 #include <algorithm>
-#include <cstdio>
 #include <limits>
 
 #include "analyze/race_hooks.h"
@@ -116,6 +115,9 @@ Tcb* SimEngine::spawn(std::function<void*()> fn, const Attr& attr, bool is_dummy
   child->parent = cur_;
   DFTH_RACE_FORK(child, cur_);
   if (Recorder* rec = active_recorder()) rec->on_thread_start(child->id, cur_->id);
+  DFTH_TRACE_EMIT(cur_proc_,
+                  is_dummy ? obs::EvKind::DummySpawn : obs::EvKind::Fork,
+                  cur_->id, child->id);
   ev_ = Ev::Spawn;
   ev_child_ = child;
   switch_to_loop();
@@ -127,6 +129,7 @@ void* SimEngine::join(Tcb* t) {
   DFTH_CHECK_MSG(!t->detached, "join of detached thread");
   DFTH_CHECK_MSG(!t->joined, "thread joined twice");
   charge(kThread, opts_.cost.join_us);
+  DFTH_TRACE_EMIT(cur_proc_, obs::EvKind::Join, cur_->id, t->id);
   if (!t->finished) {
     DFTH_CHECK_MSG(t->joiner == nullptr, "two concurrent joiners");
     t->joiner = cur_;
@@ -161,6 +164,8 @@ void SimEngine::block_current(SpinLock* guard) {
 
 void SimEngine::wake(Tcb* t) {
   DFTH_CHECK(t->state.load(std::memory_order_relaxed) == ThreadState::Blocked);
+  DFTH_TRACE_EMIT(cur_proc_ >= 0 ? cur_proc_ : 0, obs::EvKind::Wake, t->id,
+                  cur_ ? cur_->id : 0);
   t->state.store(ThreadState::Ready, std::memory_order_relaxed);
   t->ready_at_ns = vnow_ns();
   sched_->on_ready(t, cur_proc_ >= 0 ? cur_proc_ : 0);
@@ -180,10 +185,13 @@ void SimEngine::charge_sync_op() {
 void SimEngine::on_alloc(std::size_t bytes, std::int64_t fresh_bytes) {
   charge(kMem, opts_.cost.malloc_us(bytes, fresh_bytes));
   heap_events_.emplace_back(vnow_ns(), static_cast<std::int64_t>(bytes));
+  DFTH_TRACE_ALLOC_EVENT(cur_proc_ >= 0 ? cur_proc_ : 0, obs::EvKind::Alloc,
+                         cur_ ? cur_->id : 0, bytes);
   if (sched_->needs_quota() && in_fiber_) {
     cur_->quota -= static_cast<std::int64_t>(bytes);
     if (cur_->quota <= 0) {
       // §4 item 2: "when the counter reaches zero, the thread is preempted."
+      DFTH_TRACE_EMIT(cur_proc_, obs::EvKind::QuotaExhaust, cur_->id, bytes);
       ev_ = Ev::QuotaPreempt;
       switch_to_loop();
     }
@@ -193,6 +201,8 @@ void SimEngine::on_alloc(std::size_t bytes, std::int64_t fresh_bytes) {
 void SimEngine::on_free(std::size_t bytes) {
   charge(kMem, opts_.cost.free_base_us);
   heap_events_.emplace_back(vnow_ns(), -static_cast<std::int64_t>(bytes));
+  DFTH_TRACE_ALLOC_EVENT(cur_proc_ >= 0 ? cur_proc_ : 0, obs::EvKind::Free,
+                         cur_ ? cur_->id : 0, bytes);
 }
 
 bool SimEngine::uses_alloc_quota() const { return sched_->needs_quota(); }
@@ -234,11 +244,15 @@ double SimEngine::sim_stack_acquire_us(std::size_t bytes) {
     --it->second;
     sim_stack_pooled_ -= static_cast<std::int64_t>(bytes);
     ++stats_.stacks_reused;
+    DFTH_TRACE_EMIT(cur_proc_ >= 0 ? cur_proc_ : 0, obs::EvKind::StackReuse,
+                    cur_ ? cur_->id : 0, bytes);
     us = opts_.cost.stack_pooled_us;
   } else {
     ++stats_.stacks_fresh;
     sim_stack_touched_ += static_cast<std::int64_t>(
         std::min(bytes, opts_.cost.stack_touched_cap));
+    DFTH_TRACE_EMIT(cur_proc_ >= 0 ? cur_proc_ : 0, obs::EvKind::StackFresh,
+                    cur_ ? cur_->id : 0, bytes);
     us = opts_.cost.stack_fresh_us(bytes);
   }
   sim_stack_peak_ = std::max(sim_stack_peak_, sim_stack_live_ + sim_stack_pooled_);
@@ -256,6 +270,16 @@ void SimEngine::sim_stack_release(std::size_t bytes) {
 RunStats SimEngine::run(const std::function<void()>& main_fn) {
   TrackedHeap::instance().begin_epoch();
   heap_initial_live_ = TrackedHeap::instance().live_bytes();
+
+#if DFTH_TRACE
+  if (opts_.tracer) {
+    obs::detail::set_tracer(opts_.tracer);
+    opts_.tracer->begin_run(opts_.nprocs, [this] { return vnow_ns(); });
+    sample_interval_ns_ = opts_.tracer->config().sample_interval_ns;
+    if (sample_interval_ns_ == 0) sample_interval_ns_ = 1000;  // 1 µs virtual
+    next_sample_ns_ = 0;
+  }
+#endif
 
   Attr main_attr;
   Tcb* main = new Tcb(next_tid_++);
@@ -289,12 +313,9 @@ RunStats SimEngine::run(const std::function<void()>& main_fn) {
   stats_.elapsed_us = ns_to_us(completion);
   for (auto& vp : procs_) {
     vp.bd.idle_us += ns_to_us(completion - vp.clock_ns);
-    stats_.breakdown.work_us += vp.bd.work_us;
-    stats_.breakdown.thread_us += vp.bd.thread_us;
-    stats_.breakdown.mem_us += vp.bd.mem_us;
-    stats_.breakdown.sync_us += vp.bd.sync_us;
-    stats_.breakdown.sched_us += vp.bd.sched_us;
-    stats_.breakdown.idle_us += vp.bd.idle_us;
+    for (int c = 0; c < Breakdown::kNumCategories; ++c) {
+      stats_.breakdown.category(c) += vp.bd.category(c);
+    }
   }
   // Max simultaneously-active threads: sweep the birth/death events in
   // virtual-time order (births before deaths at the same instant — a thread
@@ -328,7 +349,76 @@ RunStats SimEngine::run(const std::function<void()>& main_fn) {
   if (auto* ws = dynamic_cast<WorkStealScheduler*>(sched_->underlying())) {
     stats_.steals = ws->steal_count();
   }
+  finish_trace(completion);
   return stats_;
+}
+
+void SimEngine::finish_trace(std::uint64_t completion_ns) {
+#if DFTH_TRACE
+  obs::Tracer* tr = obs::tracer();
+  if (!tr) {
+    (void)completion_ns;
+    return;
+  }
+  // Close the time series at the completion instant, then fill in the exact
+  // live-thread and heap levels at every sample instant by sweeping the
+  // already-sorted virtual-time event lists (the online pass cannot know
+  // them: a fiber's whole life can commit in one host resume).
+  obs::Sample last;
+  last.ts_ns = completion_ns;
+  last.stack_bytes = sim_stack_live_ + sim_stack_pooled_;
+  last.ready = static_cast<std::int64_t>(sched_->ready_count());
+  trace_samples_.push_back(last);
+  std::sort(trace_samples_.begin(), trace_samples_.end(),
+            [](const obs::Sample& a, const obs::Sample& b) {
+              return a.ts_ns < b.ts_ns;
+            });
+  std::size_t li = 0, hi = 0;
+  std::int64_t live_level = 0;
+  std::int64_t heap_level = heap_initial_live_;
+  for (obs::Sample& s : trace_samples_) {
+    while (li < live_events_.size() && live_events_[li].first <= s.ts_ns) {
+      live_level += live_events_[li++].second;
+    }
+    while (hi < heap_events_.size() && heap_events_[hi].first <= s.ts_ns) {
+      heap_level += heap_events_[hi++].second;
+    }
+    s.live_threads = live_level;
+    s.heap_bytes = heap_level;
+    tr->add_sample(s);
+  }
+  tr->end_run();
+  obs::detail::set_tracer(nullptr);
+#else
+  (void)completion_ns;
+#endif
+}
+
+void SimEngine::maybe_sample(std::uint64_t now_ns) {
+#if DFTH_TRACE
+  if (!obs::tracer() || now_ns < next_sample_ns_) return;
+  obs::Sample s;
+  s.ts_ns = now_ns;
+  s.stack_bytes = sim_stack_live_ + sim_stack_pooled_;
+  s.ready = static_cast<std::int64_t>(sched_->ready_count());
+  trace_samples_.push_back(s);
+  next_sample_ns_ = now_ns + sample_interval_ns_;
+  // Run length is unknown up front: when the series fills, halve the
+  // resolution and double the interval, keeping memory bounded while the
+  // final spacing stays proportional to the run's actual length.
+  constexpr std::size_t kMaxSamples = 4096;
+  if (trace_samples_.size() >= kMaxSamples) {
+    std::vector<obs::Sample> kept;
+    kept.reserve(trace_samples_.size() / 2 + 1);
+    for (std::size_t i = 0; i < trace_samples_.size(); i += 2) {
+      kept.push_back(trace_samples_[i]);
+    }
+    trace_samples_.swap(kept);
+    sample_interval_ns_ *= 2;
+  }
+#else
+  (void)now_ns;
+#endif
 }
 
 void SimEngine::sim_loop() {
@@ -355,6 +445,7 @@ void SimEngine::sim_loop() {
     } else {
       attempt_dispatch(vp, pid);
     }
+    maybe_sample(vp.clock_ns);
   }
 }
 
@@ -418,6 +509,9 @@ void SimEngine::make_ready(VProc& vp, int pid, Tcb* t) {
 }
 
 void SimEngine::attempt_dispatch(VProc& vp, int pid) {
+  // Keep the loop clock fresh: schedulers emit Steal events from inside
+  // pick_next through the tracer clock, which reads loop_now_ns_ here.
+  loop_now_ns_ = vp.clock_ns;
   std::uint64_t earliest = kInf;
   Tcb* t = sched_->pick_next(pid, vp.clock_ns, &earliest);
   if (t) {
@@ -428,6 +522,8 @@ void SimEngine::attempt_dispatch(VProc& vp, int pid) {
     t->quota = static_cast<std::int64_t>(opts_.mem_quota);
     ++t->dispatches;
     ++stats_.dispatches;
+    DFTH_TRACE_EMIT_AT(pid, obs::EvKind::Dispatch, vp.clock_ns, t->id,
+                       t->dispatches);
     vp.running = t;
     return;
   }
@@ -468,6 +564,8 @@ void SimEngine::handle_event(VProc& vp, int pid) {
       if (preempt_parent) {
         // AsyncDF / work stealing: the processor dives into the child.
         make_ready(vp, pid, parent);
+        DFTH_TRACE_EMIT_AT(pid, obs::EvKind::Preempt, vp.clock_ns, parent->id,
+                           obs::kPreemptForkDive);
         child->state.store(ThreadState::Running, std::memory_order_relaxed);
         child->ready_at_ns = vp.clock_ns;
         child->quota = static_cast<std::int64_t>(opts_.mem_quota);
@@ -476,6 +574,8 @@ void SimEngine::handle_event(VProc& vp, int pid) {
         vp.running = child;
         vp.clock_ns += us_to_ns(opts_.cost.ctx_switch_us);
         vp.bd.thread_us += opts_.cost.ctx_switch_us;
+        DFTH_TRACE_EMIT_AT(pid, obs::EvKind::Dispatch, vp.clock_ns, child->id,
+                           child->dispatches);
       } else {
         // FIFO / LIFO: the child waits its turn; the parent continues.
         child->state.store(ThreadState::Ready, std::memory_order_relaxed);
@@ -497,6 +597,7 @@ void SimEngine::handle_event(VProc& vp, int pid) {
       StackPool::instance().release(t->stack);
       t->stack = Stack{};
       sim_stack_release(t->attr.stack_size);
+      DFTH_TRACE_EMIT_AT(pid, obs::EvKind::Exit, vp.clock_ns, t->id, 0);
       loop_now_ns_ = vp.clock_ns;
       cur_proc_ = pid;
       if (t->joiner) {
@@ -511,6 +612,7 @@ void SimEngine::handle_event(VProc& vp, int pid) {
     case Ev::Block: {
       Tcb* t = vp.running;
       DFTH_CHECK(t->state.load(std::memory_order_relaxed) == ThreadState::Blocked);
+      DFTH_TRACE_EMIT_AT(pid, obs::EvKind::Block, vp.clock_ns, t->id, 0);
       if (ev_guard_) ev_guard_->unlock();
       vp.running = nullptr;
       break;
@@ -524,6 +626,9 @@ void SimEngine::handle_event(VProc& vp, int pid) {
       sched_lock_acquire(vp, pid);
       make_ready(vp, pid, t);
       if (ev_ == Ev::QuotaPreempt) ++stats_.quota_preemptions;
+      DFTH_TRACE_EMIT_AT(pid, obs::EvKind::Preempt, vp.clock_ns, t->id,
+                         ev_ == Ev::QuotaPreempt ? obs::kPreemptQuota
+                                                 : obs::kPreemptYield);
       vp.running = nullptr;
       break;
     }
@@ -539,18 +644,17 @@ void SimEngine::handle_event(VProc& vp, int pid) {
 }
 
 void SimEngine::report_deadlock() {
-  std::fprintf(stderr,
-               "dfth: DEADLOCK — %lld live threads, none runnable:\n",
-               static_cast<long long>(live_));
+  DFTH_LOG_ERROR("dfth: DEADLOCK — %lld live threads, none runnable:",
+                 static_cast<long long>(live_));
   int shown = 0;
   for (Tcb* t : all_tcbs_) {
     const auto st = t->state.load(std::memory_order_relaxed);
     if (st == ThreadState::Done) continue;
-    std::fprintf(stderr, "  thread %llu state=%s%s\n",
-                 static_cast<unsigned long long>(t->id), to_string(st),
-                 t->is_dummy ? " (dummy)" : "");
+    DFTH_LOG_ERROR("  thread %llu state=%s%s",
+                   static_cast<unsigned long long>(t->id), to_string(st),
+                   t->is_dummy ? " (dummy)" : "");
     if (++shown >= 50) {
-      std::fprintf(stderr, "  ...\n");
+      DFTH_LOG_ERROR("  ...");
       break;
     }
   }

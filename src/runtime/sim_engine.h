@@ -29,6 +29,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/trace.h"
 #include "runtime/api.h"
 #include "runtime/engine.h"
 
@@ -109,6 +110,11 @@ class SimEngine final : public Engine {
   double sim_stack_acquire_us(std::size_t bytes);
   void sim_stack_release(std::size_t bytes);
 
+  /// Records a time-series sample (ready depth, stack footprint) if the
+  /// sampling instant has been reached; decimates to bound sample count.
+  void maybe_sample(std::uint64_t now_ns);
+  void finish_trace(std::uint64_t completion_ns);
+
   RuntimeOptions opts_;
   std::unique_ptr<Scheduler> sched_;
   std::vector<VProc> procs_;
@@ -141,6 +147,13 @@ class SimEngine final : public Engine {
   /// over virtual time of the live-byte level, not the host-order peak.
   std::vector<std::pair<std::uint64_t, std::int64_t>> heap_events_;
   std::int64_t heap_initial_live_ = 0;
+
+  /// Online time-series samples (ts / ready / stack); the exact live-thread
+  /// and heap levels are filled in from the sorted event lists at run end,
+  /// then everything is handed to the Tracer.
+  std::vector<obs::Sample> trace_samples_;
+  std::uint64_t next_sample_ns_ = 0;
+  std::uint64_t sample_interval_ns_ = 0;
 
   std::unordered_map<std::size_t, std::uint64_t> sim_stack_pool_;
   std::int64_t sim_stack_live_ = 0;

@@ -6,6 +6,7 @@
 #include <cstdlib>
 
 #include "analyze/san_fibers.h"
+#include "obs/counters.h"
 #include "util/check.h"
 
 namespace dfth {
@@ -43,6 +44,7 @@ Stack StackPool::acquire(std::size_t usable_bytes) {
       void* base = it->second.back();
       it->second.pop_back();
       ++reuse_;
+      DFTH_COUNT(obs::Counter::StacksReused);
       live_ += static_cast<std::int64_t>(usable);
       if (live_ > peak_) peak_ = live_;
       // Cached stacks are poisoned while idle (release below); re-arm.
@@ -61,6 +63,7 @@ Stack StackPool::acquire(std::size_t usable_bytes) {
 
   std::lock_guard<std::mutex> lock(mu_);
   ++fresh_;
+  DFTH_COUNT(obs::Counter::StacksFresh);
   live_ += static_cast<std::int64_t>(usable);
   if (live_ > peak_) peak_ = live_;
   // Stack.base stores the start of the *usable* region; release() and trim()

@@ -4,6 +4,7 @@
 #include <new>
 
 #include "analyze/san_fibers.h"
+#include "obs/counters.h"
 #include "util/check.h"
 
 namespace dfth {
@@ -82,6 +83,8 @@ void* TrackedHeap::allocate_ex(std::size_t bytes, std::int64_t* fresh_bytes_out)
   header->magic = kMagic;
 
   allocs_.fetch_add(1, std::memory_order_relaxed);
+  DFTH_COUNT(obs::Counter::Allocs);
+  DFTH_COUNT_N(obs::Counter::AllocBytes, bytes);
   const std::int64_t live_now =
       live_.fetch_add(static_cast<std::int64_t>(bytes), std::memory_order_relaxed) +
       static_cast<std::int64_t>(bytes);
@@ -110,6 +113,8 @@ void TrackedHeap::deallocate(void* p) {
   // the new owner's first access against the dead lifetime's last one.
   shadow_.clear_range(p, header->size);
   frees_.fetch_add(1, std::memory_order_relaxed);
+  DFTH_COUNT(obs::Counter::Frees);
+  DFTH_COUNT_N(obs::Counter::FreeBytes, header->size);
   live_.fetch_sub(static_cast<std::int64_t>(header->size), std::memory_order_relaxed);
   std::free(header);
 }

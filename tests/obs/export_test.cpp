@@ -1,0 +1,146 @@
+// Exporter tests: the Chrome trace is well-formed line-oriented JSON with
+// one metadata lane per worker, the CSV carries the sampled curves, and the
+// stats blob embeds every Breakdown category.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/export.h"
+#include "obs/trace.h"
+#include "runtime/api.h"
+
+namespace dfth {
+namespace {
+
+void fork_tree(int depth) {
+  annotate_work(20);
+  if (depth <= 1) return;
+  auto left = spawn([depth]() -> void* {
+    fork_tree(depth - 1);
+    return nullptr;
+  });
+  join(left);
+}
+
+struct TracedRun {
+  obs::Tracer tracer;
+  RunStats stats;
+
+  TracedRun() {
+    RuntimeOptions o;
+    o.engine = EngineKind::Sim;
+    o.sched = SchedKind::AsyncDf;
+    o.nprocs = 2;
+    o.default_stack_size = 8 << 10;
+    o.tracer = &tracer;
+    stats = run(o, [] { fork_tree(6); });
+  }
+};
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+std::size_t count_lines_with(const std::string& text, const std::string& pat) {
+  std::size_t n = 0;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.find(pat) != std::string::npos) ++n;
+  }
+  return n;
+}
+
+class ExportTest : public ::testing::Test {
+ protected:
+  std::string path(const char* suffix) {
+    return ::testing::TempDir() + "dfth_export_" + suffix;
+  }
+};
+
+TEST_F(ExportTest, BreakdownJsonListsEveryCategory) {
+  Breakdown bd;
+  bd.work_us = 1;
+  bd.idle_us = 2;
+  const std::string json = obs::to_json(bd);
+  for (int c = 0; c < Breakdown::kNumCategories; ++c) {
+    const std::string key =
+        std::string("\"") + Breakdown::category_name(c) + "_us\"";
+    EXPECT_NE(json.find(key), std::string::npos) << key;
+  }
+  EXPECT_NE(json.find("\"total_us\""), std::string::npos);
+}
+
+TEST_F(ExportTest, RunStatsJsonCarriesTheHeadlineFields) {
+  TracedRun r;
+  const std::string json = obs::to_json(r.stats);
+  EXPECT_NE(json.find("\"engine\""), std::string::npos);
+  EXPECT_NE(json.find("\"scheduler\""), std::string::npos);
+  EXPECT_NE(json.find("\"heap_peak\""), std::string::npos);
+  EXPECT_NE(json.find("\"max_live_threads\""), std::string::npos);
+  EXPECT_NE(json.find("\"breakdown\""), std::string::npos);
+}
+
+TEST_F(ExportTest, ChromeTraceHasOneLanePerWorkerAndBalancedJson) {
+  if (!obs::kTraceEnabled) GTEST_SKIP() << "built with DFTH_TRACE=OFF";
+  TracedRun r;
+  const std::string file = path("trace.json");
+  ASSERT_TRUE(obs::write_chrome_trace(r.tracer, r.stats, file));
+  const std::string text = slurp(file);
+  std::remove(file.c_str());
+
+  EXPECT_NE(text.find("\"traceEvents\""), std::string::npos);
+  // One thread_name metadata record per lane.
+  EXPECT_EQ(count_lines_with(text, "thread_name"),
+            static_cast<std::size_t>(r.tracer.lanes()));
+  EXPECT_GT(count_lines_with(text, "\"ph\": \"X\""), 0u);  // dispatch slices
+  EXPECT_GT(count_lines_with(text, "\"ph\": \"C\""), 0u);  // counter tracks
+
+  // Structurally balanced: Perfetto's parser needs matching brackets.
+  long depth = 0;
+  for (char c : text) {
+    if (c == '{' || c == '[') ++depth;
+    if (c == '}' || c == ']') --depth;
+    ASSERT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+}
+
+TEST_F(ExportTest, TimeseriesCsvHasHeaderAndOneRowPerSample) {
+  if (!obs::kTraceEnabled) GTEST_SKIP() << "built with DFTH_TRACE=OFF";
+  TracedRun r;
+  const std::string file = path("series.csv");
+  ASSERT_TRUE(obs::write_timeseries_csv(r.tracer, file));
+  const std::string text = slurp(file);
+  std::remove(file.c_str());
+
+  EXPECT_EQ(text.rfind("ts_us,live_threads,heap_bytes,stack_bytes,ready", 0), 0u);
+  EXPECT_EQ(count_lines_with(text, ","),
+            r.tracer.samples().size() + 1);  // header + rows
+}
+
+TEST_F(ExportTest, StatsJsonEmbedsCountersAndWorksWithoutTracer) {
+  TracedRun r;
+  const std::string with_tracer = path("stats1.json");
+  const std::string without = path("stats2.json");
+  ASSERT_TRUE(obs::write_stats_json(r.stats, &r.tracer, with_tracer));
+  ASSERT_TRUE(obs::write_stats_json(r.stats, nullptr, without));
+  const std::string full = slurp(with_tracer);
+  const std::string bare = slurp(without);
+  std::remove(with_tracer.c_str());
+  std::remove(without.c_str());
+
+  EXPECT_NE(full.find("\"counters\""), std::string::npos);
+  EXPECT_NE(full.find("\"trace\""), std::string::npos);
+  EXPECT_NE(bare.find("\"stats\""), std::string::npos);
+  EXPECT_EQ(bare.find("\"trace\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dfth

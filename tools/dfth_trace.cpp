@@ -1,0 +1,238 @@
+// dfth-trace: offline summaries of Chrome-trace JSON files written by
+// obs/export.h (write_chrome_trace). The writer emits one event per line
+// with a fixed key order, so this tool parses with plain string scanning —
+// the toolchain has no JSON library, and none is needed.
+//
+//   dfth-trace summary trace.json [--top N]
+//
+// Reports events by kind, per-lane occupancy, the longest dispatch gaps
+// (idle stretches between consecutive slices on a lane), the largest
+// traced allocations, and the ready-queue / live-thread peaks from the
+// counter tracks.
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace {
+
+struct Event {
+  std::string name;
+  char ph = 0;
+  int lane = -1;
+  double ts_us = 0;
+  double dur_us = 0;
+  std::int64_t arg = 0;     // args.arg (instants)
+  std::int64_t live = -1;   // args.live / args.ready / args.heap (counters)
+  std::int64_t ready = -1;
+  std::int64_t heap = -1;
+};
+
+/// Extracts the value after `"key": ` as a raw token (up to , } or end).
+bool raw_value(const std::string& line, const char* key, std::string* out) {
+  const std::string pat = std::string("\"") + key + "\": ";
+  const auto pos = line.find(pat);
+  if (pos == std::string::npos) return false;
+  auto start = pos + pat.size();
+  auto end = start;
+  int depth = 0;
+  while (end < line.size()) {
+    const char c = line[end];
+    if (c == '{') ++depth;
+    if (depth == 0 && (c == ',' || c == '}')) break;
+    if (c == '}') --depth;
+    ++end;
+  }
+  *out = line.substr(start, end - start);
+  return true;
+}
+
+bool string_value(const std::string& line, const char* key, std::string* out) {
+  std::string raw;
+  if (!raw_value(line, key, &raw)) return false;
+  if (raw.size() < 2 || raw.front() != '"' || raw.back() != '"') return false;
+  *out = raw.substr(1, raw.size() - 2);
+  return true;
+}
+
+bool num_value(const std::string& line, const char* key, double* out) {
+  std::string raw;
+  if (!raw_value(line, key, &raw)) return false;
+  *out = std::atof(raw.c_str());
+  return true;
+}
+
+bool int_value(const std::string& line, const char* key, std::int64_t* out) {
+  std::string raw;
+  if (!raw_value(line, key, &raw)) return false;
+  *out = std::atoll(raw.c_str());
+  return true;
+}
+
+bool parse_event(const std::string& line, Event* ev) {
+  std::string ph;
+  if (!string_value(line, "ph", &ph) || ph.empty()) return false;
+  ev->ph = ph[0];
+  string_value(line, "name", &ev->name);
+  double tid = -1;
+  if (num_value(line, "tid", &tid)) ev->lane = static_cast<int>(tid);
+  num_value(line, "ts", &ev->ts_us);
+  num_value(line, "dur", &ev->dur_us);
+  int_value(line, "arg", &ev->arg);
+  int_value(line, "live", &ev->live);
+  int_value(line, "ready", &ev->ready);
+  int_value(line, "heap", &ev->heap);
+  return true;
+}
+
+struct Gap {
+  int lane;
+  double start_us;
+  double len_us;
+};
+
+int summarize(const std::string& path, std::size_t top_n) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "dfth-trace: cannot open %s\n", path.c_str());
+    return 1;
+  }
+
+  std::vector<Event> events;
+  std::map<int, std::string> lane_names;
+  std::string line;
+  while (std::getline(in, line)) {
+    Event ev;
+    if (!parse_event(line, &ev)) continue;
+    if (ev.ph == 'M') {
+      // thread_name metadata: {"args": {"name": "worker 0"}} — the args
+      // name is the *second* "name" key; take the last match.
+      const auto pos = line.rfind("\"name\": \"");
+      if (pos != std::string::npos) {
+        const auto start = pos + std::strlen("\"name\": \"");
+        const auto end = line.find('"', start);
+        lane_names[ev.lane] = line.substr(start, end - start);
+      }
+      continue;
+    }
+    events.push_back(std::move(ev));
+  }
+
+  // Events by kind.
+  std::map<std::string, std::size_t> by_kind;
+  double t_end = 0;
+  for (const Event& ev : events) {
+    if (ev.ph == 'C') continue;
+    ++by_kind[ev.name + (ev.ph == 'X' ? " (slice)" : "")];
+    t_end = std::max(t_end, ev.ts_us + ev.dur_us);
+  }
+
+  std::printf("trace: %s\n", path.c_str());
+  std::printf("span: %.1f us, %zu events\n\n", t_end, events.size());
+  std::printf("events by kind:\n");
+  std::map<std::string, std::size_t> slices_by_kind;
+  std::size_t total_slices = 0;
+  for (const auto& [name, count] : by_kind) {
+    if (name.find(" (slice)") != std::string::npos) {
+      total_slices += count;
+      continue;  // per-thread slices would flood the table; count them once
+    }
+    std::printf("  %-16s %zu\n", name.c_str(), count);
+  }
+  std::printf("  %-16s %zu\n\n", "dispatch slices", total_slices);
+
+  // Per-lane occupancy + dispatch gaps.
+  std::map<int, std::vector<const Event*>> lane_slices;
+  for (const Event& ev : events) {
+    if (ev.ph == 'X') lane_slices[ev.lane].push_back(&ev);
+  }
+  std::vector<Gap> gaps;
+  std::printf("lanes:\n");
+  for (auto& [lane, slices] : lane_slices) {
+    std::sort(slices.begin(), slices.end(),
+              [](const Event* a, const Event* b) { return a->ts_us < b->ts_us; });
+    double busy = 0, prev_end = -1;
+    for (const Event* s : slices) {
+      busy += s->dur_us;
+      if (prev_end >= 0 && s->ts_us > prev_end) {
+        gaps.push_back({lane, prev_end, s->ts_us - prev_end});
+      }
+      prev_end = std::max(prev_end, s->ts_us + s->dur_us);
+    }
+    const auto it = lane_names.find(lane);
+    std::printf("  %-12s %6zu slices, busy %10.1f us (%5.1f%%)\n",
+                it != lane_names.end() ? it->second.c_str()
+                                       : std::to_string(lane).c_str(),
+                slices.size(), busy, t_end > 0 ? 100.0 * busy / t_end : 0.0);
+  }
+
+  // Longest dispatch gaps.
+  std::sort(gaps.begin(), gaps.end(),
+            [](const Gap& a, const Gap& b) { return a.len_us > b.len_us; });
+  std::printf("\nlongest dispatch gaps:\n");
+  for (std::size_t i = 0; i < std::min(top_n, gaps.size()); ++i) {
+    std::printf("  lane %-3d at %12.1f us: %10.1f us idle\n", gaps[i].lane,
+                gaps[i].start_us, gaps[i].len_us);
+  }
+  if (gaps.empty()) std::printf("  (none)\n");
+
+  // Largest traced allocations.
+  std::vector<const Event*> allocs;
+  for (const Event& ev : events) {
+    if (ev.ph == 'i' && ev.name == "alloc") allocs.push_back(&ev);
+  }
+  std::sort(allocs.begin(), allocs.end(),
+            [](const Event* a, const Event* b) { return a->arg > b->arg; });
+  std::printf("\nlargest allocations (>= event threshold):\n");
+  for (std::size_t i = 0; i < std::min(top_n, allocs.size()); ++i) {
+    std::printf("  %10lld bytes at %12.1f us (lane %d)\n",
+                static_cast<long long>(allocs[i]->arg), allocs[i]->ts_us,
+                allocs[i]->lane);
+  }
+  if (allocs.empty()) std::printf("  (none)\n");
+
+  // Peaks from the counter tracks.
+  std::int64_t peak_ready = 0, peak_live = 0, peak_heap = 0;
+  double peak_ready_ts = 0, peak_live_ts = 0;
+  for (const Event& ev : events) {
+    if (ev.ph != 'C') continue;
+    if (ev.ready > peak_ready) { peak_ready = ev.ready; peak_ready_ts = ev.ts_us; }
+    if (ev.live > peak_live) { peak_live = ev.live; peak_live_ts = ev.ts_us; }
+    if (ev.heap > peak_heap) peak_heap = ev.heap;
+  }
+  std::printf("\npeaks (sampled):\n");
+  std::printf("  live threads %lld at %.1f us\n",
+              static_cast<long long>(peak_live), peak_live_ts);
+  std::printf("  ready queue  %lld at %.1f us\n",
+              static_cast<long long>(peak_ready), peak_ready_ts);
+  std::printf("  heap         %lld bytes\n", static_cast<long long>(peak_heap));
+  return 0;
+}
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: dfth-trace summary <trace.json> [--top N]\n"
+               "  trace.json: output of a DFTH_TRACE run "
+               "(obs::write_chrome_trace)\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3 || std::strcmp(argv[1], "summary") != 0) {
+    usage();
+    return argc >= 2 && std::strcmp(argv[1], "--help") == 0 ? 0 : 2;
+  }
+  std::size_t top_n = 10;
+  for (int i = 3; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--top") == 0 && i + 1 < argc) {
+      top_n = static_cast<std::size_t>(std::atoll(argv[++i]));
+    }
+  }
+  return summarize(argv[2], top_n);
+}

@@ -67,8 +67,17 @@ if audit_grep "$aux_files" '\b(malloc|calloc|realloc|free)[[:space:]]*\('; then
   status=1
 fi
 
+# The engine and scheduler layers must report through util/log.h and the
+# obs tracer/counters, never ad-hoc stdio: raw prints bypass the log-level
+# gate and corrupt the machine-readable output the bench/CI pipeline parses.
+core_files=$(find src/core src/runtime -name '*.cpp' -o -name '*.h')
+if audit_grep "$core_files" '\b(printf|fprintf|puts|fputs)[[:space:]]*\(|std::(cout|cerr)\b'; then
+  echo "lint: raw stdio in src/core or src/runtime (use DFTH_LOG_* or obs/)" >&2
+  status=1
+fi
+
 if [ "$status" -eq 0 ]; then
-  echo "lint: allocation/threading audit clean (src/apps, tests, bench)"
+  echo "lint: allocation/threading/stdio audit clean (src/apps, src/core, src/runtime, tests, bench)"
 fi
 
 # ---- 2. clang-tidy (optional: skipped when not installed) -------------------
