@@ -34,8 +34,18 @@ struct AppSpec {
   std::function<RunStats(int)> coarse;
 };
 
-inline std::vector<AppSpec> make_apps(bool full, std::uint64_t seed) {
+/// The `engine` parameter retargets the fine-grained runs (the resilience
+/// soak drives the same seven apps through the RealEngine); serial and
+/// coarse variants stay on the simulator — they exist to reproduce the
+/// paper's cost-model baselines.
+inline std::vector<AppSpec> make_apps(bool full, std::uint64_t seed,
+                                      EngineKind engine = EngineKind::Sim) {
   std::vector<AppSpec> apps;
+  auto fine_opts = [engine](SchedKind sched, int p, std::uint64_t sd) {
+    RuntimeOptions o = sim_opts(sched, p, 8 << 10, sd);
+    o.engine = engine;
+    return o;
+  };
 
   // -- Matrix multiply (no coarse version in the paper) ---------------------
   {
@@ -44,8 +54,10 @@ inline std::vector<AppSpec> make_apps(bool full, std::uint64_t seed) {
     spec.name = "Matrix Mult.";
     spec.problem = std::to_string(input->cfg.n) + "x" + std::to_string(input->cfg.n);
     spec.serial = [input] { return matmul_serial_stats(*input); };
-    spec.fine = [input](SchedKind sched, int p, std::uint64_t sd) {
-      return matmul_run(*input, sched, p, 8 << 10, sd);
+    spec.fine = [input, fine_opts](SchedKind sched, int p, std::uint64_t sd) {
+      return run(fine_opts(sched, p, sd), [&] {
+        apps::matmul_threaded(input->a, input->b, input->c, input->cfg);
+      });
     };
     apps.push_back(std::move(spec));
   }
@@ -65,8 +77,8 @@ inline std::vector<AppSpec> make_apps(bool full, std::uint64_t seed) {
       return run(sim_opts(SchedKind::AsyncDf, 1),
                  [&] { apps::barnes_serial(*bodies, *cfg); });
     };
-    spec.fine = [cfg, bodies](SchedKind sched, int p, std::uint64_t sd) {
-      return run(sim_opts(sched, p, 8 << 10, sd),
+    spec.fine = [cfg, bodies, fine_opts](SchedKind sched, int p, std::uint64_t sd) {
+      return run(fine_opts(sched, p, sd),
                  [&] { apps::barnes_fine(*bodies, *cfg); });
     };
     spec.coarse = [cfg, bodies](int p) {
@@ -94,9 +106,10 @@ inline std::vector<AppSpec> make_apps(bool full, std::uint64_t seed) {
       return run(sim_opts(SchedKind::AsyncDf, 1),
                  [&] { apps::fmm_serial(copy, *cfg); });
     };
-    spec.fine = [cfg, particles](SchedKind sched, int p, std::uint64_t sd) {
+    spec.fine = [cfg, particles, fine_opts](SchedKind sched, int p,
+                                            std::uint64_t sd) {
       auto copy = *particles;
-      return run(sim_opts(sched, p, 8 << 10, sd),
+      return run(fine_opts(sched, p, sd),
                  [&] { apps::fmm_threaded(copy, *cfg); });
     };
     apps.push_back(std::move(spec));
@@ -115,8 +128,8 @@ inline std::vector<AppSpec> make_apps(bool full, std::uint64_t seed) {
       return run(sim_opts(SchedKind::AsyncDf, 1),
                  [&] { apps::dtree_build_serial(*data, *cfg); });
     };
-    spec.fine = [cfg, data](SchedKind sched, int p, std::uint64_t sd) {
-      return run(sim_opts(sched, p, 8 << 10, sd),
+    spec.fine = [cfg, data, fine_opts](SchedKind sched, int p, std::uint64_t sd) {
+      return run(fine_opts(sched, p, sd),
                  [&] { apps::dtree_build_threaded(*data, *cfg); });
     };
     apps.push_back(std::move(spec));
@@ -140,8 +153,8 @@ inline std::vector<AppSpec> make_apps(bool full, std::uint64_t seed) {
         df_free(out);
       });
     };
-    spec.fine = [in, n](SchedKind sched, int p, std::uint64_t sd) {
-      return run(sim_opts(sched, p, 8 << 10, sd), [&] {
+    spec.fine = [in, n, fine_opts](SchedKind sched, int p, std::uint64_t sd) {
+      return run(fine_opts(sched, p, sd), [&] {
         apps::FftPlan plan(n);
         auto* out = static_cast<apps::Complex*>(
             df_malloc(sizeof(apps::Complex) * n));
@@ -184,8 +197,9 @@ inline std::vector<AppSpec> make_apps(bool full, std::uint64_t seed) {
         }
       });
     };
-    spec.fine = [cfg, m, v, w](SchedKind sched, int p, std::uint64_t sd) {
-      return run(sim_opts(sched, p, 8 << 10, sd),
+    spec.fine = [cfg, m, v, w, fine_opts](SchedKind sched, int p,
+                                          std::uint64_t sd) {
+      return run(fine_opts(sched, p, sd),
                  [&] { apps::spmv_fine(*m, v->data(), w->data(), *cfg); });
     };
     spec.coarse = [cfg, m, v, w](int p) {
@@ -212,8 +226,8 @@ inline std::vector<AppSpec> make_apps(bool full, std::uint64_t seed) {
       return run(sim_opts(SchedKind::AsyncDf, 1),
                  [&] { apps::volrend_serial(*vol, *cfg); });
     };
-    spec.fine = [cfg, vol](SchedKind sched, int p, std::uint64_t sd) {
-      return run(sim_opts(sched, p, 8 << 10, sd),
+    spec.fine = [cfg, vol, fine_opts](SchedKind sched, int p, std::uint64_t sd) {
+      return run(fine_opts(sched, p, sd),
                  [&] { apps::volrend_fine(*vol, *cfg); });
     };
     spec.coarse = [cfg, vol](int p) {

@@ -28,6 +28,8 @@ struct BenchRecord {
   double elapsed_us = 0;
   std::int64_t heap_peak = 0;
   std::int64_t max_live_threads = 0;
+  std::uint64_t faults_injected = 0;   ///< resil injector failures this run
+  std::uint64_t faults_recovered = 0;  ///< injected failures absorbed this run
 };
 
 /// Standard options shared by the harnesses.
@@ -74,6 +76,8 @@ struct Common {
     r.elapsed_us = stats.elapsed_us;
     r.heap_peak = stats.heap_peak;
     r.max_live_threads = stats.max_live_threads;
+    r.faults_injected = stats.faults_injected;
+    r.faults_recovered = stats.faults_recovered;
     records_.push_back(std::move(r));
   }
 
@@ -89,6 +93,8 @@ struct Common {
     r.elapsed_us = stats.elapsed_us;
     r.heap_peak = stats.heap_peak;
     r.max_live_threads = stats.max_live_threads;
+    r.faults_injected = stats.faults_injected;
+    r.faults_recovered = stats.faults_recovered;
     records_.push_back(std::move(r));
   }
 
@@ -120,11 +126,14 @@ struct Common {
                    "%s\n{\"label\": \"%s\", \"scheduler\": \"%s\", "
                    "\"nprocs\": %d, \"quota_bytes\": %llu, "
                    "\"elapsed_us\": %.3f, \"heap_peak\": %lld, "
-                   "\"max_live_threads\": %lld}",
+                   "\"max_live_threads\": %lld, "
+                   "\"faults_injected\": %llu, \"faults_recovered\": %llu}",
                    first ? "" : ",", r.label.c_str(), r.scheduler.c_str(),
                    r.nprocs, static_cast<unsigned long long>(r.quota_bytes),
                    r.elapsed_us, static_cast<long long>(r.heap_peak),
-                   static_cast<long long>(r.max_live_threads));
+                   static_cast<long long>(r.max_live_threads),
+                   static_cast<unsigned long long>(r.faults_injected),
+                   static_cast<unsigned long long>(r.faults_recovered));
       first = false;
     }
     std::fprintf(f, "\n]}\n");

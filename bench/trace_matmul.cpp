@@ -15,6 +15,7 @@
 #include "matmul_runner.h"
 #include "obs/export.h"
 #include "obs/trace.h"
+#include "resil/faults.h"
 
 int main(int argc, char** argv) {
   using namespace dfth;
@@ -80,6 +81,22 @@ int main(int argc, char** argv) {
   }
 
   common.write_json();
+
+  if (!resil::kFaultsEnabled) {
+    // Zero-overhead check for the default build: with -DDFTH_FAULTS=OFF the
+    // probe macros are literal constants, so after three full runs the
+    // injector must never have been consulted.
+    const auto evals = resil::FaultInjector::instance().evaluations_total();
+    if (evals != 0) {
+      std::fprintf(stderr,
+                   "fault hooks leaked into the faults-OFF build: %llu site "
+                   "evaluations\n",
+                   static_cast<unsigned long long>(evals));
+      return 1;
+    }
+    std::puts("fault hooks: compiled out, 0 site evaluations (zero overhead)");
+  }
+
   std::printf("(inspect with: dfth-trace summary %s_sim_fifo.json)\n",
               out->c_str());
   return 0;

@@ -144,6 +144,27 @@ void InvariantAuditor::on_alloc(Tcb* t, std::size_t bytes, std::size_t quota) {
   t->audit_alloc_since_dispatch += static_cast<std::int64_t>(bytes);
 }
 
+void InvariantAuditor::on_inline_run(Tcb* parent, Tcb* child) {
+  steps_.fetch_add(1, std::memory_order_relaxed);
+  if (live_.count(child) != 0) {
+    violation("inline-run of a scheduler-registered thread", child);
+  }
+  // Bound parents are scheduled by the OS, not by our policy, so they are
+  // legitimately absent from the registered set.
+  if (parent && !parent->attr.bound) {
+    check_registered(parent, "inline-run under an unregistered parent");
+  }
+}
+
+void InvariantAuditor::on_oom_preempt(Tcb* t) {
+  steps_.fetch_add(1, std::memory_order_relaxed);
+  if (t == nullptr) return;
+  // The engine re-dispatches t after the preempt, which resets the window
+  // via on_pick; clearing here as well keeps the invariant exact even if a
+  // policy dispatches without a pick (the real engine's RunNext path).
+  t->audit_alloc_since_dispatch = 0;
+}
+
 AuditedScheduler::AuditedScheduler(std::unique_ptr<Scheduler> inner)
     : inner_(std::move(inner)) {
   g_active = &auditor_;

@@ -60,6 +60,23 @@ class InvariantAuditor {
   /// Fiber-context hook from df_malloc; quota == 0 disables quota checks.
   void on_alloc(Tcb* t, std::size_t bytes, std::size_t quota);
 
+  // -- resilience transitions (src/resil/) -----------------------------------
+  // Engine degradation paths that are legal by construction but have
+  // auditable preconditions.
+
+  /// A child whose stack/context acquisition failed is being run inline on
+  /// `parent`'s stack. Legal because inline execution *is* the serial
+  /// depth-first order — but only if the child was never registered with
+  /// the scheduler (a registered child would additionally occupy an
+  /// order-list slot the scheduler believes it can dispatch). Called with
+  /// the engine's scheduler lock held.
+  void on_inline_run(Tcb* parent, Tcb* child);
+
+  /// Heap exhaustion preempted `t` AsyncDF-style. The re-dispatch grants a
+  /// fresh allocation window, exactly as a quota preemption does. Fiber
+  /// context; touches only t's own audit fields.
+  void on_oom_preempt(Tcb* t);
+
  private:
   void check_registered(const Tcb* t, const char* hook);
   void check_asyncdf_step(const Scheduler& inner);

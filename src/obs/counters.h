@@ -35,6 +35,11 @@ enum class Counter : int {
   Frees,
   AllocBytes,
   FreeBytes,
+  OomPreempts,      ///< heap exhaustion handled as an AsyncDF-style preempt
+  InlineRuns,       ///< children run inline on the parent's stack (degraded spawn)
+  SyncTimeouts,     ///< timed waits that expired before a waker claimed them
+  FaultsInjected,   ///< resil::FaultInjector failures injected (-DDFTH_FAULTS)
+  FaultsRecovered,  ///< injected failures absorbed by a degradation path
   kCount,
 };
 

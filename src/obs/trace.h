@@ -71,6 +71,7 @@ enum PreemptReason : std::uint64_t {
   kPreemptYield = 1,
   kPreemptQuota = 2,
   kPreemptForkDive = 3,  ///< parent preempted so the child runs (AsyncDF/WS)
+  kPreemptOom = 4,       ///< heap exhaustion treated as quota exhaustion
 };
 
 struct TraceEvent {

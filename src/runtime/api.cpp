@@ -133,7 +133,18 @@ void insert_dummy_threads(std::uint64_t count) {
 
 }  // namespace
 
-void* df_malloc(std::size_t bytes) {
+const char* to_string(DfStatus status) {
+  switch (status) {
+    case DfStatus::kOk: return "ok";
+    case DfStatus::kNoMem: return "no-mem";
+    case DfStatus::kTimedOut: return "timed-out";
+  }
+  return "?";
+}
+
+void* df_malloc(std::size_t bytes) { return df_try_malloc(bytes, nullptr); }
+
+void* df_try_malloc(std::size_t bytes, DfStatus* status) {
   Engine* e = engine();
   if (e && e->uses_alloc_quota()) {
     const std::size_t quota = e->quota_bytes();
@@ -155,10 +166,23 @@ void* df_malloc(std::size_t bytes) {
 #endif
   std::int64_t fresh = 0;
   void* p = TrackedHeap::instance().allocate_ex(bytes, &fresh);
+  // OOM recovery. Retries skip the dummy-tree/auditor preamble above: the δ
+  // credit was already granted for this allocation, and re-auditing would
+  // double-count it. Each failed attempt asks the engine to recover
+  // (preempt AsyncDF-style, shrink the effective quota, back off); the
+  // engine bounds the attempts and we surface kNoMem once it gives up.
+  for (int attempt = 0; p == nullptr; ++attempt) {
+    if (e == nullptr || !e->on_alloc_failed(bytes, attempt)) {
+      if (status) *status = DfStatus::kNoMem;
+      return nullptr;
+    }
+    p = TrackedHeap::instance().allocate_ex(bytes, &fresh);
+  }
   if (e) e->on_alloc(bytes, fresh);  // may quota-preempt the calling thread
   if (Recorder* rec = active_recorder()) {
     rec->on_alloc(self_id(), static_cast<std::int64_t>(bytes));
   }
+  if (status) *status = DfStatus::kOk;
   return p;
 }
 

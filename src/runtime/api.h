@@ -27,6 +27,7 @@
 #include <memory>
 
 #include "graph/recorder.h"
+#include "resil/watchdog.h"
 #include "runtime/cost_model.h"
 #include "runtime/engine.h"
 #include "runtime/run_stats.h"
@@ -35,6 +36,10 @@ namespace dfth {
 
 namespace obs {
 class Tracer;
+}
+
+namespace resil {
+struct FaultPlan;
 }
 
 struct RuntimeOptions {
@@ -67,6 +72,16 @@ struct RuntimeOptions {
   /// build has DFTH_TRACE), the engine records scheduler events and
   /// time-series samples into it for obs/export.h / tools/dfth-trace.
   obs::Tracer* tracer = nullptr;
+
+  /// Optional caller-owned fault-injection plan (resil/faults.h): when set
+  /// (and the build has DFTH_FAULTS), the engine arms the injector for the
+  /// duration of run(), so the named resource-acquisition sites fail on the
+  /// plan's deterministic schedule.
+  const resil::FaultPlan* fault_plan = nullptr;
+
+  /// Stall-watchdog deadlines and dump destination (resil/watchdog.h).
+  /// Disabled by default.
+  resil::WatchdogConfig watchdog;
 };
 
 /// Opaque thread handle (cheap to copy). Valid until the enclosing run()
@@ -110,12 +125,35 @@ std::uint64_t self_id();
 
 // -- tracked allocation ------------------------------------------------------
 
+/// Error-code channel for the fallible API variants. No exception ever
+/// crosses a fiber boundary (a bad_alloc unwinding through a context switch
+/// is unrecoverable), so resource exhaustion is reported by value.
+enum class DfStatus : std::uint8_t {
+  kOk = 0,
+  kNoMem,     ///< heap exhausted after the engine's bounded OOM-preempt retries
+  kTimedOut,  ///< a timed wait expired (reserved for callers layering on sync)
+};
+
+const char* to_string(DfStatus status);
+
 /// Allocates through the tracked heap, charging the calling thread's memory
 /// quota. Under the space-efficient scheduler, an allocation larger than the
 /// quota K first forks ceil(bytes/K) dummy threads as a binary tree (§4 item
 /// 2); quota exhaustion preempts the calling thread. Usable outside run()
 /// (plain tracked allocation).
+///
+/// On heap exhaustion the engine recovers AsyncDF-style before failing:
+/// the fiber is preempted exactly as if its quota were exhausted (reinserted
+/// leftmost-ready so threads earlier in the serial order can run and free
+/// memory), the effective quota K shrinks, and the allocation is retried a
+/// bounded number of times. Only when every retry fails does df_malloc
+/// return nullptr (and df_try_malloc report DfStatus::kNoMem).
 void* df_malloc(std::size_t bytes);
+
+/// df_malloc with an explicit status out-param (may be null). Returns
+/// nullptr iff *status is set to a non-kOk value.
+void* df_try_malloc(std::size_t bytes, DfStatus* status = nullptr);
+
 void df_free(void* p);
 
 /// std::allocator adaptor over df_malloc, for containers in benchmarks.

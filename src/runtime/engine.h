@@ -47,6 +47,16 @@ class Engine {
   /// Makes a previously Blocked thread runnable again.
   virtual void wake(Tcb* t) = 0;
 
+  /// Timed variant of block_current() for the sync timed-waits: the engine
+  /// additionally arms a timer for `timeout_ns` (virtual ns in Sim,
+  /// steady-clock ns in Real). If the timer fires before a waker pops the
+  /// fiber from `list`, the engine removes it itself (the wait-list
+  /// membership under `guard` is the claim token — exactly one of timer and
+  /// waker wins), sets t->timed_out, and resumes the fiber. On return the
+  /// caller inspects current()->timed_out to distinguish the two outcomes.
+  virtual void block_current_timed(SpinLock* guard, WaitList* list,
+                                   std::uint64_t timeout_ns) = 0;
+
   /// Charges the virtual cost of one uncontended sync operation (no-op in
   /// the real engine, where the cost is real).
   virtual void charge_sync_op() = 0;
@@ -58,6 +68,14 @@ class Engine {
   /// (AsyncDF); df_malloc then forks dummy threads for allocations > quota.
   virtual bool uses_alloc_quota() const = 0;
   virtual std::size_t quota_bytes() const = 0;
+
+  /// Heap exhaustion recovery (df_malloc's retry loop). `attempt` counts
+  /// failures for this one allocation, starting at 0. Returns true if the
+  /// engine recovered enough to justify a retry — AsyncDF-style: treat OOM
+  /// like quota exhaustion (preempt the fiber leftmost-ready, shrink the
+  /// effective quota K so everyone allocates less per scheduling, back off)
+  /// — or false to give up, surfacing DfStatus::kNoMem to the caller.
+  virtual bool on_alloc_failed(std::size_t bytes, int attempt) = 0;
 
   // -- virtual-time annotations (no-ops in the real engine) -------------------
   virtual void add_work(std::uint64_t ops) = 0;

@@ -6,10 +6,17 @@
 
 #include "analyze/race_hooks.h"
 #include "core/worksteal_sched.h"
+#include "obs/counters.h"
 #include "obs/trace.h"
+#include "resil/faults.h"
+#include "resil/watchdog.h"
 #include "space/tracked_heap.h"
 #include "util/check.h"
 #include "util/timer.h"
+
+#if DFTH_VALIDATE
+#include "analyze/auditor.h"
+#endif
 
 namespace dfth {
 namespace {
@@ -45,6 +52,7 @@ RealEngine::RealEngine(const RuntimeOptions& opts) : opts_(opts) {
   DFTH_CHECK(opts_.nprocs >= 1);
   sched_ = make_scheduler(opts_.sched, opts_.nprocs, opts_.seed,
                           opts_.cluster_size);
+  eff_quota_.store(opts_.mem_quota, std::memory_order_relaxed);
   stats_.engine = EngineKind::Real;
   stats_.sched = opts_.sched;
   stats_.nprocs = opts_.nprocs;
@@ -70,11 +78,19 @@ Tcb* RealEngine::make_tcb(std::function<void*()> fn, const Attr& attr, bool is_d
     // Real stacks honor the requested size but keep a floor under the
     // benchmarks' serial base cases.
     t->stack = StackPool::instance().acquire(std::max(t->attr.stack_size, kRealStackFloor));
-    context_make(&t->ctx, t->stack.base, t->stack.top(), &fiber_entry, t);
-    DFTH_TRACE_EMIT(this_worker() ? this_worker()->id : opts_.nprocs,
-                    t->stack.fresh ? obs::EvKind::StackFresh
-                                   : obs::EvKind::StackReuse,
-                    t->id, t->stack.size);
+    if (t->stack && DFTH_FAULT_SHOULD_FAIL(resil::FaultSite::kCtxCreate)) {
+      StackPool::instance().release(t->stack);
+      t->stack = Stack{};
+      // The inline-run fallback in spawn() absorbs this.
+      DFTH_FAULT_RECOVERED(resil::FaultSite::kCtxCreate);
+    }
+    if (t->stack) {
+      context_make(&t->ctx, t->stack.base, t->stack.top(), &fiber_entry, t);
+      DFTH_TRACE_EMIT(this_worker() ? this_worker()->id : opts_.nprocs,
+                      t->stack.fresh ? obs::EvKind::StackFresh
+                                     : obs::EvKind::StackReuse,
+                      t->id, t->stack.size);
+    }
   }
   return t;
 }
@@ -99,6 +115,7 @@ void RealEngine::finish_thread(Tcb* t) {
     std::lock_guard<std::mutex> lk(mu_);
     if (!t->attr.bound) sched_->unregister_thread(t);
     --live_;
+    progress_.fetch_add(1, std::memory_order_relaxed);
     if (live_ == 0) {
       done_ = true;
       cv_.notify_all();
@@ -139,6 +156,8 @@ Tcb* RealEngine::spawn(std::function<void*()> fn, const Attr& attr, bool is_dumm
     return child;
   }
 
+  if (!child->stack) return run_inline(child);
+
   bool preempt;
   {
     std::lock_guard<std::mutex> lk(mu_);
@@ -168,6 +187,40 @@ Tcb* RealEngine::spawn(std::function<void*()> fn, const Attr& attr, bool is_dumm
     context_switch(&parent->ctx, &w->ctx);
     // Parent resumes here later, possibly on a different worker.
   }
+  return child;
+}
+
+Tcb* RealEngine::run_inline(Tcb* child) {
+  // Stack or context acquisition failed even after the pool's fallbacks.
+  // Degrade by running the child to completion on the caller's stack: the
+  // child precedes the parent's continuation in the serial depth-first
+  // order, so this is the 1-processor schedule — correct, just not
+  // parallel. The child is never registered with the scheduler and never
+  // counted in live_ (it is already Done when the handle becomes visible).
+  [[maybe_unused]] Tcb* parent = current();
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    all_tcbs_.push_back(child);
+    ++stats_.threads_created;
+    ++stats_.inline_runs;
+    if (child->is_dummy) ++stats_.dummy_threads;
+#if DFTH_VALIDATE
+    if (auto* aud = analyze::active_auditor()) aud->on_inline_run(parent, child);
+#endif
+  }
+  DFTH_COUNT(obs::Counter::InlineRuns);
+  child->state.store(ThreadState::Running, std::memory_order_relaxed);
+  ++child->dispatches;
+  DFTH_TRACE_EMIT(this_worker() ? this_worker()->id : opts_.nprocs,
+                  obs::EvKind::Dispatch, child->id, child->dispatches);
+  child->result = child->entry();
+  child->entry = nullptr;
+  DFTH_TRACE_EMIT(this_worker() ? this_worker()->id : opts_.nprocs,
+                  obs::EvKind::Exit, child->id, 0);
+  child->join_lock.lock();
+  child->finished = true;
+  child->join_lock.unlock();
+  child->state.store(ThreadState::Done, std::memory_order_release);
   return child;
 }
 
@@ -245,6 +298,74 @@ void RealEngine::block_current(SpinLock* guard) {
   context_switch(&cur->ctx, &w->ctx);
 }
 
+void RealEngine::block_current_timed(SpinLock* guard, WaitList* list,
+                                     std::uint64_t timeout_ns) {
+  Tcb* cur = current();
+  DFTH_CHECK(cur && cur->state.load(std::memory_order_relaxed) == ThreadState::Blocked);
+  DFTH_CHECK_MSG(guard != nullptr && guard->is_locked(),
+                 "block_current_timed without holding the wait-list guard");
+  DFTH_CHECK(list != nullptr);
+  cur->timed_out = false;
+  Worker* w = this_worker();
+  DFTH_TRACE_EMIT(w ? w->id : opts_.nprocs, obs::EvKind::Block, cur->id, 0);
+
+  if (!w || cur->attr.bound) {
+    // Bound threads poll with a deadline: on expiry, claim ourselves off the
+    // wait list under the guard. Losing the claim means a waker popped us
+    // and is about to flip our state — keep spinning for that.
+    guard->unlock();
+    const std::uint64_t deadline = steady_now_ns() + timeout_ns;
+    while (cur->state.load(std::memory_order_acquire) == ThreadState::Blocked) {
+      if (steady_now_ns() >= deadline) {
+        guard->lock();
+        const bool claimed = list->remove(cur);
+        guard->unlock();
+        if (claimed) {
+          cur->timed_out = true;
+          cur->state.store(ThreadState::Ready, std::memory_order_relaxed);
+          {
+            std::lock_guard<std::mutex> lk(mu_);
+            ++stats_.sync_timeouts;
+          }
+          DFTH_COUNT(obs::Counter::SyncTimeouts);
+          DFTH_TRACE_EMIT(opts_.nprocs, obs::EvKind::Wake, cur->id, 0);
+          return;
+        }
+      }
+      std::this_thread::yield();
+    }
+    return;
+  }
+
+  // Unbound fiber: arm the supervisor's timer *before* switching away. The
+  // timer can only claim us off the wait list under the guard, which the
+  // worker releases strictly after our context is saved (Post::ReleaseGuard)
+  // — so a premature fire blocks on the guard until the save completes.
+  {
+    std::lock_guard<std::mutex> lk(sup_mu_);
+    sleepers_.push_back({steady_now_ns() + timeout_ns, cur, guard, list});
+  }
+  sup_cv_.notify_all();
+  w->post = Post::ReleaseGuard;
+  w->post_guard = guard;
+  context_switch(&cur->ctx, &w->ctx);
+  // Resumed by the timer or a waker; either way the timer entry is dead.
+  cancel_sleeper(cur);
+}
+
+void RealEngine::cancel_sleeper(Tcb* t) {
+  std::unique_lock<std::mutex> lk(sup_mu_);
+  // An in-flight fire for t already left sleepers_ but may not have taken
+  // the guard yet; wait it out or it could claim t's *next* wait.
+  sup_cv_.wait(lk, [this, t] { return firing_ != t; });
+  for (std::size_t i = 0; i < sleepers_.size(); ++i) {
+    if (sleepers_[i].t == t) {
+      sleepers_.erase(sleepers_.begin() + static_cast<std::ptrdiff_t>(i));
+      return;
+    }
+  }
+}
+
 void RealEngine::wake(Tcb* t) {
   DFTH_TRACE_EMIT(this_worker() ? this_worker()->id : opts_.nprocs,
                   obs::EvKind::Wake, t->id, current() ? current()->id : 0);
@@ -257,6 +378,7 @@ void RealEngine::wake(Tcb* t) {
   t->state.store(ThreadState::Ready, std::memory_order_relaxed);
   t->ready_at_ns = 0;
   sched_->on_ready(t, w ? w->id : 0);
+  progress_.fetch_add(1, std::memory_order_relaxed);
   cv_.notify_one();
 }
 
@@ -290,6 +412,42 @@ void RealEngine::on_free(std::size_t bytes) {
 }
 
 bool RealEngine::uses_alloc_quota() const { return sched_->needs_quota(); }
+
+bool RealEngine::on_alloc_failed(std::size_t bytes, int attempt) {
+  (void)bytes;
+  // Treat heap exhaustion like quota exhaustion: preempt AsyncDF-style,
+  // shrink the effective K, back off, retry — bounded, then df_try_malloc
+  // surfaces DfStatus::kNoMem.
+  constexpr int kOomMaxAttempts = 16;
+  if (attempt >= kOomMaxAttempts) return false;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    ++stats_.oom_preemptions;
+  }
+  DFTH_COUNT(obs::Counter::OomPreempts);
+  Tcb* cur = current();
+#if DFTH_VALIDATE
+  if (auto* aud = analyze::active_auditor()) aud->on_oom_preempt(cur);
+#endif
+  std::size_t q = eff_quota_.load(std::memory_order_relaxed);
+  while (q > 0) {
+    const std::size_t shrunk = std::max<std::size_t>(q / 2, 4096);
+    if (eff_quota_.compare_exchange_weak(q, shrunk, std::memory_order_relaxed)) {
+      break;
+    }
+  }
+  // Real backoff: give concurrent frees a chance to land before retrying.
+  std::this_thread::sleep_for(
+      std::chrono::microseconds(50ull << std::min(attempt, 8)));
+  Worker* w = this_worker();
+  if (cur && w && !cur->attr.bound) {
+    DFTH_TRACE_EMIT(w->id, obs::EvKind::Preempt, cur->id, obs::kPreemptOom);
+    w->post = Post::Requeue;
+    w->post_fiber = cur;
+    context_switch(&cur->ctx, &w->ctx);
+  }
+  return true;
+}
 
 void RealEngine::run_fiber(Worker& w, Tcb* t) {
   w.current = t;
@@ -328,6 +486,7 @@ void RealEngine::enqueue_ready(Tcb* t, int proc_hint) {
   std::lock_guard<std::mutex> lk(mu_);
   t->state.store(ThreadState::Ready, std::memory_order_relaxed);
   sched_->on_ready(t, proc_hint);
+  progress_.fetch_add(1, std::memory_order_relaxed);
   cv_.notify_one();
 }
 
@@ -352,8 +511,11 @@ void RealEngine::worker_loop(Worker& w) {
         // be about to ready someone, so only abort if the condition persists
         // across a grace period with no notification arriving.
         const auto verdict = cv_.wait_for(lk, std::chrono::milliseconds(500));
-        DFTH_CHECK_MSG(!(verdict == std::cv_status::timeout && all_stuck()),
-                       "deadlock: all threads blocked");
+        if (verdict == std::cv_status::timeout && all_stuck()) {
+          dump_flight("RealEngine: deadlock — all workers idle, no ready work",
+                      /*have_lock=*/true);
+          DFTH_CHECK_MSG(false, "deadlock: all threads blocked");
+        }
       } else {
         cv_.wait(lk);
       }
@@ -361,9 +523,11 @@ void RealEngine::worker_loop(Worker& w) {
       continue;
     }
     t->state.store(ThreadState::Running, std::memory_order_relaxed);
-    t->quota = static_cast<std::int64_t>(opts_.mem_quota);
+    t->quota =
+        static_cast<std::int64_t>(eff_quota_.load(std::memory_order_relaxed));
     ++t->dispatches;
     ++stats_.dispatches;
+    progress_.fetch_add(1, std::memory_order_relaxed);
     DFTH_TRACE_EMIT(w.id, obs::EvKind::Dispatch, t->id, t->dispatches);
     lk.unlock();
 
@@ -377,9 +541,11 @@ void RealEngine::worker_loop(Worker& w) {
         {
           std::lock_guard<std::mutex> inner(mu_);
           follow->state.store(ThreadState::Running, std::memory_order_relaxed);
-          follow->quota = static_cast<std::int64_t>(opts_.mem_quota);
+          follow->quota = static_cast<std::int64_t>(
+              eff_quota_.load(std::memory_order_relaxed));
           ++follow->dispatches;
           ++stats_.dispatches;
+          progress_.fetch_add(1, std::memory_order_relaxed);
           DFTH_TRACE_EMIT(w.id, obs::EvKind::Dispatch, follow->id,
                           follow->dispatches);
         }
@@ -393,9 +559,139 @@ void RealEngine::worker_loop(Worker& w) {
   tl_worker = nullptr;
 }
 
+// -- supervisor: timed-wait timers + stall watchdog -------------------------
+
+void RealEngine::fire_due_sleepers(std::unique_lock<std::mutex>& lk) {
+  // Called with lk (sup_mu_) held. The vector mutates while unlocked, so
+  // restart the scan after every fire; fired entries are gone, so it ends.
+restart:
+  const std::uint64_t now = steady_now_ns();
+  for (std::size_t i = 0; i < sleepers_.size(); ++i) {
+    if (sleepers_[i].deadline_ns > now) continue;
+    const RtSleeper s = sleepers_[i];
+    sleepers_.erase(sleepers_.begin() + static_cast<std::ptrdiff_t>(i));
+    firing_ = s.t;
+    lk.unlock();
+    // Claim protocol: wait-list membership under the guard is the claim.
+    // Losing means a waker popped the fiber first; its wake() owns the
+    // resume and the timer loses quietly.
+    s.guard->lock();
+    const bool claimed = s.list->remove(s.t);
+    s.guard->unlock();
+    if (claimed) {
+      s.t->timed_out = true;
+      DFTH_TRACE_EMIT(opts_.nprocs, obs::EvKind::Wake, s.t->id, 0);
+      DFTH_COUNT(obs::Counter::SyncTimeouts);
+      std::lock_guard<std::mutex> g(mu_);
+      ++stats_.sync_timeouts;
+      s.t->state.store(ThreadState::Ready, std::memory_order_relaxed);
+      s.t->ready_at_ns = 0;
+      sched_->on_ready(s.t, 0);
+      progress_.fetch_add(1, std::memory_order_relaxed);
+      cv_.notify_one();
+    }
+    lk.lock();
+    firing_ = nullptr;
+    sup_cv_.notify_all();
+    goto restart;
+  }
+}
+
+void RealEngine::supervisor_loop() {
+  using std::chrono::milliseconds;
+  using std::chrono::nanoseconds;
+  const milliseconds stall(opts_.watchdog.stall_deadline_ms);
+  std::uint64_t last_progress = progress_.load(std::memory_order_relaxed);
+  auto last_change = std::chrono::steady_clock::now();
+
+  std::unique_lock<std::mutex> lk(sup_mu_);
+  while (!sup_stop_) {
+    // Nap until the nearest timer deadline or the next watchdog poll,
+    // whichever is sooner; sleep unbounded when neither is armed.
+    std::uint64_t nap_ns = kInf;
+    const std::uint64_t now_ns = steady_now_ns();
+    for (const RtSleeper& s : sleepers_) {
+      nap_ns = std::min(nap_ns,
+                        s.deadline_ns > now_ns ? s.deadline_ns - now_ns : 0);
+    }
+    if (stall.count() > 0) {
+      const auto poll = std::max(stall / 4, milliseconds(1));
+      nap_ns = std::min(
+          nap_ns, static_cast<std::uint64_t>(nanoseconds(poll).count()));
+    }
+    if (nap_ns == kInf) {
+      sup_cv_.wait(lk);
+    } else if (nap_ns > 0) {
+      sup_cv_.wait_for(lk, nanoseconds(nap_ns));
+    }
+    if (sup_stop_) break;
+
+    fire_due_sleepers(lk);
+
+    if (stall.count() > 0) {
+      const std::uint64_t p = progress_.load(std::memory_order_relaxed);
+      const auto now = std::chrono::steady_clock::now();
+      if (p != last_progress) {
+        last_progress = p;
+        last_change = now;
+      } else if (now - last_change >= stall) {
+        // No dispatch/wake/exit for a full deadline. Only trip while live
+        // work remains — a finished run making no progress is just done.
+        lk.unlock();
+        bool outstanding;
+        {
+          std::lock_guard<std::mutex> g(mu_);
+          outstanding = live_ > 0 && !done_;
+        }
+        if (outstanding) {
+          dump_flight("RealEngine watchdog: no scheduler progress within the "
+                      "stall deadline",
+                      /*have_lock=*/false);
+          DFTH_CHECK_MSG(false, "stall watchdog tripped");
+        }
+        lk.lock();
+        last_change = now;  // run is draining; don't re-trip every poll
+      }
+    }
+  }
+}
+
+void RealEngine::dump_flight(const char* reason, bool have_lock) {
+  // A wedged worker may hold mu_ forever; bound the wait, then dump the
+  // possibly-inconsistent snapshot anyway (flagged as such).
+  std::unique_lock<std::mutex> lk(mu_, std::defer_lock);
+  bool locked = have_lock;
+  if (!have_lock) {
+    for (int i = 0; i < 200 && !locked; ++i) {
+      locked = lk.try_lock();
+      if (!locked) std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  }
+  resil::FlightInfo info;
+  info.reason = reason;
+  info.engine = "real";
+  info.live_threads = live_;
+  info.sched_state_consistent = locked;
+  for (const Worker& w : workers_) info.lanes.push_back({w.id, w.current});
+  info.all_tcbs = &all_tcbs_;
+  info.sched = sched_.get();
+  info.tracer = obs::tracer();
+  resil::dump_flight_recorder(info, opts_.watchdog);
+}
+
 RunStats RealEngine::run(const std::function<void()>& main_fn) {
   TrackedHeap::instance().begin_epoch();
   StackPool::instance().begin_epoch();
+  eff_quota_.store(opts_.mem_quota, std::memory_order_relaxed);
+
+  // Arm the fault injector for this run if the caller supplied a plan (no-op
+  // when faults are compiled out). Per-run fault stats are deltas so a
+  // harness that armed the injector itself still gets accurate counts.
+  auto& inj = resil::FaultInjector::instance();
+  const bool armed_here = resil::kFaultsEnabled && opts_.fault_plan != nullptr;
+  if (armed_here) inj.arm(*opts_.fault_plan);
+  const std::uint64_t injected0 = inj.injected_total();
+  const std::uint64_t recovered0 = inj.recovered_total();
 
 #if DFTH_TRACE
   std::thread sampler;
@@ -420,7 +716,22 @@ RunStats RealEngine::run(const std::function<void()>& main_fn) {
       Attr{}, /*is_dummy=*/false);
   main->is_main = true;
   DFTH_RACE_FORK(main, nullptr);
-  {
+  if (!main->stack) {
+    // No fiber stack for main even after the pool's heap fallback (or an
+    // injected ctx.create fault): run main bound on a dedicated kernel
+    // thread — the Solaris bound-thread escape hatch. Children it spawns
+    // still go through the scheduler as usual.
+    main->attr.bound = true;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      all_tcbs_.push_back(main);
+      live_ = 1;
+      ++bound_live_;
+      stats_.threads_created = 1;
+      stats_.max_live_threads = 1;
+    }
+    start_bound_thread(main);
+  } else {
     std::lock_guard<std::mutex> lk(mu_);
     all_tcbs_.push_back(main);
     sched_->register_thread(nullptr, main);
@@ -431,13 +742,43 @@ RunStats RealEngine::run(const std::function<void()>& main_fn) {
     stats_.max_live_threads = 1;
   }
 
-  workers_.resize(static_cast<std::size_t>(opts_.nprocs));
+  // Resource-exhaustion degradation: losing workers only loses parallelism.
+  // Worker 0 is exempt so the run is always able to make progress. The kept
+  // count is fixed *before* any thread starts: ids stay dense in
+  // [0, nprocs), which every scheduler hint path assumes.
+  int kept_workers = 0;
   for (int i = 0; i < opts_.nprocs; ++i) {
+    if (i > 0 && DFTH_FAULT_SHOULD_FAIL(resil::FaultSite::kWorkerSpawn)) {
+      DFTH_FAULT_RECOVERED(resil::FaultSite::kWorkerSpawn);
+      continue;
+    }
+    ++kept_workers;
+  }
+  workers_.resize(static_cast<std::size_t>(kept_workers));
+  for (int i = 0; i < kept_workers; ++i) {
     workers_[static_cast<std::size_t>(i)].id = i;
   }
   for (auto& w : workers_) {
-    w.thread = std::thread([this, &w] { worker_loop(w); });
+    // Genuine kernel-thread exhaustion: retry with backoff — other processes
+    // (or our own exiting bound threads) may return slots — then give up
+    // loudly. (Injected worker.spawn faults were already absorbed above by
+    // shrinking the worker count before any thread started.)
+    for (int attempt = 0;; ++attempt) {
+      try {
+        w.thread = std::thread([this, &w] { worker_loop(w); });
+        break;
+      } catch (const std::system_error&) {
+        DFTH_CHECK_MSG(attempt < 4, "cannot spawn worker kernel threads");
+        std::this_thread::sleep_for(std::chrono::milliseconds(1 << attempt));
+      }
+    }
   }
+
+  {
+    std::lock_guard<std::mutex> lk(sup_mu_);
+    sup_stop_ = false;
+  }
+  supervisor_ = std::thread([this] { supervisor_loop(); });
 
 #if DFTH_TRACE
   if (obs::Tracer* tr = obs::tracer()) {
@@ -471,6 +812,12 @@ RunStats RealEngine::run(const std::function<void()>& main_fn) {
   for (auto& w : workers_) context_destroy(&w.ctx);
   for (auto& bt : bound_threads_) bt.join();
   bound_threads_.clear();
+  {
+    std::lock_guard<std::mutex> lk(sup_mu_);
+    sup_stop_ = true;
+  }
+  sup_cv_.notify_all();
+  supervisor_.join();
 
   stats_.elapsed_us = timer.elapsed_us();
   stats_.heap_peak = TrackedHeap::instance().peak_bytes();
@@ -489,6 +836,9 @@ RunStats RealEngine::run(const std::function<void()>& main_fn) {
     obs::detail::set_tracer(nullptr);
   }
 #endif
+  stats_.faults_injected = inj.injected_total() - injected0;
+  stats_.faults_recovered = inj.recovered_total() - recovered0;
+  if (armed_here) inj.disarm();
   return stats_;
 }
 

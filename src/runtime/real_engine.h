@@ -48,12 +48,18 @@ class RealEngine final : public Engine {
   void detach(Tcb* t) override;
   void yield() override;
   void block_current(SpinLock* guard) override;
+  void block_current_timed(SpinLock* guard, WaitList* list,
+                           std::uint64_t timeout_ns) override;
   void wake(Tcb* t) override;
   void charge_sync_op() override {}
   void on_alloc(std::size_t bytes, std::int64_t fresh_bytes) override;
   void on_free(std::size_t bytes) override;
   bool uses_alloc_quota() const override;
-  std::size_t quota_bytes() const override { return opts_.mem_quota; }
+  /// Effective K: starts at opts.mem_quota, shrunk by OOM recovery.
+  std::size_t quota_bytes() const override {
+    return eff_quota_.load(std::memory_order_relaxed);
+  }
+  bool on_alloc_failed(std::size_t bytes, int attempt) override;
   void add_work(std::uint64_t ops) override { (void)ops; }
   void touch(const std::uint32_t* block_ids, std::size_t count) override {
     (void)block_ids;
@@ -80,16 +86,44 @@ class RealEngine final : public Engine {
     std::thread thread;
   };
 
+  /// A timed wait's timer entry, fired by the supervisor thread. Deadlines
+  /// are steady-clock nanoseconds (steady_now_ns).
+  struct RtSleeper {
+    std::uint64_t deadline_ns = 0;
+    Tcb* t = nullptr;
+    SpinLock* guard = nullptr;
+    WaitList* list = nullptr;
+  };
+
   static void fiber_entry(void* arg);
   static Worker* this_worker();
 
   Tcb* make_tcb(std::function<void*()> fn, const Attr& attr, bool is_dummy);
+  /// Degraded spawn: no stack/context for the child — run it to completion
+  /// on the caller's stack (the serial depth-first order). Never registered
+  /// with the scheduler.
+  Tcb* run_inline(Tcb* child);
   void worker_loop(Worker& w);
   void run_fiber(Worker& w, Tcb* t);
   void handle_post(Worker& w);
   void enqueue_ready(Tcb* t, int proc_hint);
   void start_bound_thread(Tcb* t);
   void finish_thread(Tcb* t);  ///< shared exit bookkeeping (fiber + bound)
+
+  /// Timer + stall-watchdog thread: fires due RtSleepers and aborts with a
+  /// flight-recorder dump when no dispatch progress happens for longer than
+  /// WatchdogConfig::stall_deadline_ms.
+  void supervisor_loop();
+  /// Fires every due sleeper. Called with `lk` (sup_mu_) held; drops it
+  /// around the claim-and-wake of each entry.
+  void fire_due_sleepers(std::unique_lock<std::mutex>& lk);
+  /// Removes t's timer entry, waiting out an in-flight fire for t so a
+  /// stale timer can never claim t's *next* wait.
+  void cancel_sleeper(Tcb* t);
+  /// Best-effort crash dump through resil::dump_flight_recorder. When
+  /// have_lock is false, mu_ is try-locked (bounded) — a wedged worker
+  /// holding it must not block the dump forever.
+  void dump_flight(const char* reason, bool have_lock);
 
   RuntimeOptions opts_;
   std::unique_ptr<Scheduler> sched_;
@@ -111,6 +145,21 @@ class RealEngine final : public Engine {
   std::vector<Worker> workers_;
   std::vector<Tcb*> all_tcbs_;    ///< guarded by mu_
   std::vector<std::thread> bound_threads_;  ///< guarded by mu_
+
+  /// Effective allocation quota K; OOM recovery halves it (atomic: read on
+  /// every dispatch without mu_).
+  std::atomic<std::size_t> eff_quota_{0};
+
+  // -- supervisor (timed waits + stall watchdog) ----------------------------
+  std::mutex sup_mu_;                 ///< guards sleepers_, firing_, sup_stop_
+  std::condition_variable sup_cv_;
+  std::vector<RtSleeper> sleepers_;
+  Tcb* firing_ = nullptr;             ///< sleeper whose fire is in flight
+  bool sup_stop_ = false;
+  std::thread supervisor_;
+  /// Monotonic dispatch/wake/exit counter; the watchdog trips when it stops
+  /// moving while live work remains.
+  std::atomic<std::uint64_t> progress_{0};
 
   RunStats stats_;  ///< counter fields guarded by mu_
 };

@@ -61,6 +61,13 @@ struct RunStats {
   std::uint64_t quota_preemptions = 0;
   std::uint64_t steals = 0;            ///< work stealing only
 
+  // Resilience (degradation events survived; see src/resil/).
+  std::uint64_t oom_preemptions = 0;   ///< heap exhaustion → AsyncDF-style preempt
+  std::uint64_t inline_runs = 0;       ///< stack/ctx failure → child ran inline
+  std::uint64_t sync_timeouts = 0;     ///< timed waits that expired
+  std::uint64_t faults_injected = 0;   ///< resil injector failures this run
+  std::uint64_t faults_recovered = 0;  ///< injected failures absorbed this run
+
   // Space (bytes).
   std::int64_t heap_peak = 0;          ///< the paper's space metric
   std::int64_t stack_peak = 0;         ///< simulated stack footprint peak

@@ -5,9 +5,16 @@
 
 #include "analyze/race_hooks.h"
 #include "core/worksteal_sched.h"
+#include "obs/counters.h"
+#include "resil/faults.h"
+#include "resil/watchdog.h"
 #include "space/tracked_heap.h"
 #include "util/check.h"
 #include "util/log.h"
+
+#if DFTH_VALIDATE
+#include "analyze/auditor.h"
+#endif
 
 namespace dfth {
 namespace {
@@ -53,6 +60,7 @@ SimEngine::SimEngine(const RuntimeOptions& opts) : opts_(opts) {
                           opts_.cluster_size);
   procs_.resize(static_cast<std::size_t>(opts_.nprocs));
   for (auto& vp : procs_) vp.cache.capacity = opts_.cost.cache_blocks;
+  eff_quota_ = opts_.mem_quota;
   stats_.engine = EngineKind::Sim;
   stats_.sched = opts_.sched;
   stats_.nprocs = opts_.nprocs;
@@ -86,7 +94,15 @@ Tcb* SimEngine::make_tcb(std::function<void*()> fn, const Attr& attr, bool is_du
   t->is_dummy = is_dummy;
   t->detached = attr.detached;
   t->stack = StackPool::instance().acquire(is_dummy ? (64 << 10) : kRealStackBytes);
-  context_make(&t->ctx, t->stack.base, t->stack.top(), &fiber_entry, t);
+  if (t->stack && DFTH_FAULT_SHOULD_FAIL(resil::FaultSite::kCtxCreate)) {
+    StackPool::instance().release(t->stack);
+    t->stack = Stack{};
+    // The inline-run fallback in spawn() is guaranteed to absorb this.
+    DFTH_FAULT_RECOVERED(resil::FaultSite::kCtxCreate);
+  }
+  if (t->stack) {
+    context_make(&t->ctx, t->stack.base, t->stack.top(), &fiber_entry, t);
+  }
   all_tcbs_.push_back(t);
   return t;
 }
@@ -118,9 +134,43 @@ Tcb* SimEngine::spawn(std::function<void*()> fn, const Attr& attr, bool is_dummy
   DFTH_TRACE_EMIT(cur_proc_,
                   is_dummy ? obs::EvKind::DummySpawn : obs::EvKind::Fork,
                   cur_->id, child->id);
+  if (!child->stack) return run_inline(child);
   ev_ = Ev::Spawn;
   ev_child_ = child;
   switch_to_loop();
+  return child;
+}
+
+Tcb* SimEngine::run_inline(Tcb* child) {
+  // Stack or context acquisition failed. Degrade by running the child to
+  // completion right here, on the parent's stack: the child precedes the
+  // parent's continuation in the serial depth-first order, so this is the
+  // 1-processor AsyncDF schedule — correct, just not parallel. The child is
+  // never registered with the scheduler and never gets its own fiber.
+  ++stats_.threads_created;
+  ++stats_.inline_runs;
+  if (child->is_dummy) ++stats_.dummy_threads;
+  DFTH_COUNT(obs::Counter::InlineRuns);
+#if DFTH_VALIDATE
+  if (auto* aud = analyze::active_auditor()) aud->on_inline_run(cur_, child);
+#endif
+  charge(kThread, opts_.cost.create_unbound_us);
+  live_events_.emplace_back(vnow_ns(), +1);
+  child->state.store(ThreadState::Running, std::memory_order_relaxed);
+  ++child->dispatches;
+  DFTH_TRACE_EMIT(cur_proc_, obs::EvKind::Dispatch, child->id,
+                  child->dispatches);
+  // cur_ stays the parent: virtual cost and race segments accrued by the
+  // child's body are attributed to the parent, which is exactly what running
+  // on the parent's stack in its scheduling window means.
+  child->result = child->entry();
+  child->entry = nullptr;
+  charge(kThread, opts_.cost.exit_us);
+  child->finished = true;
+  child->state.store(ThreadState::Done, std::memory_order_relaxed);
+  live_events_.emplace_back(vnow_ns(), -1);
+  DFTH_TRACE_EMIT(cur_proc_, obs::EvKind::Exit, child->id, 0);
+  // No joiner can exist yet: the handle only becomes visible once we return.
   return child;
 }
 
@@ -160,6 +210,59 @@ void SimEngine::block_current(SpinLock* guard) {
   ev_ = Ev::Block;
   ev_guard_ = guard;
   switch_to_loop();
+}
+
+void SimEngine::block_current_timed(SpinLock* guard, WaitList* list,
+                                    std::uint64_t timeout_ns) {
+  DFTH_CHECK_MSG(in_fiber_, "timed block outside a thread");
+  DFTH_CHECK(cur_->state.load(std::memory_order_relaxed) == ThreadState::Blocked);
+  DFTH_CHECK_MSG(guard != nullptr && guard->is_locked(),
+                 "block_current_timed without holding the wait-list guard");
+  DFTH_CHECK(list != nullptr);
+  cur_->timed_out = false;
+  charge(kSync, opts_.cost.block_us);
+  sleepers_.push_back({vnow_ns() + timeout_ns, cur_, guard, list});
+  ev_ = Ev::Block;
+  ev_guard_ = guard;
+  switch_to_loop();
+  // Resumed — by the timer or by a waker. Either way our timer entry is
+  // dead; drop it so a later wait cannot be hit by this deadline.
+  cancel_sleeper(cur_);
+}
+
+void SimEngine::cancel_sleeper(Tcb* t) {
+  for (std::size_t i = 0; i < sleepers_.size(); ++i) {
+    if (sleepers_[i].t == t) {
+      sleepers_.erase(sleepers_.begin() + static_cast<std::ptrdiff_t>(i));
+      return;
+    }
+  }
+}
+
+void SimEngine::fire_due_sleepers(VProc& vp, int pid) {
+  for (std::size_t i = 0; i < sleepers_.size();) {
+    if (sleepers_[i].deadline_ns > vp.clock_ns) {
+      ++i;
+      continue;
+    }
+    const SimSleeper s = sleepers_[i];
+    sleepers_.erase(sleepers_.begin() + static_cast<std::ptrdiff_t>(i));
+    // Claim protocol: membership in the wait list under its guard is the
+    // claim. If the waiter is no longer on the list, a waker popped it first
+    // and its wake() owns the resume; the timer loses quietly.
+    s.guard->lock();
+    const bool claimed = s.list->remove(s.t);
+    s.guard->unlock();
+    if (!claimed) continue;
+    s.t->timed_out = true;
+    ++stats_.sync_timeouts;
+    DFTH_COUNT(obs::Counter::SyncTimeouts);
+    DFTH_TRACE_EMIT_AT(pid, obs::EvKind::Wake, vp.clock_ns, s.t->id, 0);
+    sched_lock_acquire(vp, pid);
+    s.t->state.store(ThreadState::Ready, std::memory_order_relaxed);
+    s.t->ready_at_ns = s.deadline_ns;  // eligible from its deadline instant
+    sched_->on_ready(s.t, pid);
+  }
 }
 
 void SimEngine::wake(Tcb* t) {
@@ -206,6 +309,30 @@ void SimEngine::on_free(std::size_t bytes) {
 }
 
 bool SimEngine::uses_alloc_quota() const { return sched_->needs_quota(); }
+
+bool SimEngine::on_alloc_failed(std::size_t bytes, int attempt) {
+  (void)bytes;
+  // Treat heap exhaustion as quota exhaustion (AsyncDF-style): preempt,
+  // reinsert leftmost-ready, shrink the effective K so every later
+  // scheduling window admits fewer live allocations, back off, retry. A
+  // bounded number of attempts keeps a genuinely-unsatisfiable request from
+  // looping forever; df_try_malloc then surfaces DfStatus::kNoMem.
+  constexpr int kOomMaxAttempts = 16;
+  if (!in_fiber_ || attempt >= kOomMaxAttempts) return false;
+  ++stats_.oom_preemptions;
+  DFTH_COUNT(obs::Counter::OomPreempts);
+#if DFTH_VALIDATE
+  if (auto* aud = analyze::active_auditor()) aud->on_oom_preempt(cur_);
+#endif
+  if (eff_quota_ > 0) eff_quota_ = std::max<std::size_t>(eff_quota_ / 2, 4096);
+  // Exponential virtual backoff: later attempts wait longer for concurrent
+  // frees to land.
+  charge(kMem, opts_.cost.free_base_us *
+                   static_cast<double>(1u << std::min(attempt, 10)));
+  ev_ = Ev::OomPreempt;
+  switch_to_loop();
+  return true;
+}
 
 void SimEngine::add_work(std::uint64_t ops) {
   // Memory pressure multiplies the cost of useful work: a large live
@@ -270,6 +397,17 @@ void SimEngine::sim_stack_release(std::size_t bytes) {
 RunStats SimEngine::run(const std::function<void()>& main_fn) {
   TrackedHeap::instance().begin_epoch();
   heap_initial_live_ = TrackedHeap::instance().live_bytes();
+  eff_quota_ = opts_.mem_quota;
+
+  // Arm the fault injector for this run if the caller supplied a plan (no-op
+  // when faults are compiled out). Per-run fault stats are deltas so a
+  // harness that armed the injector itself (and keeps it armed across runs)
+  // still gets accurate counts.
+  auto& inj = resil::FaultInjector::instance();
+  const bool armed_here = resil::kFaultsEnabled && opts_.fault_plan != nullptr;
+  if (armed_here) inj.arm(*opts_.fault_plan);
+  const std::uint64_t injected0 = inj.injected_total();
+  const std::uint64_t recovered0 = inj.recovered_total();
 
 #if DFTH_TRACE
   if (opts_.tracer) {
@@ -291,6 +429,9 @@ RunStats SimEngine::run(const std::function<void()>& main_fn) {
     return nullptr;
   };
   main->stack = StackPool::instance().acquire(kRealMainStackBytes);
+  // The main fiber has no parent to run inline on: a null stack here means
+  // even the heap-backed fallback failed — the host is truly out of memory.
+  DFTH_CHECK_MSG(main->stack, "out of memory acquiring the main fiber stack");
   context_make(&main->ctx, main->stack.base, main->stack.top(), &fiber_entry, main);
   all_tcbs_.push_back(main);
   DFTH_RACE_FORK(main, nullptr);
@@ -350,6 +491,9 @@ RunStats SimEngine::run(const std::function<void()>& main_fn) {
     stats_.steals = ws->steal_count();
   }
   finish_trace(completion);
+  stats_.faults_injected = inj.injected_total() - injected0;
+  stats_.faults_recovered = inj.recovered_total() - recovered0;
+  if (armed_here) inj.disarm();
   return stats_;
 }
 
@@ -422,9 +566,17 @@ void SimEngine::maybe_sample(std::uint64_t now_ns) {
 }
 
 void SimEngine::sim_loop() {
+  const std::uint64_t wd_deadline = opts_.watchdog.virtual_deadline_ns;
   while (live_ > 0) {
     const int pid = pick_proc();
     VProc& vp = procs_[static_cast<std::size_t>(pid)];
+    // Virtual-time stall watchdog: pick_proc returns the minimum clock, so
+    // crossing the deadline here means *every* processor is past it and the
+    // run is still not finished.
+    if (wd_deadline != 0 && vp.clock_ns > wd_deadline) {
+      dump_flight("SimEngine watchdog: virtual-time deadline exceeded");
+      DFTH_CHECK_MSG(false, "virtual-time stall watchdog tripped");
+    }
     if (vp.running) {
       cur_ = vp.running;
       cur_proc_ = pid;
@@ -512,6 +664,7 @@ void SimEngine::attempt_dispatch(VProc& vp, int pid) {
   // Keep the loop clock fresh: schedulers emit Steal events from inside
   // pick_next through the tracer clock, which reads loop_now_ns_ here.
   loop_now_ns_ = vp.clock_ns;
+  fire_due_sleepers(vp, pid);
   std::uint64_t earliest = kInf;
   Tcb* t = sched_->pick_next(pid, vp.clock_ns, &earliest);
   if (t) {
@@ -519,7 +672,7 @@ void SimEngine::attempt_dispatch(VProc& vp, int pid) {
     vp.clock_ns += us_to_ns(opts_.cost.ctx_switch_us);
     vp.bd.thread_us += opts_.cost.ctx_switch_us;
     t->state.store(ThreadState::Running, std::memory_order_relaxed);
-    t->quota = static_cast<std::int64_t>(opts_.mem_quota);
+    t->quota = static_cast<std::int64_t>(eff_quota_);
     ++t->dispatches;
     ++stats_.dispatches;
     DFTH_TRACE_EMIT_AT(pid, obs::EvKind::Dispatch, vp.clock_ns, t->id,
@@ -529,9 +682,13 @@ void SimEngine::attempt_dispatch(VProc& vp, int pid) {
   }
 
   // Nothing eligible: advance to the next instant anything can change —
-  // the earliest future ready time, or the clock of a processor that holds
-  // a fiber (its next event may wake/spawn work).
+  // the earliest future ready time, the nearest timed-wait deadline, or the
+  // clock of a processor that holds a fiber (its next event may wake/spawn
+  // work).
   std::uint64_t horizon = earliest;
+  for (const SimSleeper& s : sleepers_) {
+    horizon = std::min(horizon, s.deadline_ns);
+  }
   for (const auto& other : procs_) {
     if (other.running) horizon = std::min(horizon, other.clock_ns);
   }
@@ -568,7 +725,7 @@ void SimEngine::handle_event(VProc& vp, int pid) {
                            obs::kPreemptForkDive);
         child->state.store(ThreadState::Running, std::memory_order_relaxed);
         child->ready_at_ns = vp.clock_ns;
-        child->quota = static_cast<std::int64_t>(opts_.mem_quota);
+        child->quota = static_cast<std::int64_t>(eff_quota_);
         ++child->dispatches;
         ++stats_.dispatches;
         vp.running = child;
@@ -619,7 +776,8 @@ void SimEngine::handle_event(VProc& vp, int pid) {
     }
 
     case Ev::Yield:
-    case Ev::QuotaPreempt: {
+    case Ev::QuotaPreempt:
+    case Ev::OomPreempt: {
       Tcb* t = vp.running;
       vp.clock_ns += us_to_ns(opts_.cost.ctx_switch_us);
       vp.bd.thread_us += opts_.cost.ctx_switch_us;
@@ -627,7 +785,8 @@ void SimEngine::handle_event(VProc& vp, int pid) {
       make_ready(vp, pid, t);
       if (ev_ == Ev::QuotaPreempt) ++stats_.quota_preemptions;
       DFTH_TRACE_EMIT_AT(pid, obs::EvKind::Preempt, vp.clock_ns, t->id,
-                         ev_ == Ev::QuotaPreempt ? obs::kPreemptQuota
+                         ev_ == Ev::QuotaPreempt  ? obs::kPreemptQuota
+                         : ev_ == Ev::OomPreempt ? obs::kPreemptOom
                                                  : obs::kPreemptYield);
       vp.running = nullptr;
       break;
@@ -643,7 +802,24 @@ void SimEngine::handle_event(VProc& vp, int pid) {
   }
 }
 
+void SimEngine::dump_flight(const char* reason) {
+  resil::FlightInfo info;
+  info.reason = reason;
+  info.engine = "sim";
+  info.live_threads = live_;
+  // Single host thread: the snapshot is exact, no locks involved.
+  info.sched_state_consistent = true;
+  for (int i = 0; i < static_cast<int>(procs_.size()); ++i) {
+    info.lanes.push_back({i, procs_[static_cast<std::size_t>(i)].running});
+  }
+  info.all_tcbs = &all_tcbs_;
+  info.sched = sched_.get();
+  info.tracer = obs::tracer();
+  resil::dump_flight_recorder(info, opts_.watchdog);
+}
+
 void SimEngine::report_deadlock() {
+  dump_flight("SimEngine: deadlock — live threads but none runnable");
   DFTH_LOG_ERROR("dfth: DEADLOCK — %lld live threads, none runnable:",
                  static_cast<long long>(live_));
   int shown = 0;

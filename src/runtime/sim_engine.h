@@ -49,12 +49,17 @@ class SimEngine final : public Engine {
   void detach(Tcb* t) override;
   void yield() override;
   void block_current(SpinLock* guard) override;
+  void block_current_timed(SpinLock* guard, WaitList* list,
+                           std::uint64_t timeout_ns) override;
   void wake(Tcb* t) override;
   void charge_sync_op() override;
   void on_alloc(std::size_t bytes, std::int64_t fresh_bytes) override;
   void on_free(std::size_t bytes) override;
   bool uses_alloc_quota() const override;
-  std::size_t quota_bytes() const override { return opts_.mem_quota; }
+  /// The *effective* quota: starts at opts.mem_quota and shrinks when OOM
+  /// recovery degrades the run toward serial order (on_alloc_failed).
+  std::size_t quota_bytes() const override { return eff_quota_; }
+  bool on_alloc_failed(std::size_t bytes, int attempt) override;
   void add_work(std::uint64_t ops) override;
   void touch(const std::uint32_t* block_ids, std::size_t count) override;
 
@@ -65,8 +70,11 @@ class SimEngine final : public Engine {
   /// from virtually-concurrent threads linearize in virtual-time order —
   /// otherwise one fiber could, e.g., drain a whole shared work queue in
   /// host order while its virtual clock says others should have interleaved.
+  /// OomPreempt mirrors QuotaPreempt: heap exhaustion is handled exactly
+  /// like quota exhaustion (reinsert leftmost-ready, retry later), per the
+  /// resilience layer's AsyncDF-style degradation.
   enum class Ev : std::uint8_t {
-    None, Spawn, Exit, Block, Yield, QuotaPreempt, SyncPause,
+    None, Spawn, Exit, Block, Yield, QuotaPreempt, OomPreempt, SyncPause,
   };
   enum Cat : int { kWork = 0, kThread = 1, kMem = 2, kSync = 3, kNumCats = 4 };
 
@@ -85,12 +93,29 @@ class SimEngine final : public Engine {
     LruCache cache;
   };
 
+  /// A timed wait's timer entry: fires at deadline_ns unless the waiter was
+  /// claimed (popped from `list` under `guard`) by a waker first.
+  struct SimSleeper {
+    std::uint64_t deadline_ns = 0;
+    Tcb* t = nullptr;
+    SpinLock* guard = nullptr;
+    WaitList* list = nullptr;
+  };
+
   static void fiber_entry(void* arg);
 
   Tcb* make_tcb(std::function<void*()> fn, const Attr& attr, bool is_dummy);
+  /// Degraded spawn: no stack/context could be acquired, so the child runs
+  /// to completion right here on the parent's stack (legal: that is the
+  /// serial depth-first order).
+  Tcb* run_inline(Tcb* child);
   void charge(Cat cat, double us);
   std::uint64_t vnow_ns() const;
   void switch_to_loop();
+  void fire_due_sleepers(VProc& vp, int pid);
+  void cancel_sleeper(Tcb* t);
+  /// Best-effort crash dump through resil::dump_flight_recorder.
+  void dump_flight(const char* reason);
 
   void sim_loop();
   int pick_proc() const;
@@ -129,6 +154,8 @@ class SimEngine final : public Engine {
   std::vector<std::uint64_t> lock_free_ns_;  ///< per-domain lock availability
   std::int64_t live_ = 0;
   std::uint64_t next_tid_ = 1;
+  std::size_t eff_quota_ = 0;          ///< effective K (shrinks on OOM recovery)
+  std::vector<SimSleeper> sleepers_;   ///< armed timed-wait timers
 
   std::uint64_t pend_ns_[kNumCats] = {0, 0, 0, 0};
   Ev ev_ = Ev::None;

@@ -1,5 +1,6 @@
 #include "runtime/sync.h"
 
+#include "resil/faults.h"
 #include "runtime/engine.h"
 #include "util/check.h"
 
@@ -61,6 +62,38 @@ void Mutex::lock() {
   DFTH_LOCK_ACQUIRED(cur, this);
 }
 
+bool Mutex::try_lock_for(std::uint64_t timeout_ns) {
+  Engine* e = checked_engine();
+  e->charge_sync_op();
+  if (DFTH_FAULT_SHOULD_FAIL(resil::FaultSite::kSyncTimeout)) {
+    // Injected immediate timeout; the caller's timeout path absorbs it.
+    DFTH_FAULT_RECOVERED(resil::FaultSite::kSyncTimeout);
+    return false;
+  }
+  guard_.lock();
+  Tcb* cur = e->current();
+  if (owner_ == nullptr) {
+    owner_ = cur;
+    DFTH_RACE_ACQUIRE(cur, this);
+    guard_.unlock();
+    DFTH_LOCK_ACQUIRED(cur, this);
+    return true;
+  }
+  DFTH_CHECK_MSG(owner_ != cur, "recursive Mutex::try_lock_for");
+  waiters_.push(cur);
+  cur->state.store(ThreadState::Blocked, std::memory_order_relaxed);
+  e->block_current_timed(&guard_, &waiters_, timeout_ns);
+  const bool timed_out = cur->timed_out;
+  cur->timed_out = false;
+  if (timed_out) return false;
+  // unlock() handed ownership to us before waking; the timer lost the claim
+  // (we were already off the wait list), so only this path takes the
+  // release→acquire edge — the race detector stays schedule-insensitive.
+  DFTH_RACE_ACQUIRE(cur, this);
+  DFTH_LOCK_ACQUIRED(cur, this);
+  return true;
+}
+
 bool Mutex::try_lock() {
   Engine* e = checked_engine();
   e->charge_sync_op();
@@ -109,6 +142,32 @@ void CondVar::wait(Mutex& m) {
   // signal()/broadcast() recorded the signaler's clock before waking us.
   DFTH_RACE_ACQUIRE(cur, this);
   m.lock();
+}
+
+bool CondVar::timed_wait(Mutex& m, std::uint64_t timeout_ns) {
+  Engine* e = checked_engine();
+  e->charge_sync_op();
+  Tcb* cur = e->current();
+  DFTH_CHECK_MSG(m.held_by(cur),
+                 "CondVar::timed_wait caller does not hold the mutex");
+  if (DFTH_FAULT_SHOULD_FAIL(resil::FaultSite::kSyncTimeout)) {
+    // Injected immediate timeout: the mutex is never released, exactly as
+    // if the deadline expired before the wait began.
+    DFTH_FAULT_RECOVERED(resil::FaultSite::kSyncTimeout);
+    return false;
+  }
+  guard_.lock();
+  waiters_.push(cur);
+  cur->state.store(ThreadState::Blocked, std::memory_order_relaxed);
+  m.unlock();
+  e->block_current_timed(&guard_, &waiters_, timeout_ns);
+  const bool timed_out = cur->timed_out;
+  cur->timed_out = false;
+  // Only a genuine signal carries the signaler's release→acquire edge; a
+  // timeout synchronizes with nobody.
+  if (!timed_out) DFTH_RACE_ACQUIRE(cur, this);
+  m.lock();
+  return !timed_out;
 }
 
 void CondVar::signal() {
@@ -164,6 +223,32 @@ bool Semaphore::try_acquire() {
   }
   guard_.unlock();
   return ok;
+}
+
+bool Semaphore::try_acquire_for(std::uint64_t timeout_ns) {
+  Engine* e = checked_engine();
+  e->charge_sync_op();
+  if (DFTH_FAULT_SHOULD_FAIL(resil::FaultSite::kSyncTimeout)) {
+    DFTH_FAULT_RECOVERED(resil::FaultSite::kSyncTimeout);
+    return false;
+  }
+  guard_.lock();
+  Tcb* cur = e->current();
+  if (count_ > 0) {
+    --count_;
+    DFTH_RACE_ACQUIRE(cur, this);
+    guard_.unlock();
+    return true;
+  }
+  waiters_.push(cur);
+  cur->state.store(ThreadState::Blocked, std::memory_order_relaxed);
+  e->block_current_timed(&guard_, &waiters_, timeout_ns);
+  const bool timed_out = cur->timed_out;
+  cur->timed_out = false;
+  if (timed_out) return false;
+  // release() transferred one unit directly to us (V→P edge).
+  DFTH_RACE_ACQUIRE(cur, this);
+  return true;
 }
 
 void Semaphore::release() {

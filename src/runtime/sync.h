@@ -31,6 +31,13 @@ class Mutex {
  public:
   void lock();
   bool try_lock();
+  /// lock() with a deadline: returns true if the mutex was acquired within
+  /// `timeout_ns`, false on timeout (the mutex is then NOT held). Timeouts
+  /// use the claim-token protocol (Engine::block_current_timed): wait-list
+  /// membership under the guard is the claim, so a timeout and a handoff
+  /// can never both win. The sync.timeout fault site injects an immediate
+  /// timeout at entry.
+  bool try_lock_for(std::uint64_t timeout_ns);
   void unlock();
 
   /// The thread currently holding the mutex (diagnostics/tests).
@@ -65,6 +72,12 @@ class CondVar {
   /// Atomically releases `m` and blocks; reacquires `m` before returning.
   void wait(Mutex& m);
 
+  /// wait() with a deadline. Returns true if signaled, false on timeout; `m`
+  /// is reacquired before returning either way (pthread_cond_timedwait
+  /// semantics). An injected sync.timeout fault returns false immediately
+  /// *without* ever releasing `m`.
+  bool timed_wait(Mutex& m, std::uint64_t timeout_ns);
+
   /// wait() that returns once `pred()` holds (always rechecks the predicate
   /// under the mutex, so spurious signals are harmless).
   template <typename Pred>
@@ -88,6 +101,9 @@ class Semaphore {
 
   void acquire();       ///< P: decrement or block
   bool try_acquire();
+  /// acquire() with a deadline: true if a unit was obtained within
+  /// `timeout_ns`, false on timeout.
+  bool try_acquire_for(std::uint64_t timeout_ns);
   void release();       ///< V: wake one waiter or increment
 
   int value() const { return count_; }

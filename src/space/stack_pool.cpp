@@ -3,14 +3,22 @@
 #include <sys/mman.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <cstdlib>
+#include <thread>
 
 #include "analyze/san_fibers.h"
 #include "obs/counters.h"
+#include "resil/faults.h"
 #include "util/check.h"
 
 namespace dfth {
 namespace {
+
+// Mapping attempts before degrading to a heap-backed stack. Attempt n > 0 is
+// preceded by a cache trim and a (50 µs << n) backoff, so a transient
+// address-space shortage has three chances to clear.
+constexpr int kMapAttempts = 4;
 
 std::size_t page_size() {
   static const std::size_t size = static_cast<std::size_t>(::sysconf(_SC_PAGESIZE));
@@ -25,8 +33,11 @@ std::size_t round_up_pages(std::size_t bytes) {
 }  // namespace
 
 void* Stack::top() const {
-  // Skip the guard page at the bottom of the mapping.
-  return static_cast<char*>(base) + /*guard*/ 0 + size;
+  // `base` already points at the usable-region start — the guard page (when
+  // this is a mapped stack) lies entirely below it, so the usable span is
+  // exactly [base, base + size).
+  DFTH_DCHECK(reinterpret_cast<std::uintptr_t>(base) % page_size() == 0);
+  return static_cast<char*>(base) + size;
 }
 
 StackPool& StackPool::instance() {
@@ -49,30 +60,80 @@ Stack StackPool::acquire(std::size_t usable_bytes) {
       if (live_ > peak_) peak_ = live_;
       // Cached stacks are poisoned while idle (release below); re-arm.
       san::unpoison_stack(base, usable);
-      return Stack{base, usable, /*fresh=*/false};
+      return Stack{base, usable, /*fresh=*/false, /*heap=*/false};
     }
   }
 
   // Fresh mapping: guard page + usable region. The guard page sits at the
   // *start* of the mapping because stacks grow downward from top().
   const std::size_t total = usable + page_size();
-  void* mapping = ::mmap(nullptr, total, PROT_NONE, MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
-  DFTH_CHECK_MSG(mapping != MAP_FAILED, "mmap for fiber stack failed");
-  void* usable_lo = static_cast<char*>(mapping) + page_size();
-  DFTH_CHECK(::mprotect(usable_lo, usable, PROT_READ | PROT_WRITE) == 0);
+  bool mmap_failed = false;
+  bool mprotect_failed = false;
+  for (int attempt = 0; attempt < kMapAttempts; ++attempt) {
+    if (attempt > 0) {
+      // Resource pressure: hand the idle cached stacks back to the OS, back
+      // off exponentially, then ask again.
+      trim();
+      std::this_thread::sleep_for(std::chrono::microseconds(50u << attempt));
+    }
+    void* mapping = MAP_FAILED;
+    if (DFTH_FAULT_SHOULD_FAIL(resil::FaultSite::kStackMmap)) {
+      mmap_failed = true;
+    } else {
+      mapping = ::mmap(nullptr, total, PROT_NONE, MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+      if (mapping == MAP_FAILED) mmap_failed = true;
+    }
+    if (mapping == MAP_FAILED) continue;
+    void* usable_lo = static_cast<char*>(mapping) + page_size();
+    if (DFTH_FAULT_SHOULD_FAIL(resil::FaultSite::kStackMprotect) ||
+        ::mprotect(usable_lo, usable, PROT_READ | PROT_WRITE) != 0) {
+      mprotect_failed = true;
+      ::munmap(mapping, total);
+      continue;
+    }
 
-  std::lock_guard<std::mutex> lock(mu_);
-  ++fresh_;
-  DFTH_COUNT(obs::Counter::StacksFresh);
-  live_ += static_cast<std::int64_t>(usable);
-  if (live_ > peak_) peak_ = live_;
-  // Stack.base stores the start of the *usable* region; release() and trim()
-  // recompute the mapping base from it.
-  return Stack{usable_lo, usable, /*fresh=*/true};
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++fresh_;
+      DFTH_COUNT(obs::Counter::StacksFresh);
+      live_ += static_cast<std::int64_t>(usable);
+      if (live_ > peak_) peak_ = live_;
+    }
+    if (mmap_failed) DFTH_FAULT_RECOVERED(resil::FaultSite::kStackMmap);
+    if (mprotect_failed) DFTH_FAULT_RECOVERED(resil::FaultSite::kStackMprotect);
+    // Stack.base stores the start of the *usable* region; release() and
+    // trim() recompute the mapping base from it.
+    return Stack{usable_lo, usable, /*fresh=*/true, /*heap=*/false};
+  }
+
+  // Every mapping attempt failed: degrade to a plain heap allocation. No
+  // guard page — an overflow corrupts the heap instead of faulting — but a
+  // degraded run beats an aborted one, and the engines still account the
+  // bytes. Page-aligned so top()/context_make see the same geometry.
+  void* heap_base = std::aligned_alloc(page_size(), usable);
+  if (heap_base == nullptr) return Stack{};  // caller degrades further
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++fresh_;
+    DFTH_COUNT(obs::Counter::StacksFresh);
+    live_ += static_cast<std::int64_t>(usable);
+    if (live_ > peak_) peak_ = live_;
+  }
+  if (mmap_failed) DFTH_FAULT_RECOVERED(resil::FaultSite::kStackMmap);
+  if (mprotect_failed) DFTH_FAULT_RECOVERED(resil::FaultSite::kStackMprotect);
+  return Stack{heap_base, usable, /*fresh=*/true, /*heap=*/true};
 }
 
 void StackPool::release(Stack stack) {
   if (!stack) return;
+  if (stack.heap) {
+    // Heap-backed fallback stacks exist only under memory pressure; free
+    // them immediately rather than caching a guard-less stack for reuse.
+    std::lock_guard<std::mutex> lock(mu_);
+    live_ -= static_cast<std::int64_t>(stack.size);
+    std::free(stack.base);
+    return;
+  }
   // Poison the idle stack: any access to a cached-but-unowned stack (a
   // use-after-exit through a stale fiber pointer) becomes an ASan report.
   san::poison_stack(stack.base, stack.size);

@@ -8,6 +8,13 @@
 // region, cached per size class on release, and the pool reports
 // fresh-vs-reused counts plus live/peak stack bytes so engines can charge
 // the right virtual cost and report stack footprints.
+//
+// Resource exhaustion is recoverable, not fatal: when the mapping syscalls
+// fail (or the resil fault injector says they did), acquire() trims the
+// idle cache and retries with exponential backoff, then degrades to a
+// guard-less heap-backed stack, and only returns a null Stack once even the
+// heap is gone — callers (the engines) then degrade further by running the
+// child inline on its parent's stack.
 #pragma once
 
 #include <cstddef>
@@ -19,11 +26,14 @@
 namespace dfth {
 
 struct Stack {
-  void* base = nullptr;    ///< mmap base (guard page); null means "no stack".
+  void* base = nullptr;    ///< start of the *usable* region; null = "no stack".
   std::size_t size = 0;    ///< usable bytes (excludes the guard page).
-  bool fresh = false;      ///< true if this acquire mmap'd rather than reused.
+  bool fresh = false;      ///< true if this acquire mapped/allocated rather than reused.
+  bool heap = false;       ///< guard-less heap fallback; freed (not cached) on release.
 
-  /// Highest usable address; fiber stacks grow downward from here.
+  /// One-past-the-highest usable address; fiber stacks grow downward from
+  /// here. `base` is the usable-region start (the guard page, when present,
+  /// sits *below* base and is not part of [base, top())).
   void* top() const;
   explicit operator bool() const { return base != nullptr; }
 };
@@ -34,13 +44,18 @@ class StackPool {
 
   /// Returns a stack with at least `usable_bytes` of usable space (rounded
   /// up to a whole number of pages). Reuses a cached stack of the same size
-  /// class when available.
+  /// class when available. Under resource exhaustion it retries (trimming
+  /// the cache, backing off exponentially), then falls back to a
+  /// heap-backed stack without a guard page; a null Stack is returned only
+  /// when every fallback failed.
   Stack acquire(std::size_t usable_bytes);
 
-  /// Returns the stack to the size-class cache (does not unmap).
+  /// Returns the stack to the size-class cache (does not unmap). Heap-backed
+  /// fallback stacks are freed immediately instead of cached.
   void release(Stack stack);
 
-  /// Unmaps every cached stack (used between experiments and by tests).
+  /// Unmaps every cached stack (used between experiments, by tests, and by
+  /// acquire() itself under memory pressure).
   void trim();
 
   // -- statistics ---------------------------------------------------------

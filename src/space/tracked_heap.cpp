@@ -1,10 +1,10 @@
 #include "space/tracked_heap.h"
 
 #include <cstdlib>
-#include <new>
 
 #include "analyze/san_fibers.h"
 #include "obs/counters.h"
+#include "resil/faults.h"
 #include "util/check.h"
 
 namespace dfth {
@@ -77,8 +77,16 @@ void* TrackedHeap::allocate(std::size_t bytes) {
 }
 
 void* TrackedHeap::allocate_ex(std::size_t bytes, std::int64_t* fresh_bytes_out) {
+  *fresh_bytes_out = 0;
+  // Failure must be effect-free: counters, live bytes and the peak are only
+  // touched once the backing allocation is in hand, so a failed attempt
+  // followed by an engine OOM-preempt retry never double-counts. (The old
+  // path threw bad_alloc here — out of a fiber, through a context switch,
+  // straight into std::terminate.)
+  if (bytes > SIZE_MAX - sizeof(Header)) return nullptr;  // size overflow
+  if (DFTH_FAULT_SHOULD_FAIL(resil::FaultSite::kHeapAlloc)) return nullptr;
   auto* header = static_cast<Header*>(std::malloc(sizeof(Header) + bytes));
-  if (!header) throw std::bad_alloc();
+  if (!header) return nullptr;
   header->size = bytes;
   header->magic = kMagic;
 

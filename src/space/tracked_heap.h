@@ -76,8 +76,11 @@ class TrackedHeap {
  public:
   static TrackedHeap& instance();
 
-  /// Allocates `bytes` (16-byte aligned) and records it. Aborts on OOM —
-  /// callers in this codebase never handle allocation failure locally.
+  /// Allocates `bytes` (16-byte aligned) and records it. Returns nullptr on
+  /// exhaustion with *no* counter mutated — the failure path is effect-free
+  /// so callers can retry after the engines' OOM-preempt recovery. No
+  /// exception ever leaves this class (a bad_alloc unwinding across a fiber
+  /// context switch would kill the process).
   void* allocate(std::size_t bytes);
 
   /// Frees a pointer from allocate(); nullptr is a no-op.
@@ -97,6 +100,10 @@ class TrackedHeap {
 
   /// Bytes by which the given allocation grew the peak (0 if it fit under
   /// the previous high water mark). Returned by allocate via out-param.
+  /// Returns nullptr (leaving *fresh_bytes_out zero and every counter
+  /// untouched) when the backing allocation fails, when sizeof(Header) +
+  /// bytes would overflow, or when the resil injector fails the
+  /// `heap.alloc` site.
   void* allocate_ex(std::size_t bytes, std::int64_t* fresh_bytes_out);
 
   /// Shadow cells for the race detector; deallocate() clears a freed

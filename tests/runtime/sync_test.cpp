@@ -282,6 +282,151 @@ TEST_P(SyncTest, MutexWithAsyncDfKeepsPlaceholders) {
   EXPECT_EQ(stats.threads_created, 1u + 2u + 4u + 8u + 16u + 32u + 64u);
 }
 
+// ---------- timed waits (pthread_mutex_timedlock / pthread_cond_timedwait
+// equivalents; timeouts ride the engines' claim-token protocol) ----------
+
+constexpr std::uint64_t kShortNs = 2'000'000;     // 2 ms
+constexpr std::uint64_t kGenerousNs = 20'000'000'000ull;  // 20 s: never expires
+
+TEST_P(SyncTest, TryLockForUncontendedAcquiresImmediately) {
+  run(opts(), [] {
+    Mutex mu;
+    EXPECT_TRUE(mu.try_lock_for(kShortNs));
+    EXPECT_TRUE(mu.held());
+    mu.unlock();
+  });
+}
+
+TEST_P(SyncTest, TryLockForTimesOutWhileHeld) {
+  bool got = true;
+  std::uint64_t timeouts = 0;
+  const RunStats stats = run(opts(), [&] {
+    Mutex mu;
+    mu.lock();
+    auto t = spawn([&]() -> void* {
+      // Held by main for the whole run: only the deadline can end this wait.
+      got = mu.try_lock_for(kShortNs);
+      return nullptr;
+    });
+    join(t);
+    mu.unlock();
+  });
+  timeouts = stats.sync_timeouts;
+  EXPECT_FALSE(got);
+  EXPECT_EQ(timeouts, 1u);
+  if (GetParam() == EngineKind::Sim) {
+    // Virtual time must have advanced past the deadline — the idle horizon
+    // includes sleeper deadlines, so the clock jumps there instead of
+    // spinning.
+    EXPECT_GE(stats.elapsed_us * 1000.0, static_cast<double>(kShortNs));
+  }
+}
+
+TEST_P(SyncTest, TryLockForAcquiresWhenReleasedBeforeDeadline) {
+  bool got = false;
+  run(opts(), [&] {
+    Mutex mu;
+    Semaphore waiting(0);
+    mu.lock();
+    auto t = spawn([&]() -> void* {
+      waiting.release();
+      got = mu.try_lock_for(kGenerousNs);  // handoff, not timeout
+      if (got) mu.unlock();
+      return nullptr;
+    });
+    waiting.acquire();
+    yield();  // give the waiter a chance to actually block
+    mu.unlock();
+    join(t);
+  });
+  EXPECT_TRUE(got);
+}
+
+TEST_P(SyncTest, TimedWaitTimesOutAndReacquiresTheMutex) {
+  bool signaled = true;
+  const RunStats stats = run(opts(), [&] {
+    Mutex mu;
+    CondVar cv;
+    mu.lock();
+    signaled = cv.timed_wait(mu, kShortNs);  // nobody will ever signal
+    // pthread_cond_timedwait semantics: the mutex is held again even after a
+    // timeout — proven by being able to hand it to another thread.
+    auto t = spawn([&]() -> void* {
+      return reinterpret_cast<void*>(static_cast<intptr_t>(mu.try_lock()));
+    });
+    EXPECT_EQ(join(t), reinterpret_cast<void*>(0));
+    mu.unlock();
+  });
+  EXPECT_FALSE(signaled);
+  EXPECT_EQ(stats.sync_timeouts, 1u);
+}
+
+TEST_P(SyncTest, TimedWaitReturnsTrueWhenSignaledBeforeDeadline) {
+  bool signaled = false;
+  int generation = 0;
+  run(opts(), [&] {
+    Mutex mu;
+    CondVar cv;
+    auto t = spawn([&]() -> void* {
+      LockGuard lock(mu);
+      while (generation == 0) {
+        if (!cv.timed_wait(mu, kGenerousNs)) return nullptr;
+      }
+      signaled = true;
+      return nullptr;
+    });
+    for (int i = 0; i < 100; ++i) yield();
+    {
+      LockGuard lock(mu);
+      generation = 1;
+      cv.signal();
+    }
+    join(t);
+  });
+  EXPECT_TRUE(signaled);
+}
+
+TEST_P(SyncTest, SemaphoreTryAcquireForTimesOutThenSucceeds) {
+  bool starved = true, fed = false;
+  const RunStats stats = run(opts(), [&] {
+    Semaphore sem(0);
+    starved = sem.try_acquire_for(kShortNs);  // no units: must expire
+    sem.release();
+    fed = sem.try_acquire_for(kGenerousNs);   // a unit is ready: no wait
+  });
+  EXPECT_FALSE(starved);
+  EXPECT_TRUE(fed);
+  EXPECT_EQ(stats.sync_timeouts, 1u);
+}
+
+TEST_P(SyncTest, ManyCompetingTimedLocksNeverLoseTheMutex) {
+  // Stress the claim-token protocol: waiters time out while the owner keeps
+  // locking and unlocking. Whatever the interleaving, every acquisition is
+  // exclusive and every call ends in exactly one of {acquired, timed out}.
+  long long counter = 0;
+  run(opts(SchedKind::AsyncDf, 8), [&] {
+    Mutex mu;
+    std::vector<Thread> threads;
+    for (int i = 0; i < 24; ++i) {
+      threads.push_back(spawn([&]() -> void* {
+        for (int j = 0; j < 20; ++j) {
+          if (mu.try_lock_for(kShortNs / 4)) {
+            ++counter;
+            yield();
+            mu.unlock();
+          } else {
+            yield();
+          }
+        }
+        return nullptr;
+      }));
+    }
+    for (auto& t : threads) join(t);
+  });
+  EXPECT_GT(counter, 0);
+  EXPECT_LE(counter, 24 * 20);
+}
+
 INSTANTIATE_TEST_SUITE_P(BothEngines, SyncTest,
                          ::testing::Values(EngineKind::Sim, EngineKind::Real),
                          engine_name);

@@ -4,7 +4,10 @@
 
 #include <csetjmp>
 #include <csignal>
+#include <cstdint>
 #include <cstring>
+
+#include "resil/faults.h"
 
 namespace dfth {
 namespace {
@@ -63,6 +66,49 @@ TEST(StackPool, SizeRoundsToPages) {
   EXPECT_GE(s.size, 4096u);
   EXPECT_EQ(s.size % 4096, 0u);
   pool.release(s);
+}
+
+TEST(StackPool, TopIsOnePastTheUsableRegion) {
+  // Regression: top() used to mix the guard page into its arithmetic and
+  // point below the true stack top, silently wasting usable bytes and (for
+  // downward-growing fibers) seeding the context one page short. It is
+  // defined as exactly base + size.
+  auto& pool = StackPool::instance();
+  Stack s = pool.acquire(16 << 10);
+  ASSERT_TRUE(s);
+  EXPECT_EQ(s.top(), static_cast<char*>(s.base) + s.size);
+  // The highest usable bytes really are usable: a fiber's first frame lands
+  // right below top().
+  auto* word = reinterpret_cast<std::uint64_t*>(static_cast<char*>(s.top()) - 8);
+  *word = 0xfeedfacecafebeefull;
+  EXPECT_EQ(*word, 0xfeedfacecafebeefull);
+  pool.release(s);
+}
+
+TEST(StackPool, HeapFallbackWhenMappingIsFailed) {
+  if (!resil::kFaultsEnabled) {
+    GTEST_SKIP() << "build has no fault hooks (-DDFTH_FAULTS=OFF)";
+  }
+  auto& pool = StackPool::instance();
+  pool.trim();  // empty the cache so acquire must reach the mmap site
+  resil::FaultPlan plan;
+  plan.site(resil::FaultSite::kStackMmap).probability = 1.0;
+  resil::FaultInjector::instance().arm(plan);
+  Stack s = pool.acquire(20 << 10);
+  resil::FaultInjector::instance().disarm();
+  // Every mapping attempt "failed", so the pool degraded to a guard-less
+  // heap-backed stack — still fully usable.
+  ASSERT_TRUE(s);
+  EXPECT_TRUE(s.heap);
+  EXPECT_GE(s.size, 20u << 10);
+  std::memset(s.base, 0x5A, s.size);
+  EXPECT_EQ(s.top(), static_cast<char*>(s.base) + s.size);
+  pool.release(s);  // freed immediately, not cached
+  Stack again = pool.acquire(20 << 10);
+  EXPECT_FALSE(again.heap);  // injector disarmed: mmap works again
+  EXPECT_TRUE(again.fresh);  // and the heap stack was not in the cache
+  pool.release(again);
+  pool.trim();
 }
 
 TEST(StackPoolDeathTest, GuardPageCatchesOverflow) {

@@ -2,9 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <cstring>
 #include <thread>
 #include <vector>
+
+#include "analyze/san_fibers.h"
+#include "runtime/api.h"
 
 namespace dfth {
 namespace {
@@ -92,6 +96,48 @@ TEST(TrackedHeap, ConcurrentAccountingIsExact) {
   }
   for (auto& w : workers) w.join();
   EXPECT_EQ(heap.live_bytes(), base_live);
+}
+
+// ---------- exhaustion is an error return, not an abort ----------
+
+TEST(TrackedHeap, SizeOverflowReturnsNullWithNoSideEffects) {
+  // sizeof(Header) + bytes would wrap: the old code handed the wrapped size
+  // to malloc (undefined nonsense); allocate_ex now refuses effect-free so
+  // the engines' OOM-preempt recovery can retry or surface kNoMem.
+  auto& heap = TrackedHeap::instance();
+  const auto live = heap.live_bytes();
+  const auto allocs = heap.alloc_count();
+  std::int64_t fresh = 123;
+  void* p = heap.allocate_ex(SIZE_MAX - 4, &fresh);
+  EXPECT_EQ(p, nullptr);
+  EXPECT_EQ(fresh, 0);
+  EXPECT_EQ(heap.live_bytes(), live);
+  EXPECT_EQ(heap.alloc_count(), allocs);
+}
+
+#if !defined(DFTH_ASAN_ENABLED) && !defined(DFTH_TSAN_ENABLED)
+TEST(TrackedHeap, BackingMallocFailureReturnsNullWithNoSideEffects) {
+  // A genuinely impossible (but non-overflowing) request: malloc itself
+  // returns nullptr. Sanitizer builds skip this — their allocators abort on
+  // huge requests instead of returning null.
+  auto& heap = TrackedHeap::instance();
+  const auto live = heap.live_bytes();
+  std::int64_t fresh = 123;
+  void* p = heap.allocate_ex(std::size_t{1} << 62, &fresh);
+  EXPECT_EQ(p, nullptr);
+  EXPECT_EQ(fresh, 0);
+  EXPECT_EQ(heap.live_bytes(), live);
+}
+#endif
+
+TEST(TrackedHeap, DfTryMallocOutsideRunReportsOk) {
+  // Usable outside run(): plain tracked allocation with an explicit status.
+  DfStatus status = DfStatus::kNoMem;
+  void* p = df_try_malloc(64, &status);
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(status, DfStatus::kOk);
+  std::memset(p, 0xCD, 64);
+  df_free(p);
 }
 
 // ---------- race-detector shadow cells ----------
