@@ -142,6 +142,11 @@ void insert_body(CellArena& arena, Cell* cell, const std::vector<Body>& bodies,
 
 /// Leaf COM needs the body array; separate pass entry that binds it.
 std::size_t compute_com_with_bodies(Cell* cell, const std::vector<Body>& bodies) {
+  // COM fields (mass/com/nbodies) are declared contiguously at the end of
+  // Cell; one write annotation summarizes the whole block.
+  df_write(&cell->mass,
+           sizeof(cell->mass) + sizeof(cell->com) + sizeof(cell->nbodies),
+           "barnes/compute_com:cell");
   if (cell->is_leaf_relaxed()) {
     double m = 0, cx = 0, cy = 0, cz = 0;
     for (std::uint32_t idx : cell->bodies) {
@@ -187,6 +192,7 @@ std::size_t compute_com_with_bodies(Cell* cell, const std::vector<Body>& bodies)
 std::uint64_t force_on_body(const Cell* root, const std::vector<Body>& bodies,
                             Body& target, double theta, double eps2) {
   std::uint64_t interactions = 0;
+  df_write(target.acc, sizeof(target.acc), "barnes/force_on_body:acc");
   target.acc[0] = target.acc[1] = target.acc[2] = 0.0;
   // Explicit stack walk (cheap + no recursion-depth concerns).
   const Cell* stack[256];
@@ -238,6 +244,7 @@ std::uint64_t force_on_body(const Cell* root, const std::vector<Body>& bodies,
 }
 
 void leapfrog_update(Body& b, double dt) {
+  df_write(&b, sizeof(Body), "barnes/leapfrog:body");
   for (int d = 0; d < 3; ++d) {
     b.vel[d] += b.acc[d] * dt;
     b.pos[d] += b.vel[d] * dt;
@@ -273,6 +280,8 @@ void fine_forces(const Cell* root, const Cell* cell, std::vector<Body>& bodies,
         for (std::uint32_t idx : c->bodies) {
           const std::uint64_t n =
               force_on_body(root, bodies, bodies[idx], cfg.theta, eps2);
+          df_write(&bodies[idx].work, sizeof(std::uint64_t),
+                   "barnes/fine_forces:work");
           bodies[idx].work = n;
           local += n;
         }

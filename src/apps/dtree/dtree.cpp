@@ -130,6 +130,7 @@ using InstVec = std::vector<Instance, TrackedAllocator<Instance>>;
 SplitChoice evaluate_attribute(const Instance* data, std::size_t n, int attr,
                                const DtreeConfig& cfg, bool parallel_sort) {
   auto* pairs = static_cast<VL*>(df_malloc(sizeof(VL) * n));
+  df_write(pairs, sizeof(VL) * n, "dtree/evaluate_attribute:pairs");
   for (std::size_t i = 0; i < n; ++i) {
     pairs[i] = {data[i].attr[attr], data[i].label};
   }
@@ -173,6 +174,7 @@ std::unique_ptr<DtreeNode> build_rec(const Instance* data, std::size_t n, int de
     Thread workers[kDtreeAttrs];
     for (int a = 0; a < kDtreeAttrs; ++a) {
       workers[a] = spawn([data, n, a, &cfg, &choices]() -> void* {
+        df_write(&choices[a], sizeof(SplitChoice), "dtree/build_rec:choice");
         choices[a] = evaluate_attribute(data, n, a, cfg, /*parallel_sort=*/true);
         return nullptr;
       });
@@ -215,6 +217,7 @@ std::unique_ptr<DtreeNode> build_rec(const Instance* data, std::size_t n, int de
 
   if (parallel_here) {
     Thread lt = spawn([&left, depth, &cfg, &node]() -> void* {
+      df_write(&node->left, sizeof(node->left), "dtree/build_rec:left");
       node->left = build_rec(left.data(), left.size(), depth + 1, cfg, true);
       return nullptr;
     });

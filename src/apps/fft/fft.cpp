@@ -32,6 +32,8 @@ struct FftRec {
   void transform(const Complex* in, Complex* out, std::size_t n, std::size_t stride,
                  int threads_left) const {
     if (n == 1) {
+      df_read(in, sizeof(Complex), "fft/transform:in");
+      df_write(out, sizeof(Complex), "fft/transform:out");
       out[0] = in[0];
       return;
     }
@@ -56,6 +58,8 @@ struct FftRec {
   void combine(Complex* out, std::size_t n) const {
     const std::size_t half = n / 2;
     const std::size_t twiddle_stride = plan->n_ / n;
+    // Butterflies read and rewrite the whole out[0..n) range in place.
+    df_write(out, n * sizeof(Complex), "fft/combine:out");
     for (std::size_t k = 0; k < half; ++k) {
       const Complex t = plan->twiddle_[k * twiddle_stride] * out[k + half];
       out[k + half] = out[k] - t;

@@ -108,6 +108,7 @@ struct FmmGrid {
 /// a[k] = -sum q (z - c)^k / k.
 void p2m(const std::vector<FmmParticle>& particles,
          const std::vector<std::uint32_t>& idx, Cx center, Cx* a, int terms) {
+  df_write(a, sizeof(Cx) * static_cast<std::size_t>(terms + 1), "fmm/p2m:multipole");
   for (int k = 0; k <= terms; ++k) a[k] = Cx(0, 0);
   for (std::uint32_t i : idx) {
     const FmmParticle& p = particles[i];
@@ -125,6 +126,8 @@ void p2m(const std::vector<FmmParticle>& particles,
 /// M2M: child multipole (about zc) shifted to parent center zp.
 /// b[l] += a[0] * (-d^l / l) + sum_{k=1..l} a[k] d^{l-k} C(l-1, k-1), d = zc-zp.
 void m2m(const Cx* a, Cx zc, Cx* b, Cx zp, int terms, const Binomials& binom) {
+  df_read(a, sizeof(Cx) * static_cast<std::size_t>(terms + 1), "fmm/m2m:child");
+  df_write(b, sizeof(Cx) * static_cast<std::size_t>(terms + 1), "fmm/m2m:parent");
   const Cx d = zc - zp;
   b[0] += a[0];
   Cx dl = d;  // d^l
@@ -148,6 +151,8 @@ void m2m(const Cx* a, Cx zc, Cx* b, Cx zp, int terms, const Binomials& binom) {
 /// (signs folded below; derived from log(z-z0) = log(-d) + log(1 - w/d)
 /// with w = z - z1 ... implemented in the equivalent "expand about z1" form)
 void m2l(const Cx* a, Cx z0, Cx* b, Cx z1, int terms, const Binomials& binom) {
+  df_read(a, sizeof(Cx) * static_cast<std::size_t>(terms + 1), "fmm/m2l:multipole");
+  df_write(b, sizeof(Cx) * static_cast<std::size_t>(terms + 1), "fmm/m2l:local");
   const Cx d = z0 - z1;  // vector from target center to source center
   // log(z - z0) about z1: with w = z - z1, z - z0 = w - d = -d (1 - w/d):
   //   log(z - z0) = log(-d) - sum_{l>=1} (w/d)^l / l
@@ -186,6 +191,8 @@ void m2l(const Cx* a, Cx z0, Cx* b, Cx z1, int terms, const Binomials& binom) {
 
 /// L2L: local about z0 shifted to z1: b[l] += sum_{k>=l} a[k] C(k,l) (z1-z0)^{k-l}.
 void l2l(const Cx* a, Cx z0, Cx* b, Cx z1, int terms, const Binomials& binom) {
+  df_read(a, sizeof(Cx) * static_cast<std::size_t>(terms + 1), "fmm/l2l:src");
+  df_write(b, sizeof(Cx) * static_cast<std::size_t>(terms + 1), "fmm/l2l:dst");
   const Cx d = z1 - z0;
   for (int l = 0; l <= terms; ++l) {
     Cx sum(0, 0);
@@ -212,6 +219,7 @@ void p2p(std::vector<FmmParticle>& particles, const std::vector<std::uint32_t>& 
          const std::vector<std::uint32_t>& b, std::vector<double>& out) {
   for (std::uint32_t i : a) {
     double phi = 0.0;
+    df_write(&out[i], sizeof(double), "fmm/p2p:out");
     const FmmParticle& pi = particles[i];
     for (std::uint32_t j : b) {
       if (i == j) continue;
@@ -333,6 +341,7 @@ void run_fmm(std::vector<FmmParticle>& particles, const FmmConfig& cfg,
           // every cell's buffers are live at once, which is the allocation
           // burst Figure 9(a) measures.
           auto* partial = static_cast<Cx*>(df_malloc(sizeof(Cx) * (P + 1)));
+          df_write(partial, sizeof(Cx) * (P + 1), "fmm/phase3:partial");
           for (int k = 0; k <= P; ++k) partial[k] = Cx(0, 0);
           partials.push_back(partial);
           scratches.push_back(cfg.chunk_workspace_bytes
@@ -391,6 +400,8 @@ void run_fmm(std::vector<FmmParticle>& particles, const FmmConfig& cfg,
     for (std::size_t c = 0; c < leaf.cells(); ++c) phase4(c);
   }
 
+  df_write(particles.data(), particles.size() * sizeof(FmmParticle),
+           "fmm/run_fmm:potential");
   for (std::size_t i = 0; i < particles.size(); ++i) particles[i].potential = phi[i];
 }
 

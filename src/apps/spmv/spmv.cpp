@@ -97,6 +97,8 @@ void product_rows(const CsrMatrix& m, const double* v, double* w, std::size_t lo
   const std::uint32_t* row_ptr = m.row_ptr();
   const std::uint32_t* col = m.col_idx();
   const double* val = m.values();
+  df_read(v, m.cols() * sizeof(double), "spmv/product_rows:v");
+  df_write(w + lo, (hi - lo) * sizeof(double), "spmv/product_rows:w");
   for (std::size_t i = lo; i < hi; ++i) {
     double sum = 0.0;
     for (std::uint32_t k = row_ptr[i]; k < row_ptr[i + 1]; ++k) {

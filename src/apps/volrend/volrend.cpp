@@ -187,9 +187,12 @@ void render_tile(const Volume& vol, const VolrendConfig& cfg, Image& out,
   const std::size_t tx = (tile % tiles_x) * kTilePixels;
   const std::size_t ty = (tile / tiles_x) * kTilePixels;
   for (std::size_t dy = 0; dy < kTilePixels; ++dy) {
-    for (std::size_t dx = 0; dx < kTilePixels; ++dx) {
-      const std::size_t px = tx + dx, py = ty + dy;
-      if (px >= cfg.image_dim || py >= cfg.image_dim) continue;
+    const std::size_t py = ty + dy;
+    if (py >= cfg.image_dim) break;
+    const std::size_t row = std::min(kTilePixels, cfg.image_dim - tx);
+    df_write(&out[py * cfg.image_dim + tx], row, "volrend/render_tile:row");
+    for (std::size_t dx = 0; dx < row; ++dx) {
+      const std::size_t px = tx + dx;
       out[py * cfg.image_dim + px] = cast_ray(vol, cfg, px, py, view_angle);
     }
   }

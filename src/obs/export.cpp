@@ -54,14 +54,15 @@ std::string to_json(const RunStats& s) {
       ", \"faults_recovered\": %" PRIu64
       ", \"heap_peak\": %" PRId64 ", \"stack_peak\": %" PRId64
       ", \"stacks_fresh\": %" PRIu64 ", \"stacks_reused\": %" PRIu64
+      ", \"stack_high_water\": %" PRId64
       ", \"elapsed_us\": %.3f, \"cache_hits\": %" PRIu64
       ", \"cache_misses\": %" PRIu64 ", \"breakdown\": ",
       to_string(s.engine), to_string(s.sched), s.nprocs, s.threads_created,
       s.dummy_threads, s.max_live_threads, s.dispatches, s.quota_preemptions,
       s.steals, s.oom_preemptions, s.inline_runs, s.sync_timeouts,
       s.faults_injected, s.faults_recovered, s.heap_peak, s.stack_peak,
-      s.stacks_fresh, s.stacks_reused, s.elapsed_us, s.cache_hits,
-      s.cache_misses);
+      s.stacks_fresh, s.stacks_reused, s.stack_high_water, s.elapsed_us,
+      s.cache_hits, s.cache_misses);
   return std::string(buf) + to_json(s.breakdown) + "}";
 }
 

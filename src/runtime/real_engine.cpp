@@ -824,6 +824,7 @@ RunStats RealEngine::run(const std::function<void()>& main_fn) {
   stats_.stack_peak = StackPool::instance().peak_bytes();
   stats_.stacks_fresh = StackPool::instance().fresh_count();
   stats_.stacks_reused = StackPool::instance().reuse_count();
+  stats_.stack_high_water = StackPool::instance().high_water_bytes();
   if (auto* ws = dynamic_cast<WorkStealScheduler*>(sched_->underlying())) {
     stats_.steals = ws->steal_count();
   }

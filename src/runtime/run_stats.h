@@ -73,6 +73,10 @@ struct RunStats {
   std::int64_t stack_peak = 0;         ///< simulated stack footprint peak
   std::uint64_t stacks_fresh = 0;
   std::uint64_t stacks_reused = 0;
+  /// Largest stack usage any single fiber actually touched (watermark scan
+  /// on release). Nonzero only in -DDFTH_STACK_USAGE builds;
+  /// tools/stack_bound.py compares it against the static worst-case bound.
+  std::int64_t stack_high_water = 0;
 
   // Time.
   double elapsed_us = 0;  ///< virtual time (Sim) or wall-clock (Real)

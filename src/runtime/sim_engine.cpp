@@ -487,6 +487,9 @@ RunStats SimEngine::run(const std::function<void()>& main_fn) {
     stats_.heap_peak = std::max(stats_.heap_peak, heap_level);
   }
   stats_.stack_peak = sim_stack_peak_;
+  // Real stacks back the simulated fibers too, so the watermark is
+  // meaningful even under the Sim engine.
+  stats_.stack_high_water = StackPool::instance().high_water_bytes();
   if (auto* ws = dynamic_cast<WorkStealScheduler*>(sched_->underlying())) {
     stats_.steals = ws->steal_count();
   }

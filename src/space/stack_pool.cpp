@@ -5,6 +5,7 @@
 
 #include <chrono>
 #include <cstdlib>
+#include <cstring>
 #include <thread>
 
 #include "analyze/san_fibers.h"
@@ -29,6 +30,25 @@ std::size_t round_up_pages(std::size_t bytes) {
   const std::size_t mask = page_size() - 1;
   return (bytes + mask) & ~mask;
 }
+
+#if DFTH_STACK_USAGE
+// Watermark pattern for per-fiber usage measurement: acquire() paints the
+// whole usable region, release() scans upward from the low end (stacks grow
+// downward) for the first overwritten byte. An unlikely byte value keeps
+// false low readings rare.
+constexpr unsigned char kStackPaint = 0xDF;
+
+void paint_stack(void* base, std::size_t size) {
+  std::memset(base, kStackPaint, size);
+}
+
+std::size_t painted_usage(const void* base, std::size_t size) {
+  const auto* p = static_cast<const unsigned char*>(base);
+  std::size_t i = 0;
+  while (i < size && p[i] == kStackPaint) ++i;
+  return size - i;
+}
+#endif
 
 }  // namespace
 
@@ -60,6 +80,9 @@ Stack StackPool::acquire(std::size_t usable_bytes) {
       if (live_ > peak_) peak_ = live_;
       // Cached stacks are poisoned while idle (release below); re-arm.
       san::unpoison_stack(base, usable);
+#if DFTH_STACK_USAGE
+      paint_stack(base, usable);
+#endif
       return Stack{base, usable, /*fresh=*/false, /*heap=*/false};
     }
   }
@@ -103,6 +126,9 @@ Stack StackPool::acquire(std::size_t usable_bytes) {
     if (mprotect_failed) DFTH_FAULT_RECOVERED(resil::FaultSite::kStackMprotect);
     // Stack.base stores the start of the *usable* region; release() and
     // trim() recompute the mapping base from it.
+#if DFTH_STACK_USAGE
+    paint_stack(usable_lo, usable);
+#endif
     return Stack{usable_lo, usable, /*fresh=*/true, /*heap=*/false};
   }
 
@@ -121,15 +147,24 @@ Stack StackPool::acquire(std::size_t usable_bytes) {
   }
   if (mmap_failed) DFTH_FAULT_RECOVERED(resil::FaultSite::kStackMmap);
   if (mprotect_failed) DFTH_FAULT_RECOVERED(resil::FaultSite::kStackMprotect);
+#if DFTH_STACK_USAGE
+  paint_stack(heap_base, usable);
+#endif
   return Stack{heap_base, usable, /*fresh=*/true, /*heap=*/true};
 }
 
 void StackPool::release(Stack stack) {
   if (!stack) return;
+#if DFTH_STACK_USAGE
+  const auto used = static_cast<std::int64_t>(painted_usage(stack.base, stack.size));
+#else
+  constexpr std::int64_t used = 0;
+#endif
   if (stack.heap) {
     // Heap-backed fallback stacks exist only under memory pressure; free
     // them immediately rather than caching a guard-less stack for reuse.
     std::lock_guard<std::mutex> lock(mu_);
+    if (used > high_water_) high_water_ = used;
     live_ -= static_cast<std::int64_t>(stack.size);
     std::free(stack.base);
     return;
@@ -138,6 +173,7 @@ void StackPool::release(Stack stack) {
   // use-after-exit through a stale fiber pointer) becomes an ASan report.
   san::poison_stack(stack.base, stack.size);
   std::lock_guard<std::mutex> lock(mu_);
+  if (used > high_water_) high_water_ = used;
   live_ -= static_cast<std::int64_t>(stack.size);
   cache_[stack.size].push_back(stack.base);
 }
@@ -177,11 +213,17 @@ std::int64_t StackPool::peak_bytes() const {
   return peak_;
 }
 
+std::int64_t StackPool::high_water_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return high_water_;
+}
+
 void StackPool::begin_epoch() {
   std::lock_guard<std::mutex> lock(mu_);
   peak_ = live_;
   fresh_ = 0;
   reuse_ = 0;
+  high_water_ = 0;
 }
 
 StackPool::~StackPool() { trim(); }

@@ -65,6 +65,14 @@ class StackPool {
   std::int64_t peak_bytes() const;   ///< high water of live_bytes
   void begin_epoch();                ///< reset peak + counters to current
 
+  /// Largest per-fiber stack usage observed: bytes actually written on any
+  /// single stack, measured at release() by scanning for the watermark
+  /// pattern painted at acquire(). Only -DDFTH_STACK_USAGE builds paint and
+  /// scan (touching every page defeats lazy allocation, so it is opt-in);
+  /// elsewhere this is always 0. tools/stack_bound.py compares this
+  /// observed value against the static worst-case bound.
+  std::int64_t high_water_bytes() const;
+
   ~StackPool();
 
  private:
@@ -76,6 +84,7 @@ class StackPool {
   std::uint64_t reuse_ = 0;
   std::int64_t live_ = 0;
   std::int64_t peak_ = 0;
+  std::int64_t high_water_ = 0;
 };
 
 }  // namespace dfth

@@ -1,0 +1,64 @@
+// dfth-check fixture: blocking-call-on-fiber.
+//
+// Every `// expect: <check>` marker names a diagnostic the analyzer must
+// report on that exact line; all unmarked lines must stay clean. The
+// fixture runner (tests/check/run_fixture_tests.py) compares markers
+// against the tool's output.
+#include <pthread.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <mutex>
+#include <thread>
+
+#include "dfth_stub.h"
+
+using namespace dfth;
+
+namespace fixture {
+
+pthread_mutex_t g_raw = PTHREAD_MUTEX_INITIALIZER;
+dfth_pthread_mutex_t g_shim;
+
+// Reached from a spawned lambda through one call hop: still fiber code.
+void helper_blocks() {
+  pthread_mutex_lock(&g_raw);  // expect: blocking-call-on-fiber
+  pthread_mutex_unlock(&g_raw);
+}
+
+// The compat shims are the sanctioned fiber-safe path: never flagged.
+void helper_shimmed() {
+  dfth_pthread_mutex_lock(&g_shim);
+  dfth_pthread_mutex_unlock(&g_shim);
+}
+
+void spawn_all() {
+  Thread a = spawn([]() -> void* {
+    sleep(1);  // expect: blocking-call-on-fiber
+    helper_blocks();
+    helper_shimmed();
+    return nullptr;
+  });
+  Thread b = spawn([]() -> void* {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));  // expect: blocking-call-on-fiber
+    return nullptr;
+  });
+  Thread c = spawn([]() -> void* {
+    std::mutex local_mu;  // expect: blocking-call-on-fiber
+    local_mu.lock();
+    local_mu.unlock();
+    return nullptr;
+  });
+  join(a);
+  join(b);
+  join(c);
+}
+
+// Never reached from fiber code: blocking here is the host's business.
+void host_only_setup() {
+  sleep(1);
+  pthread_mutex_lock(&g_raw);
+  pthread_mutex_unlock(&g_raw);
+}
+
+}  // namespace fixture

@@ -1,0 +1,55 @@
+// dfth-check fixture: a well-behaved translation unit. Every check runs
+// over this file and none may report anything — including the suppressed
+// violation at the bottom, which regression-tests the
+// `// dfth-check-ignore(<check>)` comment.
+#include <cstddef>
+#include <unistd.h>
+
+#include "dfth_stub.h"
+
+using namespace dfth;
+
+namespace fixture {
+
+dfth_pthread_mutex_t g_mu;
+Mutex order_a;
+Mutex order_b;
+
+// Annotated writes through a pointer param.
+void fill(double* out, std::size_t n) {
+  df_write(out, n * sizeof(double), "fixture/fill:out");
+  for (std::size_t i = 0; i < n; ++i) out[i] = static_cast<double>(i);
+}
+
+// Locks always nest a-then-b.
+void locked_sum(double* out, std::size_t n) {
+  order_a.lock();
+  order_b.lock();
+  fill(out, n);
+  order_b.unlock();
+  order_a.unlock();
+}
+
+void run_all(double* data, std::size_t n) {
+  Thread a = spawn([data, n]() -> void* {
+    dfth_pthread_mutex_lock(&g_mu);
+    fill(data, n);
+    dfth_pthread_mutex_unlock(&g_mu);
+    return nullptr;
+  });
+  Thread b = spawn([data, n]() -> void* {
+    locked_sum(data, n);
+    return nullptr;
+  });
+  join(a);
+  join(b);
+
+  Thread c = spawn([]() -> void* {
+    // dfth-check-ignore(blocking-call-on-fiber): fixture suppression test
+    sleep(1);
+    return nullptr;
+  });
+  join(c);
+}
+
+}  // namespace fixture

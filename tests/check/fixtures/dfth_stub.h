@@ -1,0 +1,43 @@
+// Self-contained mini-API for the dfth-check fixtures. The analyzer is
+// token-based and never compiles these files, so the declarations only need
+// to make the fixtures read like real dfthreads code. Names mirror
+// src/runtime/api.h and src/compat/dfth_pthread.h exactly — the checks key
+// on them.
+#pragma once
+
+#include <cstddef>
+
+namespace dfth {
+
+struct Thread {
+  unsigned long id = 0;
+};
+struct Attr {};
+struct RunOptions {};
+struct RunResult {};
+
+struct Mutex {
+  void lock();
+  void unlock();
+};
+
+template <typename F>
+Thread spawn(F&& fn, Attr attr = {});
+void* join(Thread t);
+void detach(Thread t);
+template <typename F>
+RunResult run(const RunOptions& opts, F&& main_fn);
+
+void* df_malloc(std::size_t bytes);
+void df_free(void* p);
+void df_read(const void* p, std::size_t bytes, const char* site);
+void df_write(const void* p, std::size_t bytes, const char* site);
+
+}  // namespace dfth
+
+// Fiber-safe shims (mirror src/compat/dfth_pthread.h).
+struct dfth_pthread_mutex_t {
+  int state = 0;
+};
+int dfth_pthread_mutex_lock(dfth_pthread_mutex_t* m);
+int dfth_pthread_mutex_unlock(dfth_pthread_mutex_t* m);

@@ -1,0 +1,52 @@
+// dfth-check fixture: lock-order.
+//
+// Markers as in blocking_call.cpp. The ABBA diagnostic anchors on the
+// acquire site of the alphabetically-first edge ('mu_a held while
+// acquiring mu_b'), i.e. the mu_b.lock() inside forward().
+#include "dfth_stub.h"
+
+using namespace dfth;
+
+namespace fixture {
+
+Mutex mu_a;
+Mutex mu_b;
+Mutex mu_c;
+
+void forward() {
+  mu_a.lock();
+  mu_b.lock();  // expect: lock-order
+  mu_b.unlock();
+  mu_a.unlock();
+}
+
+void backward() {
+  mu_b.lock();
+  mu_a.lock();
+  mu_a.unlock();
+  mu_b.unlock();
+}
+
+// Consistent with forward(): a -> c never reverses, so no report.
+void also_forward() {
+  mu_a.lock();
+  mu_c.lock();
+  mu_c.unlock();
+  mu_a.unlock();
+}
+
+void run_all() {
+  Thread a = spawn([]() -> void* {
+    forward();
+    return nullptr;
+  });
+  Thread b = spawn([]() -> void* {
+    backward();
+    also_forward();
+    return nullptr;
+  });
+  join(a);
+  join(b);
+}
+
+}  // namespace fixture

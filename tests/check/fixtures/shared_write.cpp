@@ -1,0 +1,53 @@
+// dfth-check fixture: unannotated-shared-write.
+//
+// Markers as in blocking_call.cpp: `// expect: <check>` lines must be
+// diagnosed, everything else must stay clean.
+#include <cstddef>
+
+#include "dfth_stub.h"
+
+using namespace dfth;
+
+namespace fixture {
+
+// Annotated: the df_write covers every store through `out` — clean.
+void scale_annotated(double* out, std::size_t n, double k) {
+  df_write(out, n * sizeof(double), "fixture/scale_annotated:out");
+  for (std::size_t i = 0; i < n; ++i) out[i] *= k;
+}
+
+// Same shape with the annotation missing.
+void scale_raw(double* out, std::size_t n, double k) {
+  for (std::size_t i = 0; i < n; ++i) out[i] *= k;  // expect: unannotated-shared-write
+}
+
+void run_all(double* data, std::size_t n) {
+  Thread a = spawn([data, n]() -> void* {
+    scale_annotated(data, n, 2.0);
+    scale_raw(data, n, 0.5);
+    return nullptr;
+  });
+
+  // A by-ref captured accumulator written in the lambda body itself.
+  double sum = 0.0;
+  Thread b = spawn([&sum, data, n]() -> void* {
+    for (std::size_t i = 0; i < n; ++i) sum += data[i];  // expect: unannotated-shared-write
+    return nullptr;
+  });
+
+  // df_malloc-backed scratch: shows in the space accounting, so the race
+  // detector tracks it — writes need annotations too.
+  Thread c = spawn([n]() -> void* {
+    auto* scratch = static_cast<double*>(df_malloc(n * sizeof(double)));
+    scratch[0] = 1.0;  // expect: unannotated-shared-write
+    df_free(scratch);
+    return nullptr;
+  });
+
+  join(a);
+  join(b);
+  join(c);
+  df_read(&sum, sizeof(sum), "fixture/run_all:sum");
+}
+
+}  // namespace fixture

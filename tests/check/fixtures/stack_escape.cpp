@@ -1,0 +1,72 @@
+// dfth-check fixture: fiber-stack-escape.
+//
+// Markers as in blocking_call.cpp. The diagnostic anchors on the spawn
+// site, so markers sit on the `spawn(` line.
+#include "dfth_stub.h"
+
+using namespace dfth;
+
+namespace fixture {
+
+void consume(const int* p);
+
+// Joined before return: the parent frame outlives the child — clean.
+int joined_parent(int n) {
+  int local = n;
+  Thread t = spawn([&local]() -> void* {
+    consume(&local);
+    return nullptr;
+  });
+  join(t);
+  return local;
+}
+
+// By-value capture: the child owns a copy, the frame may die — clean.
+void by_value(int n) {
+  Thread t = spawn([n]() -> void* {
+    consume(&n);
+    return nullptr;
+  });
+  join(t);
+}
+
+// Handle discarded: nothing can ever join this child.
+void discarded(int n) {
+  int local = n;
+  spawn([&local]() -> void* {  // expect: fiber-stack-escape
+    consume(&local);
+    return nullptr;
+  });
+}
+
+// Detached: the parent is free to return while the child still runs.
+void detached(int n) {
+  int local = n;
+  Thread t = spawn([&local]() -> void* {  // expect: fiber-stack-escape
+    consume(&local);
+    return nullptr;
+  });
+  detach(t);
+}
+
+// Handle escapes: the caller might join it, but no local join pins the
+// frame that `local` lives in.
+Thread escaping(int n) {
+  int local = n;
+  Thread t = spawn([&local]() -> void* {  // expect: fiber-stack-escape
+    consume(&local);
+    return nullptr;
+  });
+  return t;
+}
+
+// Handle kept local but never joined in the spawning function.
+void never_joined(int n) {
+  int local = n;
+  Thread t = spawn([&local]() -> void* {  // expect: fiber-stack-escape
+    consume(&local);
+    return nullptr;
+  });
+}
+
+}  // namespace fixture

@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Expected-diagnostic harness for the dfth-check fixtures.
+
+Each fixture line may carry an `// expect: <check-name>` marker; the tool
+must report exactly that check on exactly that line, and nothing else in
+the file. A fixture with no markers (clean.cpp) must produce zero
+diagnostics.
+
+Exit codes: 0 pass, 1 mismatch, 77 skip (tool not built — ctest maps this
+to SKIP via SKIP_RETURN_CODE).
+"""
+
+import argparse
+import os
+import re
+import subprocess
+import sys
+
+DIAG_RE = re.compile(r"^(?P<path>[^:]+):(?P<line>\d+):\d+: warning: .*"
+                     r"\[dfth-check:(?P<check>[a-z-]+)\]$")
+EXPECT_RE = re.compile(r"//\s*expect:\s*(?P<check>[a-z-]+)")
+
+SKIP = 77
+
+
+def expectations(path):
+    """(line, check) pairs from `// expect:` markers in a fixture."""
+    want = set()
+    with open(path, encoding="utf-8") as f:
+        for lineno, text in enumerate(f, start=1):
+            for m in EXPECT_RE.finditer(text):
+                want.add((lineno, m.group("check")))
+    return want
+
+
+def diagnostics(tool, path):
+    """(line, check) pairs the tool reports for one fixture."""
+    proc = subprocess.run([tool, path], capture_output=True, text=True)
+    if proc.returncode not in (0, 1):
+        print(f"FAIL {path}: dfth-check exited {proc.returncode}:\n"
+              f"{proc.stdout}{proc.stderr}")
+        return None
+    got = set()
+    for line in proc.stdout.splitlines():
+        m = DIAG_RE.match(line.strip())
+        if m:
+            got.add((int(m.group("line")), m.group("check")))
+    return got
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--tool", required=True, help="path to the dfth-check binary")
+    ap.add_argument("--fixtures", required=True, help="fixture directory")
+    ap.add_argument("--clean-dirs", nargs="*", default=[],
+                    help="extra directories that must produce zero findings "
+                         "(e.g. src/apps src/compat)")
+    args = ap.parse_args()
+
+    if not os.path.isfile(args.tool) or not os.access(args.tool, os.X_OK):
+        print(f"SKIP: dfth-check binary not found at {args.tool}")
+        return SKIP
+
+    failures = 0
+    fixtures = sorted(
+        f for f in os.listdir(args.fixtures) if f.endswith(".cpp"))
+    if not fixtures:
+        print(f"FAIL: no fixtures in {args.fixtures}")
+        return 1
+    for name in fixtures:
+        path = os.path.join(args.fixtures, name)
+        want = expectations(path)
+        got = diagnostics(args.tool, path)
+        if got is None:
+            failures += 1
+            continue
+        missing = want - got
+        surprise = got - want
+        if missing or surprise:
+            failures += 1
+            for line, check in sorted(missing):
+                print(f"FAIL {name}:{line}: expected [{check}] but the tool "
+                      f"was silent")
+            for line, check in sorted(surprise):
+                print(f"FAIL {name}:{line}: unexpected [{check}] diagnostic")
+        else:
+            print(f"ok   {name}: {len(want)} expected diagnostic(s) matched")
+
+    if args.clean_dirs:
+        # One combined invocation: fiber reachability crosses TU boundaries
+        # (bench lambdas call into src/apps), so the dirs analyze together.
+        proc = subprocess.run([args.tool] + args.clean_dirs,
+                              capture_output=True, text=True)
+        if proc.returncode != 0:
+            failures += 1
+            print(f"FAIL {' '.join(args.clean_dirs)}: expected a clean run, "
+                  f"got:\n{proc.stdout}")
+        else:
+            print(f"ok   {' '.join(args.clean_dirs)}: clean")
+
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Hermetic solver test for tools/stack_bound.py.
+
+Feeds the synthetic frames/edges fixture through the script and asserts
+the computed bounds, the recursion (cycle) report, the pass/fail exit
+codes, and the STACK_BOUND.json structure. Needs no build tree, so it
+never skips.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+TOOL = os.path.join(HERE, os.pardir, os.pardir, "tools", "stack_bound.py")
+FIXTURE = os.path.join(HERE, "stack_bound")
+
+# frames.txt/edges.txt geometry (runtime prefix disabled below):
+#   entry_linear -> a -> b          : 1000 + 5000 + 3000       = 9000
+#   entry_rec -> (rec_a <-> rec_b)  : 200 + 4 * (400 + 600)    = 4200 at depth 4
+#   entry_fat                       : 900000
+EXPECT = {"entry_linear": 9000, "entry_rec": 4200, "entry_fat": 900000}
+
+
+def run(stack_size, json_path=None):
+    cmd = [sys.executable, TOOL,
+           "--frames-file", os.path.join(FIXTURE, "frames.txt"),
+           "--edges-file", os.path.join(FIXTURE, "edges.txt"),
+           "--entries", "entry_linear", "entry_rec", "entry_fat",
+           "--assume-depth", "4", "--runtime-prefix", "0",
+           "--stack-size", str(stack_size), "--guard-margin", "0"]
+    if json_path:
+        cmd += ["--json", json_path]
+    return subprocess.run(cmd, capture_output=True, text=True)
+
+
+def main():
+    failures = []
+
+    with tempfile.TemporaryDirectory() as tmp:
+        json_path = os.path.join(tmp, "STACK_BOUND.json")
+        proc = run(stack_size=1_000_000, json_path=json_path)
+        if proc.returncode != 0:
+            failures.append(f"all-fit run exited {proc.returncode}:\n{proc.stdout}")
+        with open(json_path, encoding="utf-8") as f:
+            report = json.load(f)
+        by_entry = {r["entry"]: r for r in report["entries"]}
+        for entry, bound in EXPECT.items():
+            got = by_entry.get(entry, {}).get("static_bound_bytes")
+            if got != bound:
+                failures.append(f"{entry}: bound {got}, expected {bound}")
+        rec = by_entry.get("entry_rec", {})
+        if not rec.get("recursive") or not rec.get("unbounded_without_assumption"):
+            failures.append("entry_rec: recursion not reported")
+        cycles = rec.get("cycles") or []
+        if not any(sorted(c) == ["rec_a", "rec_b"] for c in cycles):
+            failures.append(f"entry_rec: cycle not named correctly: {cycles}")
+        if by_entry.get("entry_linear", {}).get("recursive"):
+            failures.append("entry_linear: falsely reported recursive")
+        chain = by_entry.get("entry_linear", {}).get("deepest_chain")
+        if chain != ["entry_linear", "a", "b"]:
+            failures.append(f"entry_linear: wrong deepest chain {chain}")
+
+    # entry_fat (900000) must fail a 10000-byte limit; the others fit.
+    proc = run(stack_size=10_000)
+    if proc.returncode != 1:
+        failures.append(f"over-limit run exited {proc.returncode}, expected 1:\n"
+                        f"{proc.stdout}")
+    if "FAIL entry_fat" not in proc.stdout:
+        failures.append(f"over-limit run did not name entry_fat:\n{proc.stdout}")
+
+    for f in failures:
+        print("FAIL:", f)
+    if not failures:
+        print("ok   stack_bound solver: bounds, recursion report, exit codes")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,526 @@
+#include "checks.h"
+
+#include <algorithm>
+#include <deque>
+#include <functional>
+#include <map>
+#include <tuple>
+
+namespace dfth_check {
+namespace {
+
+// -- blocking primitives ------------------------------------------------------
+
+const std::set<std::string>& blocked_libc_calls() {
+  static const std::set<std::string> k = {
+      "sleep",        "usleep",       "nanosleep",   "clock_nanosleep",
+      "sem_wait",     "sem_timedwait", "poll",       "ppoll",
+      "select",       "pselect",      "epoll_wait",  "epoll_pwait",
+      "accept",       "accept4",      "recv",        "recvfrom",
+      "recvmsg",      "waitpid",      "wait3",       "wait4",
+      "flock",        "fsync",        "fdatasync",   "system",
+      "getchar",      "fgets",        "scanf",       "fscanf",
+      "pause",        "sigwait",      "sigwaitinfo", "sigtimedwait",
+      "connect"};
+  return k;
+}
+
+const std::set<std::string>& blocked_pthread_calls() {
+  static const std::set<std::string> k = {
+      "pthread_mutex_lock",       "pthread_mutex_timedlock",
+      "pthread_cond_wait",        "pthread_cond_timedwait",
+      "pthread_join",             "pthread_barrier_wait",
+      "pthread_rwlock_rdlock",    "pthread_rwlock_wrlock",
+      "pthread_rwlock_timedrdlock", "pthread_rwlock_timedwrlock",
+      "pthread_once"};
+  return k;
+}
+
+bool is_this_thread_call(const CallSite& cs) {
+  if (cs.qualifier != "this_thread" && cs.qualifier != "std::this_thread") {
+    return false;
+  }
+  return cs.callee == "sleep_for" || cs.callee == "sleep_until" ||
+         cs.callee == "yield";
+}
+
+bool in_compat_layer(const Function& fn) {
+  return fn.file && fn.file->path.find("src/compat/") != std::string::npos;
+}
+
+// -- fiber reachability -------------------------------------------------------
+
+/// Call-graph reachability from every spawn/run entry point. `parent_fn` and
+/// `parent_call` reconstruct one call path per reached function for reports.
+struct Reachability {
+  std::set<int> reachable;
+  std::map<int, int> parent_fn;                    // fn -> caller fn
+  std::map<int, Location> entry_loc;               // root fn -> spawn site
+};
+
+std::vector<int> callees_of(const Model& model, const Function& fn,
+                            const CallSite& cs) {
+  // Only unqualified or dfth-qualified calls resolve into the analyzed TUs;
+  // std:: etc. stay external.
+  if (!cs.qualifier.empty() && cs.qualifier != "dfth" &&
+      cs.qualifier != "dfth::apps" && cs.qualifier != "apps") {
+    return {};
+  }
+  (void)fn;
+  auto it = model.by_name.find(cs.callee);
+  if (it == model.by_name.end()) return {};
+  return it->second;
+}
+
+Reachability fiber_reachability(const Model& model) {
+  Reachability r;
+  std::deque<int> queue;
+  auto add_root = [&](int fn, const Location& loc) {
+    if (fn < 0 || r.reachable.count(fn)) return;
+    r.reachable.insert(fn);
+    r.entry_loc[fn] = loc;
+    queue.push_back(fn);
+  };
+  for (const SpawnSite& sp : model.spawns) {
+    if (sp.lambda_id >= 0) {
+      add_root(model.lambdas[sp.lambda_id].body_fn, sp.loc);
+    }
+    if (!sp.fn_arg.empty()) {
+      auto it = model.by_name.find(sp.fn_arg);
+      if (it != model.by_name.end()) {
+        for (int fi : it->second) add_root(fi, sp.loc);
+      }
+    }
+  }
+  while (!queue.empty()) {
+    const int fi = queue.front();
+    queue.pop_front();
+    const Function& fn = model.functions[fi];
+    for (const CallSite& cs : fn.calls) {
+      for (int callee : callees_of(model, fn, cs)) {
+        if (r.reachable.count(callee)) continue;
+        r.reachable.insert(callee);
+        r.parent_fn[callee] = fi;
+        queue.push_back(callee);
+      }
+    }
+    // Lambdas defined inside a fiber-reachable function run on the fiber
+    // unless they are themselves spawned (then they are roots already).
+    for (int lam : fn.lambdas) {
+      const int body = model.lambdas[lam].body_fn;
+      if (!r.reachable.count(body)) {
+        r.reachable.insert(body);
+        r.parent_fn[body] = fi;
+        queue.push_back(body);
+      }
+    }
+  }
+  return r;
+}
+
+std::string path_to_root(const Model& model, const Reachability& r, int fn) {
+  std::string path;
+  int at = fn;
+  for (int hops = 0; hops < 8; ++hops) {
+    auto it = r.parent_fn.find(at);
+    if (it == r.parent_fn.end()) break;
+    at = it->second;
+    path = model.functions[at].qualified + (path.empty() ? "" : " -> ") + path;
+  }
+  return path;
+}
+
+void append(std::vector<Diagnostic>& out, const std::string& check,
+            const Location& loc, std::string message) {
+  if (!loc.file) return;
+  if (loc.file->suppressed(check, loc.line)) return;
+  out.push_back({check, std::move(message), loc.file->path, loc.line, loc.col});
+}
+
+// -- check 1: blocking-call-on-fiber ------------------------------------------
+
+void check_blocking_calls(const Model& model, const Reachability& reach,
+                          std::vector<Diagnostic>& out) {
+  for (int fi : reach.reachable) {
+    const Function& fn = model.functions[fi];
+    if (in_compat_layer(fn)) continue;  // the shims are the allowlist
+    const std::string via = path_to_root(model, reach, fi);
+    const std::string suffix =
+        via.empty() ? " in fiber entry '" + fn.qualified + "'"
+                    : " reachable from a fiber entry via " + via;
+    for (const CallSite& cs : fn.calls) {
+      if (cs.callee.rfind("dfth_", 0) == 0 || cs.callee.rfind("df_", 0) == 0) {
+        continue;
+      }
+      const bool plain = cs.qualifier.empty() && cs.receiver.empty();
+      if (plain && blocked_libc_calls().count(cs.callee)) {
+        append(out, kCheckBlockingCall, cs.loc,
+               "blocking libc call '" + cs.callee + "' on a fiber" + suffix +
+                   " — fibers must not block the carrier thread; use the "
+                   "dfth runtime primitives");
+      } else if (plain && blocked_pthread_calls().count(cs.callee)) {
+        append(out, kCheckBlockingCall, cs.loc,
+               "raw pthread primitive '" + cs.callee + "' on a fiber" + suffix +
+                   " — use the compat/dfth_pthread.h shim (dfth_" + cs.callee +
+                   ")");
+      } else if (is_this_thread_call(cs)) {
+        append(out, kCheckBlockingCall, cs.loc,
+               "std::this_thread::" + cs.callee + " on a fiber" + suffix +
+                   " — this parks/yields the kernel carrier thread, not the "
+                   "fiber");
+      }
+    }
+    for (const auto& [type_name, loc] : fn.std_sync_mentions) {
+      append(out, kCheckBlockingCall, loc,
+             type_name + " in fiber-reachable code" + suffix +
+                 " — kernel-thread sync blocks the carrier and is invisible "
+                 "to the scheduler; use the dfth equivalent");
+    }
+  }
+}
+
+// -- check 2: unannotated-shared-write ----------------------------------------
+
+bool path_enabled(const Function& fn, const std::vector<std::string>& filters) {
+  if (!fn.file) return false;
+  for (const std::string& f : filters) {
+    if (fn.file->path.find(f) != std::string::npos) return true;
+  }
+  return false;
+}
+
+void check_shared_writes(const Model& model, const Reachability& reach,
+                         const CheckOptions& opts,
+                         std::vector<Diagnostic>& out) {
+  for (int fi : reach.reachable) {
+    const Function& fn = model.functions[fi];
+    if (!path_enabled(fn, opts.shared_write_paths)) continue;
+
+    // Seed the shared set: pointer-shaped params, lambda captures, df_malloc
+    // locals; close over the local derivation map.
+    std::set<std::string> shared;
+    std::set<std::string> ref_captured;
+    for (const Param& p : fn.params) {
+      if (p.pointer_like) shared.insert(p.name);
+    }
+    bool default_ref = false;
+    if (fn.lambda_id >= 0) {
+      const Lambda& lam = model.lambdas[fn.lambda_id];
+      default_ref = lam.default_ref_capture;
+      for (const auto& c : lam.ref_captures) {
+        shared.insert(c);
+        ref_captured.insert(c);
+      }
+      for (const auto& c : lam.value_captures) shared.insert(c);
+    }
+    for (const auto& l : fn.malloc_locals) shared.insert(l);
+    for (bool changed = true; changed;) {
+      changed = false;
+      for (const auto& [local, roots] : fn.derived) {
+        if (shared.count(local)) continue;
+        for (const auto& root : roots) {
+          if (shared.count(root)) {
+            shared.insert(local);
+            changed = true;
+            break;
+          }
+        }
+      }
+    }
+
+    // Root closure for annotation matching: a df_write(c.p + ...) covers a
+    // store through crow when crow derives from c.
+    auto roots_of = [&](const std::string& base) {
+      std::set<std::string> roots = {base};
+      std::deque<std::string> queue = {base};
+      while (!queue.empty()) {
+        const std::string b = queue.front();
+        queue.pop_front();
+        auto it = fn.derived.find(b);
+        if (it == fn.derived.end()) continue;
+        for (const auto& r : it->second) {
+          if (!shared.count(r) || roots.count(r)) continue;
+          roots.insert(r);
+          queue.push_back(r);
+        }
+      }
+      return roots;
+    };
+
+    const std::string via = path_to_root(model, reach, fi);
+    for (const Store& st : fn.stores) {
+      bool is_shared_store = false;
+      if (st.through_pointer && shared.count(st.base)) {
+        is_shared_store = true;
+      } else if (!st.through_pointer &&
+                 (ref_captured.count(st.base) ||
+                  (default_ref && !fn.derived.count(st.base) &&
+                   shared.count(st.base) == 0 && fn.lambda_id >= 0))) {
+        // Plain `x = e` only races when x itself lives outside the fiber:
+        // an explicit by-ref capture, or (under [&]) a name never declared
+        // locally.
+        is_shared_store = ref_captured.count(st.base) > 0 || default_ref;
+      }
+      if (!is_shared_store) continue;
+
+      const std::set<std::string> roots = roots_of(st.base);
+      bool covered = false;
+      for (const Annotation& an : fn.annotations) {
+        if (!an.is_write) continue;
+        for (const auto& r : roots) {
+          if (an.arg_idents.count(r)) {
+            covered = true;
+            break;
+          }
+        }
+        if (covered) break;
+      }
+      if (covered) continue;
+      append(out, kCheckSharedWrite, st.loc,
+             "store through shared memory ('" + st.base +
+                 "') in fiber code has no covering df_write annotation in '" +
+                 fn.qualified + "'" +
+                 (via.empty() ? "" : " (fiber entry via " + via + ")") +
+                 " — the race detector cannot see this write");
+    }
+  }
+}
+
+// -- check 3: fiber-stack-escape ----------------------------------------------
+
+void check_stack_escape(const Model& model, std::vector<Diagnostic>& out) {
+  for (const SpawnSite& sp : model.spawns) {
+    if (sp.is_run_body) continue;  // run() blocks until every thread exits
+    std::set<std::string> refs(sp.addr_of_args.begin(), sp.addr_of_args.end());
+    bool default_ref = false;
+    if (sp.lambda_id >= 0) {
+      const Lambda& lam = model.lambdas[sp.lambda_id];
+      refs.insert(lam.ref_captures.begin(), lam.ref_captures.end());
+      default_ref = lam.default_ref_capture;
+    }
+    if (refs.empty() && !default_ref) continue;  // by-value only: safe
+
+    std::string what = default_ref ? "[&] default capture" : "";
+    for (const auto& r : refs) {
+      what += (what.empty() ? "" : ", ") + ("'" + r + "'");
+    }
+
+    const Function* encl =
+        sp.enclosing_fn >= 0 ? &model.functions[sp.enclosing_fn] : nullptr;
+    const bool joined = encl && !sp.handle_base.empty() &&
+                        encl->joined_bases.count(sp.handle_base) > 0;
+    const bool detached = encl && !sp.handle_base.empty() &&
+                          encl->detached_bases.count(sp.handle_base) > 0;
+
+    if (detached) {
+      append(out, kCheckStackEscape, sp.loc,
+             "detached thread captures the parent's stack frame by reference (" +
+                 what + ") — the parent can return before the child runs");
+      continue;
+    }
+    switch (sp.fate) {
+      case HandleFate::kLocal:
+        if (!joined) {
+          append(out, kCheckStackEscape, sp.loc,
+                 "spawned thread captures the parent's stack frame by "
+                 "reference (" + what + ") but its handle '" + sp.handle_base +
+                     "' is never joined in the spawning function — the frame "
+                     "can be popped while the child still uses it");
+        }
+        break;
+      case HandleFate::kDiscarded:
+        append(out, kCheckStackEscape, sp.loc,
+               "spawned thread captures the parent's stack frame by reference (" +
+                   what + ") but its handle is discarded, so it can never be "
+                   "joined before the frame is popped");
+        break;
+      case HandleFate::kEscaped:
+        append(out, kCheckStackEscape, sp.loc,
+               "spawned thread captures the parent's stack frame by reference (" +
+                   what + ") and its handle escapes the spawning function — "
+                   "no local join pins the frame");
+        break;
+    }
+  }
+}
+
+// -- check 4: lock-order ------------------------------------------------------
+
+struct OrderedEvent {
+  enum Kind { kLock, kCall } kind;
+  std::size_t index;  // into lock_events or calls
+  int line, col;
+};
+
+void check_lock_order(const Model& model, const CheckOptions& opts,
+                      std::vector<Diagnostic>& out) {
+  const std::size_t nfn = model.functions.size();
+  // Fixpoint: every lock a function may acquire, directly or via callees.
+  std::vector<std::set<std::string>> locks_all(nfn);
+  for (std::size_t fi = 0; fi < nfn; ++fi) {
+    for (const LockEvent& ev : model.functions[fi].lock_events) {
+      if (ev.kind == LockEvent::kAcquire) locks_all[fi].insert(ev.lock_id);
+    }
+  }
+  for (bool changed = true; changed;) {
+    changed = false;
+    for (std::size_t fi = 0; fi < nfn; ++fi) {
+      const Function& fn = model.functions[fi];
+      for (const CallSite& cs : fn.calls) {
+        for (int callee : callees_of(model, fn, cs)) {
+          for (const auto& l : locks_all[static_cast<std::size_t>(callee)]) {
+            if (locks_all[fi].insert(l).second) changed = true;
+          }
+        }
+      }
+    }
+  }
+
+  // Edge set: A held while acquiring B.
+  struct EdgeInfo {
+    Location loc;
+  };
+  std::map<std::pair<std::string, std::string>, EdgeInfo> edges;
+  for (std::size_t fi = 0; fi < nfn; ++fi) {
+    const Function& fn = model.functions[fi];
+    if (fn.lock_events.empty() && fn.calls.empty()) continue;
+
+    std::vector<OrderedEvent> seq;
+    for (std::size_t k = 0; k < fn.lock_events.size(); ++k) {
+      seq.push_back({OrderedEvent::kLock, k, fn.lock_events[k].loc.line,
+                     fn.lock_events[k].loc.col});
+    }
+    for (std::size_t k = 0; k < fn.calls.size(); ++k) {
+      seq.push_back({OrderedEvent::kCall, k, fn.calls[k].loc.line,
+                     fn.calls[k].loc.col});
+    }
+    std::sort(seq.begin(), seq.end(), [](const OrderedEvent& a, const OrderedEvent& b) {
+      return std::tie(a.line, a.col) < std::tie(b.line, b.col);
+    });
+
+    std::vector<std::string> held;
+    for (const OrderedEvent& ev : seq) {
+      if (ev.kind == OrderedEvent::kLock) {
+        const LockEvent& le = fn.lock_events[ev.index];
+        if (le.kind == LockEvent::kAcquire) {
+          for (const auto& h : held) {
+            if (h != le.lock_id) {
+              edges.emplace(std::make_pair(h, le.lock_id), EdgeInfo{le.loc});
+            }
+          }
+          held.push_back(le.lock_id);
+        } else {
+          for (auto it = held.rbegin(); it != held.rend(); ++it) {
+            if (*it == le.lock_id) {
+              held.erase(std::next(it).base());
+              break;
+            }
+          }
+        }
+      } else {
+        if (held.empty()) continue;
+        const CallSite& cs = fn.calls[ev.index];
+        for (int callee : callees_of(model, fn, cs)) {
+          for (const auto& l : locks_all[static_cast<std::size_t>(callee)]) {
+            for (const auto& h : held) {
+              if (h != l) edges.emplace(std::make_pair(h, l), EdgeInfo{cs.loc});
+            }
+          }
+        }
+      }
+    }
+  }
+
+  if (opts.lock_edges_out) {
+    for (const auto& [key, info] : edges) {
+      opts.lock_edges_out->push_back(
+          {key.first, key.second, info.loc.file ? info.loc.file->path : "",
+           info.loc.line});
+    }
+  }
+
+  // Cycle reporting. ABBA pairs first (the common deadlock), then longer
+  // cycles via DFS; each unordered pair/cycle reported once.
+  std::set<std::pair<std::string, std::string>> reported;
+  std::map<std::string, std::vector<std::string>> adj;
+  for (const auto& [key, info] : edges) adj[key.first].push_back(key.second);
+  for (const auto& [key, info] : edges) {
+    const auto reverse = std::make_pair(key.second, key.first);
+    if (!edges.count(reverse)) continue;
+    const auto canon = key.first < key.second ? key : reverse;
+    if (!reported.insert(canon).second) continue;
+    const EdgeInfo& fwd = edges.at(canon);
+    const EdgeInfo& rev = edges.at(std::make_pair(canon.second, canon.first));
+    append(out, kCheckLockOrder, fwd.loc,
+           "statically possible ABBA deadlock: '" + canon.first +
+               "' is held while acquiring '" + canon.second + "' here, and '" +
+               canon.second + "' is held while acquiring '" + canon.first +
+               "' at " + (rev.loc.file ? rev.loc.file->path : "?") + ":" +
+               std::to_string(rev.loc.line));
+  }
+  // Longer cycles: DFS with a path stack.
+  std::set<std::string> done;
+  for (const auto& [start, unused] : adj) {
+    (void)unused;
+    if (done.count(start)) continue;
+    std::vector<std::string> stack;
+    std::set<std::string> on_stack;
+    std::function<void(const std::string&)> dfs = [&](const std::string& u) {
+      if (done.count(u)) return;
+      stack.push_back(u);
+      on_stack.insert(u);
+      for (const auto& v : adj[u]) {
+        if (on_stack.count(v)) {
+          // Found a cycle v -> ... -> u -> v; skip 2-cycles (reported above).
+          auto it = std::find(stack.begin(), stack.end(), v);
+          const std::size_t len = static_cast<std::size_t>(stack.end() - it);
+          if (len >= 3) {
+            std::string cycle;
+            for (auto p = it; p != stack.end(); ++p) {
+              cycle += (cycle.empty() ? "" : " -> ") + *p;
+            }
+            cycle += " -> " + v;
+            const auto canon = std::make_pair("cycle:" + cycle, std::string());
+            if (reported.insert(canon).second) {
+              const EdgeInfo& info = edges.at(std::make_pair(stack.back(), v));
+              append(out, kCheckLockOrder, info.loc,
+                     "statically possible lock cycle: " + cycle);
+            }
+          }
+          continue;
+        }
+        dfs(v);
+      }
+      on_stack.erase(u);
+      stack.pop_back();
+      done.insert(u);
+    };
+    dfs(start);
+  }
+}
+
+}  // namespace
+
+std::vector<std::string> all_check_names() {
+  return {kCheckBlockingCall, kCheckSharedWrite, kCheckStackEscape,
+          kCheckLockOrder};
+}
+
+std::vector<Diagnostic> run_checks(const Model& model, const CheckOptions& opts) {
+  auto enabled = [&](const char* name) {
+    return opts.enabled.empty() || opts.enabled.count(name);
+  };
+  std::vector<Diagnostic> out;
+  const Reachability reach = fiber_reachability(model);
+  if (enabled(kCheckBlockingCall)) check_blocking_calls(model, reach, out);
+  if (enabled(kCheckSharedWrite)) check_shared_writes(model, reach, opts, out);
+  if (enabled(kCheckStackEscape)) check_stack_escape(model, out);
+  if (enabled(kCheckLockOrder)) check_lock_order(model, opts, out);
+  std::sort(out.begin(), out.end(), [](const Diagnostic& a, const Diagnostic& b) {
+    return std::tie(a.path, a.line, a.col, a.check) <
+           std::tie(b.path, b.line, b.col, b.check);
+  });
+  return out;
+}
+
+}  // namespace dfth_check

@@ -1,0 +1,64 @@
+// The four fiber-correctness checks dfth-check runs over a Model.
+//
+// Check names (used in diagnostics, --check= filters, and
+// `// dfth-check-ignore(<name>)` suppressions):
+//
+//   blocking-call-on-fiber   raw blocking libc/pthread/std primitives (and
+//                            kernel-thread sync types) reachable from a
+//                            df spawn/run entry point
+//   unannotated-shared-write stores through shared memory inside fiber code
+//                            with no covering df_read/df_write annotation
+//   fiber-stack-escape       a spawned child holds references into a parent
+//                            stack frame the parent may pop before join
+//   lock-order               statically possible ABBA cycles in the nested
+//                            lock-acquisition graph
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "model.h"
+
+namespace dfth_check {
+
+inline constexpr const char* kCheckBlockingCall = "blocking-call-on-fiber";
+inline constexpr const char* kCheckSharedWrite = "unannotated-shared-write";
+inline constexpr const char* kCheckStackEscape = "fiber-stack-escape";
+inline constexpr const char* kCheckLockOrder = "lock-order";
+
+/// All check names, in reporting order.
+std::vector<std::string> all_check_names();
+
+struct Diagnostic {
+  std::string check;
+  std::string message;
+  std::string path;
+  int line = 0;
+  int col = 0;
+};
+
+/// A statically derived lock-order edge (A held while acquiring B), exported
+/// for cross-checking against the dynamic analyze/lock_graph.h ordering.
+struct LockEdge {
+  std::string from;
+  std::string to;
+  std::string path;
+  int line = 0;
+};
+
+struct CheckOptions {
+  /// Checks to run; empty = all.
+  std::set<std::string> enabled;
+  /// unannotated-shared-write only fires in files whose path contains one of
+  /// these substrings (the annotation contract binds the paper's app layer;
+  /// bench/example harness buffers are not race-detector tracked).
+  std::vector<std::string> shared_write_paths = {"src/apps/", "fixtures/"};
+  /// Collected static lock edges (for --lock-graph-json), filled by run.
+  std::vector<LockEdge>* lock_edges_out = nullptr;
+};
+
+/// Runs the enabled checks; returns suppression-filtered diagnostics sorted
+/// by (path, line, col, check).
+std::vector<Diagnostic> run_checks(const Model& model, const CheckOptions& opts);
+
+}  // namespace dfth_check

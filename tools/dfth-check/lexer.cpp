@@ -1,0 +1,199 @@
+#include "lexer.h"
+
+#include <cctype>
+
+namespace dfth_check {
+namespace {
+
+bool ident_start(char c) { return std::isalpha(static_cast<unsigned char>(c)) || c == '_'; }
+bool ident_char(char c) { return std::isalnum(static_cast<unsigned char>(c)) || c == '_'; }
+
+// Multi-character punctuators, longest first so "<<=" wins over "<<".
+const char* kPuncts[] = {
+    "<<=", ">>=", "...", "->*", "::", "->", "<<", ">>", "<=", ">=", "==", "!=",
+    "&&", "||", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "++", "--",
+};
+
+// Records `dfth-check-ignore(<check>)` / `dfth-check-ignore-file(<check>)`
+// markers found in a comment. `line` is the line the comment starts on.
+void scan_suppressions(const std::string& comment, int line, SourceFile& out) {
+  static const std::string kMarker = "dfth-check-ignore";
+  std::size_t at = 0;
+  while ((at = comment.find(kMarker, at)) != std::string::npos) {
+    std::size_t p = at + kMarker.size();
+    const bool whole_file = comment.compare(p, 5, "-file") == 0;
+    if (whole_file) p += 5;
+    if (p >= comment.size() || comment[p] != '(') {
+      at = p;
+      continue;
+    }
+    const std::size_t close = comment.find(')', p);
+    if (close == std::string::npos) break;
+    std::string names = comment.substr(p + 1, close - p - 1);
+    // Comma-separated list of check names (or "*").
+    std::size_t start = 0;
+    while (start <= names.size()) {
+      std::size_t comma = names.find(',', start);
+      if (comma == std::string::npos) comma = names.size();
+      std::string name = names.substr(start, comma - start);
+      while (!name.empty() && name.front() == ' ') name.erase(name.begin());
+      while (!name.empty() && name.back() == ' ') name.pop_back();
+      if (!name.empty()) {
+        if (whole_file) {
+          out.file_suppressions.insert(name);
+        } else {
+          out.line_suppressions[line].insert(name);
+        }
+      }
+      start = comma + 1;
+    }
+    at = close;
+  }
+}
+
+}  // namespace
+
+bool SourceFile::suppressed(const std::string& check, int line) const {
+  if (file_suppressions.count("*") || file_suppressions.count(check)) return true;
+  // A marker suppresses its own line and the line below it, so it can ride
+  // at the end of the flagged statement or on a comment line above it.
+  for (int l : {line, line - 1}) {
+    auto it = line_suppressions.find(l);
+    if (it == line_suppressions.end()) continue;
+    if (it->second.count("*") || it->second.count(check)) return true;
+  }
+  return false;
+}
+
+SourceFile lex_file(std::string path, const std::string& text) {
+  SourceFile out;
+  out.path = std::move(path);
+  const std::size_t n = text.size();
+  std::size_t i = 0;
+  int line = 1, col = 1;
+
+  auto advance = [&](std::size_t count) {
+    for (std::size_t k = 0; k < count && i < n; ++k, ++i) {
+      if (text[i] == '\n') {
+        ++line;
+        col = 1;
+      } else {
+        ++col;
+      }
+    }
+  };
+
+  bool at_line_start = true;  // only whitespace seen on this line so far
+  while (i < n) {
+    const char c = text[i];
+    if (c == '\n' || std::isspace(static_cast<unsigned char>(c))) {
+      if (c == '\n') at_line_start = true;
+      advance(1);
+      continue;
+    }
+
+    // Preprocessor directive: swallow to end of line, honoring backslash
+    // continuations. (No macro expansion — the checks work on the code as
+    // written, which is what the contract annotations live in.)
+    if (c == '#' && at_line_start) {
+      while (i < n) {
+        if (text[i] == '\\' && i + 1 < n && text[i + 1] == '\n') {
+          advance(2);
+          continue;
+        }
+        if (text[i] == '\n') break;
+        advance(1);
+      }
+      continue;
+    }
+    at_line_start = false;
+
+    // Comments: consumed, scanned for suppression markers.
+    if (c == '/' && i + 1 < n && text[i + 1] == '/') {
+      const int start_line = line;
+      std::size_t end = text.find('\n', i);
+      if (end == std::string::npos) end = n;
+      scan_suppressions(text.substr(i, end - i), start_line, out);
+      advance(end - i);
+      continue;
+    }
+    if (c == '/' && i + 1 < n && text[i + 1] == '*') {
+      const int start_line = line;
+      std::size_t end = text.find("*/", i + 2);
+      if (end == std::string::npos) end = n; else end += 2;
+      scan_suppressions(text.substr(i, end - i), start_line, out);
+      advance(end - i);
+      continue;
+    }
+
+    // Raw strings: R"delim( ... )delim".
+    if (c == 'R' && i + 1 < n && text[i + 1] == '"') {
+      std::size_t open = text.find('(', i + 2);
+      if (open != std::string::npos && open - (i + 2) <= 16) {
+        const std::string delim = text.substr(i + 2, open - (i + 2));
+        const std::string closer = ")" + delim + "\"";
+        std::size_t end = text.find(closer, open + 1);
+        if (end == std::string::npos) end = n; else end += closer.size();
+        out.tokens.push_back({Tok::kString, "\"\"", line, col});
+        advance(end - i);
+        continue;
+      }
+    }
+
+    // String / char literals.
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      const int tline = line, tcol = col;
+      advance(1);
+      while (i < n && text[i] != quote) {
+        if (text[i] == '\\' && i + 1 < n) advance(2); else advance(1);
+        if (i > 0 && text[i - 1] == '\n') break;  // unterminated; bail at EOL
+      }
+      if (i < n && text[i] == quote) advance(1);
+      out.tokens.push_back({Tok::kString, std::string(1, quote), tline, tcol});
+      continue;
+    }
+
+    if (ident_start(c)) {
+      const int tline = line, tcol = col;
+      std::size_t j = i;
+      while (j < n && ident_char(text[j])) ++j;
+      out.tokens.push_back({Tok::kIdent, text.substr(i, j - i), tline, tcol});
+      advance(j - i);
+      continue;
+    }
+
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      const int tline = line, tcol = col;
+      std::size_t j = i;
+      // Loose pp-number: digits, letters, dots, and exponent signs.
+      while (j < n && (ident_char(text[j]) || text[j] == '.' ||
+                       ((text[j] == '+' || text[j] == '-') && j > i &&
+                        (text[j - 1] == 'e' || text[j - 1] == 'E' ||
+                         text[j - 1] == 'p' || text[j - 1] == 'P')))) {
+        ++j;
+      }
+      out.tokens.push_back({Tok::kNumber, text.substr(i, j - i), tline, tcol});
+      advance(j - i);
+      continue;
+    }
+
+    // Punctuation: try the fused multi-char operators first.
+    {
+      const int tline = line, tcol = col;
+      std::string matched(1, c);
+      for (const char* p : kPuncts) {
+        const std::size_t len = std::char_traits<char>::length(p);
+        if (i + len <= n && text.compare(i, len, p) == 0) {
+          matched.assign(p, len);
+          break;
+        }
+      }
+      out.tokens.push_back({Tok::kPunct, matched, tline, tcol});
+      advance(matched.size());
+    }
+  }
+  return out;
+}
+
+}  // namespace dfth_check

@@ -1,0 +1,58 @@
+// Token stream + suppression scanning for dfth-check's builtin frontend.
+//
+// The builtin frontend is a structural C++ tokenizer, not a real parser: it
+// produces the token stream model.h reconstructs functions, lambdas, calls
+// and stores from. It deliberately has no preprocessor and no type system —
+// the checks that need types (see checks.h) work from capture lists,
+// parameter declarators and df_malloc derivations instead. When the Clang
+// LibTooling frontend is available (DFTH_CHECK_HAVE_CLANG) it refines the
+// same model with AST-accurate facts; the token model is the portable
+// baseline that keeps the tool buildable with nothing but a C++ compiler.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace dfth_check {
+
+enum class Tok {
+  kIdent,    // identifiers and keywords
+  kNumber,   // numeric literals
+  kString,   // string and char literals (text dropped)
+  kPunct,    // operators and punctuation, multi-char ops fused ("==", "->", "::")
+};
+
+struct Token {
+  Tok kind;
+  std::string text;
+  int line = 0;
+  int col = 0;
+};
+
+/// One loaded source file: its token stream plus the `dfth-check-ignore`
+/// suppressions harvested from comments while lexing.
+struct SourceFile {
+  std::string path;
+  std::vector<Token> tokens;
+
+  /// line -> set of check names suppressed on that line. A comment
+  /// `// dfth-check-ignore(<check>)` suppresses <check> on its own line and
+  /// on the following line (so it can sit above the flagged statement);
+  /// `dfth-check-ignore(*)` suppresses every check.
+  std::map<int, std::set<std::string>> line_suppressions;
+
+  /// Checks suppressed for the whole file via `dfth-check-ignore-file(...)`.
+  std::set<std::string> file_suppressions;
+
+  bool suppressed(const std::string& check, int line) const;
+};
+
+/// Lexes `text` (the contents of `path`). Comments and preprocessor
+/// directives are consumed (not emitted as tokens); suppression markers are
+/// recorded. Never fails: unrecognized bytes are skipped.
+SourceFile lex_file(std::string path, const std::string& text);
+
+}  // namespace dfth_check

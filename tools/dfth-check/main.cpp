@@ -1,0 +1,225 @@
+// dfth-check — fiber-correctness static analyzer for the DFThreads app,
+// compat, example, and bench layers.
+//
+// Usage:
+//   dfth-check [options] <file-or-dir>...
+//
+// Options:
+//   --check=<name>[,<name>...]   run only the named checks (see --list-checks)
+//   --json=<file>                also write diagnostics as JSON (CI artifact)
+//   --lock-graph-json=<file>     dump the static lock-order edge set, for
+//                                cross-checking against the dynamic
+//                                analyze/lock_graph.h ordering
+//   --shared-write-paths=<subs>  comma-separated path substrings where
+//                                unannotated-shared-write fires
+//                                (default: src/apps/,fixtures/)
+//   --list-checks                print check names and exit
+//   --frontend                   print the active frontend and exit
+//
+// Exit status: 0 clean, 1 diagnostics reported, 2 usage/IO error.
+//
+// Suppressions: `// dfth-check-ignore(<check>)` on the flagged line or the
+// line above; `// dfth-check-ignore-file(<check>)` anywhere in the file;
+// `*` matches every check.
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "checks.h"
+#include "lexer.h"
+#include "model.h"
+
+#if DFTH_CHECK_HAVE_CLANG
+#include "clang_frontend.h"
+#endif
+
+namespace {
+
+namespace fs = std::filesystem;
+using dfth_check::Diagnostic;
+
+bool has_source_extension(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cpp" || ext == ".cc" || ext == ".cxx" || ext == ".h" ||
+         ext == ".hpp";
+}
+
+std::vector<std::string> collect_files(const std::vector<std::string>& args) {
+  std::vector<std::string> files;
+  for (const std::string& a : args) {
+    fs::path p(a);
+    std::error_code ec;
+    if (fs::is_directory(p, ec)) {
+      for (auto it = fs::recursive_directory_iterator(p, ec);
+           it != fs::recursive_directory_iterator(); ++it) {
+        if (it->path().filename() == "build" || it->path().filename() == ".git") {
+          it.disable_recursion_pending();
+          continue;
+        }
+        if (it->is_regular_file(ec) && has_source_extension(it->path())) {
+          files.push_back(it->path().string());
+        }
+      }
+    } else {
+      files.push_back(a);
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+std::vector<std::string> split_csv(const std::string& s) {
+  std::vector<std::string> out;
+  std::stringstream ss(s);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> positional;
+  dfth_check::CheckOptions opts;
+  std::string json_path, lock_graph_path;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value_of = [&](const char* prefix) -> const char* {
+      const std::size_t n = std::strlen(prefix);
+      return arg.compare(0, n, prefix) == 0 ? arg.c_str() + n : nullptr;
+    };
+    if (arg == "--list-checks") {
+      for (const auto& name : dfth_check::all_check_names()) {
+        std::printf("%s\n", name.c_str());
+      }
+      return 0;
+    }
+    if (arg == "--frontend") {
+#if DFTH_CHECK_HAVE_CLANG
+      std::printf("clang-libtooling+builtin\n");
+#else
+      std::printf("builtin\n");
+#endif
+      return 0;
+    }
+    if (const char* v = value_of("--check=")) {
+      for (const auto& name : split_csv(v)) opts.enabled.insert(name);
+      continue;
+    }
+    if (const char* v = value_of("--json=")) {
+      json_path = v;
+      continue;
+    }
+    if (const char* v = value_of("--lock-graph-json=")) {
+      lock_graph_path = v;
+      continue;
+    }
+    if (const char* v = value_of("--shared-write-paths=")) {
+      opts.shared_write_paths = split_csv(v);
+      continue;
+    }
+    if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "dfth-check: unknown option '%s'\n", arg.c_str());
+      return 2;
+    }
+    positional.push_back(arg);
+  }
+  if (positional.empty()) {
+    std::fprintf(stderr, "usage: dfth-check [options] <file-or-dir>...\n");
+    return 2;
+  }
+
+  // Validate --check names early so a typo cannot silently disable a check.
+  if (!opts.enabled.empty()) {
+    const auto known = dfth_check::all_check_names();
+    for (const auto& name : opts.enabled) {
+      if (std::find(known.begin(), known.end(), name) == known.end()) {
+        std::fprintf(stderr, "dfth-check: unknown check '%s'\n", name.c_str());
+        return 2;
+      }
+    }
+  }
+
+  dfth_check::Model model;
+  for (const std::string& path : collect_files(positional)) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "dfth-check: cannot read '%s'\n", path.c_str());
+      return 2;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    auto file = std::make_unique<dfth_check::SourceFile>(
+        dfth_check::lex_file(path, text.str()));
+    dfth_check::build_model_from_tokens(file.get(), model);
+    model.files.push_back(std::move(file));
+  }
+  model.index();
+
+#if DFTH_CHECK_HAVE_CLANG
+  // When LLVM dev libraries were found at configure time, refine the token
+  // model with AST-accurate facts (type-checked captures, resolved callees).
+  dfth_check::refine_model_with_clang(model);
+#endif
+
+  std::vector<dfth_check::LockEdge> lock_edges;
+  if (!lock_graph_path.empty()) opts.lock_edges_out = &lock_edges;
+
+  const std::vector<Diagnostic> diags = dfth_check::run_checks(model, opts);
+  for (const Diagnostic& d : diags) {
+    std::printf("%s:%d:%d: warning: %s [dfth-check:%s]\n", d.path.c_str(),
+                d.line, d.col, d.message.c_str(), d.check.c_str());
+  }
+  if (!diags.empty()) {
+    std::printf("dfth-check: %zu finding(s)\n", diags.size());
+  }
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    out << "{\n  \"findings\": [\n";
+    for (std::size_t i = 0; i < diags.size(); ++i) {
+      const Diagnostic& d = diags[i];
+      out << "    {\"check\": \"" << d.check << "\", \"file\": \""
+          << json_escape(d.path) << "\", \"line\": " << d.line
+          << ", \"col\": " << d.col << ", \"message\": \""
+          << json_escape(d.message) << "\"}" << (i + 1 < diags.size() ? "," : "")
+          << "\n";
+    }
+    out << "  ]\n}\n";
+  }
+  if (!lock_graph_path.empty()) {
+    std::ofstream out(lock_graph_path);
+    out << "{\n  \"edges\": [\n";
+    for (std::size_t i = 0; i < lock_edges.size(); ++i) {
+      const auto& e = lock_edges[i];
+      out << "    {\"from\": \"" << json_escape(e.from) << "\", \"to\": \""
+          << json_escape(e.to) << "\", \"file\": \"" << json_escape(e.path)
+          << "\", \"line\": " << e.line << "}"
+          << (i + 1 < lock_edges.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+  }
+  return diags.empty() ? 0 : 1;
+}

@@ -1,0 +1,747 @@
+#include "model.h"
+
+#include <algorithm>
+#include <cstddef>
+
+namespace dfth_check {
+namespace {
+
+constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+
+bool is_punct(const Token& t, const char* s) {
+  return t.kind == Tok::kPunct && t.text == s;
+}
+bool is_ident(const Token& t, const char* s) {
+  return t.kind == Tok::kIdent && t.text == s;
+}
+
+const std::set<std::string>& control_keywords() {
+  static const std::set<std::string> k = {"if", "for", "while", "switch",
+                                          "catch", "return", "sizeof",
+                                          "alignof", "decltype", "new"};
+  return k;
+}
+
+const std::set<std::string>& scalar_type_names() {
+  static const std::set<std::string> k = {
+      "void",    "bool",     "char",      "short",    "int",      "long",
+      "float",   "double",   "unsigned",  "signed",   "auto",     "size_t",
+      "ssize_t", "ptrdiff_t", "int8_t",   "int16_t",  "int32_t",  "int64_t",
+      "uint8_t", "uint16_t", "uint32_t",  "uint64_t", "uintptr_t", "intptr_t",
+      "wchar_t", "char8_t",  "char16_t",  "char32_t"};
+  return k;
+}
+
+/// Bracket matching over the whole token stream. match[i] = index of the
+/// partner for (, ), [, ], {, }; kNone when unbalanced (we then treat the
+/// token as plain punctuation).
+std::vector<std::size_t> compute_matches(const std::vector<Token>& toks) {
+  std::vector<std::size_t> match(toks.size(), kNone);
+  std::vector<std::size_t> stack;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind != Tok::kPunct) continue;
+    if (t.text == "(" || t.text == "[" || t.text == "{") {
+      stack.push_back(i);
+    } else if (t.text == ")" || t.text == "]" || t.text == "}") {
+      const char open = t.text == ")" ? '(' : t.text == "]" ? '[' : '{';
+      // Pop until the matching opener kind (recovers from unbalanced input).
+      while (!stack.empty() && toks[stack.back()].text[0] != open) stack.pop_back();
+      if (!stack.empty()) {
+        match[stack.back()] = i;
+        match[i] = stack.back();
+        stack.pop_back();
+      }
+    }
+  }
+  return match;
+}
+
+struct BodyInfo {
+  std::size_t open = kNone;   // '{'
+  std::size_t close = kNone;  // '}'
+  bool is_lambda = false;
+  std::size_t capture_open = kNone;  // '[' of the lambda introducer
+  std::size_t param_open = kNone;    // '(' of the parameter list (kNone if none)
+  std::string name;                  // empty for lambdas
+  int fn_index = -1;
+};
+
+/// Walks back from `pos` (exclusive) to the nearest statement boundary
+/// (`;`, `{`, `}`) at the same nesting level, jumping over balanced () [] {}
+/// regions. Returns the index of the first token *after* the boundary.
+std::size_t span_start(const std::vector<Token>& toks,
+                       const std::vector<std::size_t>& match, std::size_t pos) {
+  std::size_t j = pos;
+  while (j > 0) {
+    const Token& t = toks[j - 1];
+    if (t.kind == Tok::kPunct &&
+        (t.text == ";" || t.text == "{" || t.text == "}")) {
+      return j;
+    }
+    if (t.kind == Tok::kPunct &&
+        (t.text == ")" || t.text == "]") && match[j - 1] != kNone) {
+      j = match[j - 1];
+      continue;
+    }
+    --j;
+  }
+  return 0;
+}
+
+bool is_trailing_specifier(const Token& t) {
+  if (t.kind == Tok::kIdent) return true;  // const, noexcept, override, type names
+  return t.kind == Tok::kPunct &&
+         (t.text == "::" || t.text == "<" || t.text == ">" || t.text == "*" ||
+          t.text == "&" || t.text == "&&");
+}
+
+/// Classifies the '{' at index b. Fills `out` (open/close/name/lambda bits)
+/// and returns true when it opens a function or lambda body.
+bool classify_function_brace(const std::vector<Token>& toks,
+                             const std::vector<std::size_t>& match,
+                             std::size_t b, BodyInfo& out) {
+  const std::size_t start = span_start(toks, match, b);
+  if (start >= b) return false;  // bare block
+  // Namespace / type bodies are not function bodies.
+  const Token& first = toks[start];
+  if (is_ident(first, "namespace") || is_ident(first, "struct") ||
+      is_ident(first, "class") || is_ident(first, "union") ||
+      is_ident(first, "enum") || is_ident(first, "typedef") ||
+      is_ident(first, "template")) {
+    // `template <...> T fn(...) {` is still a function: look for a '(' whose
+    // predecessor is an identifier after the template header. Keep it simple:
+    // only namespace/struct/... *leading* the span makes it a non-function,
+    // except when the span also ends in ')' + specifiers with a plain name —
+    // rare in this codebase; treat template headers as type-ish (the tool
+    // analyzes app/bench/example code, which defines no function templates
+    // with bodies the checks need).
+    return false;
+  }
+
+  // Walk back over trailing return type / cv / noexcept to the ')' (or find
+  // a parameterless lambda's ']').
+  std::size_t j = b;  // exclusive
+  while (j > start && is_trailing_specifier(toks[j - 1])) --j;
+  if (j > start && is_punct(toks[j - 1], "->")) {
+    --j;
+    while (j > start && is_trailing_specifier(toks[j - 1])) --j;
+  }
+  if (j > start && is_punct(toks[j - 1], "]") && match[j - 1] != kNone) {
+    out.open = b;
+    out.close = match[b];
+    out.is_lambda = true;
+    out.capture_open = match[j - 1];
+    out.param_open = kNone;
+    return true;
+  }
+  if (j == start || !is_punct(toks[j - 1], ")") || match[j - 1] == kNone) {
+    return false;
+  }
+  const std::size_t paren_open = match[j - 1];
+  if (paren_open == 0) return false;
+  const Token& before = toks[paren_open - 1];
+  if (is_punct(before, "]") && match[paren_open - 1] != kNone) {
+    out.open = b;
+    out.close = match[b];
+    out.is_lambda = true;
+    out.capture_open = match[paren_open - 1];
+    out.param_open = paren_open;
+    return true;
+  }
+  if (before.kind != Tok::kIdent) return false;
+  if (control_keywords().count(before.text)) return false;
+  // Constructor-initializer lists (`Foo() : a_(1) {`) leave the ':' between
+  // the param list and '{'; the specifier walk above already skipped the
+  // initializer calls via their balanced parens, so `j` may not sit right
+  // after ')'. Accept the common shapes; reject `operator()` etc.
+  out.open = b;
+  out.close = match[b];
+  out.is_lambda = false;
+  out.param_open = paren_open;
+  out.name = before.text;
+  return true;
+}
+
+/// Splits the token range (open, close) — exclusive of both brackets — into
+/// top-level comma-separated argument ranges.
+std::vector<std::pair<std::size_t, std::size_t>> split_args(
+    const std::vector<Token>& toks, const std::vector<std::size_t>& match,
+    std::size_t open, std::size_t close) {
+  std::vector<std::pair<std::size_t, std::size_t>> args;
+  std::size_t at = open + 1;
+  if (at >= close) return args;
+  std::size_t i = at;
+  while (i < close) {
+    const Token& t = toks[i];
+    if (t.kind == Tok::kPunct && (t.text == "(" || t.text == "[" || t.text == "{") &&
+        match[i] != kNone) {
+      i = match[i] + 1;
+      continue;
+    }
+    if (is_punct(t, ",")) {
+      args.emplace_back(at, i);
+      at = i + 1;
+    }
+    ++i;
+  }
+  args.emplace_back(at, close);
+  return args;
+}
+
+void parse_captures(const std::vector<Token>& toks,
+                    const std::vector<std::size_t>& match, std::size_t open,
+                    Lambda& lam) {
+  const std::size_t close = match[open];
+  if (close == kNone) return;
+  for (auto [a, b] : split_args(toks, match, open, close)) {
+    if (a >= b) continue;
+    if (is_punct(toks[a], "&") && b == a + 1) {
+      lam.default_ref_capture = true;
+    } else if (is_punct(toks[a], "=") && b == a + 1) {
+      lam.default_value_capture = true;
+    } else if (is_ident(toks[a], "this")) {
+      lam.captures_this = true;
+    } else if (is_punct(toks[a], "*") && a + 1 < b && is_ident(toks[a + 1], "this")) {
+      // *this: a by-value copy of the object; not a stack escape.
+    } else if (is_punct(toks[a], "&")) {
+      if (a + 1 < b && toks[a + 1].kind == Tok::kIdent) {
+        lam.ref_captures.insert(toks[a + 1].text);
+      }
+    } else if (toks[a].kind == Tok::kIdent) {
+      lam.value_captures.insert(toks[a].text);
+    }
+  }
+}
+
+void parse_params(const std::vector<Token>& toks,
+                  const std::vector<std::size_t>& match, std::size_t open,
+                  Function& fn) {
+  const std::size_t close = match[open];
+  if (close == kNone || close == open + 1) return;
+  for (auto [a, b] : split_args(toks, match, open, close)) {
+    if (a >= b) continue;
+    // Name = last identifier before a top-level '=' (default argument) or
+    // the range end. `void` / unnamed params yield no usable name.
+    std::size_t end = b;
+    for (std::size_t i = a; i < b; ++i) {
+      if (is_punct(toks[i], "=")) {
+        end = i;
+        break;
+      }
+      if (toks[i].kind == Tok::kPunct && (toks[i].text == "(" || toks[i].text == "[") &&
+          match[i] != kNone && match[i] < b) {
+        i = match[i];
+      }
+    }
+    Param p;
+    std::size_t name_at = kNone;
+    for (std::size_t i = end; i > a; --i) {
+      if (toks[i - 1].kind == Tok::kIdent) {
+        name_at = i - 1;
+        break;
+      }
+      if (is_punct(toks[i - 1], "]") && match[i - 1] != kNone) {
+        i = match[i - 1] + 1;  // skip array extents: `double w[16]`
+        continue;
+      }
+    }
+    if (name_at == kNone) continue;
+    p.name = toks[name_at].text;
+    std::string last_type_ident;
+    for (std::size_t i = a; i < name_at; ++i) {
+      const Token& t = toks[i];
+      if (!p.type_text.empty()) p.type_text += ' ';
+      p.type_text += t.text;
+      if (t.kind == Tok::kPunct && (t.text == "*" || t.text == "&" || t.text == "&&")) {
+        p.pointer_like = true;
+      }
+      if (t.kind == Tok::kIdent && t.text != "const" && t.text != "volatile" &&
+          t.text != "struct" && t.text != "typename") {
+        last_type_ident = t.text;
+      }
+    }
+    if (p.type_text.empty()) continue;  // e.g. `void` or parse noise
+    // A by-value parameter of class type (View, ConstView, Job...) may carry
+    // pointers into shared memory; scalars cannot.
+    if (!p.pointer_like && !last_type_ident.empty() &&
+        !scalar_type_names().count(last_type_ident)) {
+      p.pointer_like = true;
+    }
+    fn.params.push_back(std::move(p));
+  }
+}
+
+/// Walks back from `pos` (exclusive) over a postfix chain
+/// (`base.member[expr]->field`), returning the index of the head identifier
+/// and the normalized chain text ("base.member[].field"); kNone if the
+/// preceding tokens do not form a chain.
+std::size_t postfix_chain_head(const std::vector<Token>& toks,
+                               const std::vector<std::size_t>& match,
+                               std::size_t pos, std::string* text_out) {
+  std::size_t j = pos;
+  std::vector<std::string> parts;
+  bool expect_name = true;  // chain must end (reading backwards: start) with a name
+  while (j > 0) {
+    const Token& t = toks[j - 1];
+    if (expect_name) {
+      if (is_punct(t, "]") && match[j - 1] != kNone) {
+        parts.push_back("[]");
+        j = match[j - 1];
+        continue;
+      }
+      if (t.kind == Tok::kIdent) {
+        parts.push_back(t.text);
+        expect_name = false;
+        --j;
+        continue;
+      }
+      return kNone;
+    }
+    if (is_punct(t, ".") || is_punct(t, "->")) {
+      parts.push_back(".");
+      expect_name = true;
+      --j;
+      continue;
+    }
+    break;
+  }
+  if (expect_name) return kNone;
+  if (text_out) {
+    text_out->clear();
+    for (auto it = parts.rbegin(); it != parts.rend(); ++it) {
+      if (*it == ".") {
+        *text_out += '.';
+      } else if (*it == "[]") {
+        *text_out += "[]";
+      } else {
+        *text_out += *it;
+      }
+    }
+  }
+  return j;  // index of head identifier
+}
+
+bool is_stmt_boundary(const Token& t) {
+  return t.kind == Tok::kPunct &&
+         (t.text == ";" || t.text == "{" || t.text == "}" || t.text == "(" ||
+          t.text == ",");
+}
+
+}  // namespace
+
+void Model::index() {
+  by_name.clear();
+  for (std::size_t i = 0; i < functions.size(); ++i) {
+    if (!functions[i].name.empty()) {
+      by_name[functions[i].name].push_back(static_cast<int>(i));
+    }
+  }
+}
+
+void build_model_from_tokens(SourceFile* file, Model& model) {
+  const std::vector<Token>& toks = file->tokens;
+  const std::vector<std::size_t> match = compute_matches(toks);
+
+  // -- pass 1: find function and lambda bodies --------------------------------
+  std::vector<BodyInfo> bodies;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (!is_punct(toks[i], "{") || match[i] == kNone) continue;
+    BodyInfo info;
+    if (classify_function_brace(toks, match, i, info)) bodies.push_back(info);
+  }
+
+  // Sort by open index (already in order) and compute enclosure with a stack.
+  const int first_fn = static_cast<int>(model.functions.size());
+  std::vector<int> parent(bodies.size(), -1);
+  {
+    std::vector<std::size_t> stack;  // indices into `bodies`
+    for (std::size_t bi = 0; bi < bodies.size(); ++bi) {
+      while (!stack.empty() && bodies[stack.back()].close < bodies[bi].open) {
+        stack.pop_back();
+      }
+      parent[bi] = stack.empty() ? -1 : static_cast<int>(stack.back());
+      stack.push_back(bi);
+    }
+  }
+
+  // Create Function (and Lambda) entries.
+  for (std::size_t bi = 0; bi < bodies.size(); ++bi) {
+    BodyInfo& body = bodies[bi];
+    Function fn;
+    fn.file = file;
+    const Token& open_tok = toks[body.open];
+    fn.loc = {file, open_tok.line, open_tok.col};
+    if (body.is_lambda) {
+      fn.is_lambda_body = true;
+      fn.qualified = "lambda@" + std::to_string(toks[body.capture_open].line);
+    } else {
+      fn.name = body.name;
+      fn.qualified = body.name;
+      const Token& name_tok = toks[body.param_open - 1];
+      fn.loc = {file, name_tok.line, name_tok.col};
+    }
+    if (body.param_open != kNone) parse_params(toks, match, body.param_open, fn);
+    body.fn_index = static_cast<int>(model.functions.size());
+    model.functions.push_back(std::move(fn));
+
+    if (body.is_lambda) {
+      Lambda lam;
+      lam.id = static_cast<int>(model.lambdas.size());
+      lam.body_fn = body.fn_index;
+      lam.loc = {file, toks[body.capture_open].line, toks[body.capture_open].col};
+      parse_captures(toks, match, body.capture_open, lam);
+      model.functions[body.fn_index].lambda_id = lam.id;
+      model.lambdas.push_back(std::move(lam));
+    }
+  }
+  // Parent links (enclosing_fn for lambdas; lambda lists on functions).
+  for (std::size_t bi = 0; bi < bodies.size(); ++bi) {
+    if (!bodies[bi].is_lambda) continue;
+    const int lam_id = model.functions[bodies[bi].fn_index].lambda_id;
+    int p = parent[bi];
+    if (p >= 0) {
+      model.lambdas[lam_id].enclosing_fn = bodies[p].fn_index;
+      model.functions[bodies[p].fn_index].lambdas.push_back(lam_id);
+      model.functions[bodies[bi].fn_index].qualified =
+          (bodies[p].is_lambda ? model.functions[bodies[p].fn_index].qualified
+                               : bodies[p].name) +
+          "::" + model.functions[bodies[bi].fn_index].qualified;
+    }
+  }
+
+  // Map from capture-open token -> lambda id, for spawn linking.
+  std::map<std::size_t, int> lambda_at;
+  for (std::size_t bi = 0; bi < bodies.size(); ++bi) {
+    if (bodies[bi].is_lambda) {
+      lambda_at[bodies[bi].capture_open] =
+          model.functions[bodies[bi].fn_index].lambda_id;
+    }
+  }
+
+  // child body lookup: body open index -> bodies index, sorted.
+  std::vector<std::pair<std::size_t, std::size_t>> body_opens;
+  for (std::size_t bi = 0; bi < bodies.size(); ++bi) {
+    body_opens.emplace_back(bodies[bi].open, bi);
+  }
+
+  // -- pass 2: harvest facts per function body --------------------------------
+  for (std::size_t bi = 0; bi < bodies.size(); ++bi) {
+    const BodyInfo& body = bodies[bi];
+    Function& fn = model.functions[body.fn_index];
+
+    // Range-for aliases: `for (auto& t : threads)` makes join(t) a join on
+    // `threads`.
+    std::map<std::string, std::string> alias;
+
+    auto resolve_alias = [&](std::string name) {
+      for (int depth = 0; depth < 4; ++depth) {
+        auto it = alias.find(name);
+        if (it == alias.end()) break;
+        name = it->second;
+      }
+      return name;
+    };
+
+    auto first_ident_in = [&](std::size_t a, std::size_t b) -> std::string {
+      for (std::size_t i = a; i < b; ++i) {
+        if (toks[i].kind == Tok::kIdent) return toks[i].text;
+      }
+      return {};
+    };
+
+    // Kernel-thread sync types (`std::mutex mu;`, `std::condition_variable`)
+    // are recorded wherever they appear in the body, call position or not.
+    static const std::set<std::string> kStdSyncTypes = {
+        "mutex", "timed_mutex", "recursive_mutex", "recursive_timed_mutex",
+        "shared_mutex", "shared_timed_mutex", "condition_variable",
+        "condition_variable_any", "counting_semaphore", "binary_semaphore",
+        "latch", "barrier"};
+    for (std::size_t i = body.open + 1; i < body.close; ++i) {
+      auto it = std::lower_bound(body_opens.begin(), body_opens.end(),
+                                 std::make_pair(i, std::size_t{0}));
+      if (it != body_opens.end() && it->first == i) {
+        i = bodies[it->second].close;
+        continue;
+      }
+      if (toks[i].kind == Tok::kIdent && kStdSyncTypes.count(toks[i].text) &&
+          i >= 2 && is_punct(toks[i - 1], "::") && is_ident(toks[i - 2], "std")) {
+        fn.std_sync_mentions.emplace_back(
+            "std::" + toks[i].text, Location{file, toks[i].line, toks[i].col});
+      }
+    }
+
+    for (std::size_t i = body.open + 1; i < body.close; ++i) {
+      // Skip nested function/lambda bodies — their facts are their own.
+      {
+        auto it = std::lower_bound(
+            body_opens.begin(), body_opens.end(), std::make_pair(i, std::size_t{0}));
+        if (it != body_opens.end() && it->first == i) {
+          i = bodies[it->second].close;
+          continue;
+        }
+      }
+      const Token& t = toks[i];
+
+      // Range-for alias discovery.
+      if (is_ident(t, "for") && i + 1 < toks.size() && is_punct(toks[i + 1], "(") &&
+          match[i + 1] != kNone) {
+        const std::size_t close = match[i + 1];
+        for (std::size_t k = i + 2; k < close; ++k) {
+          if (is_punct(toks[k], ":") && k > i + 2 && toks[k - 1].kind == Tok::kIdent) {
+            const std::string var = toks[k - 1].text;
+            const std::string container = first_ident_in(k + 1, close);
+            if (!container.empty()) alias[var] = container;
+            break;
+          }
+          if (is_punct(toks[k], ";")) break;  // classic for, not range-for
+        }
+        continue;
+      }
+
+      // Calls: identifier followed by '('.
+      if (t.kind == Tok::kIdent && !control_keywords().count(t.text) &&
+          i + 1 < toks.size() && is_punct(toks[i + 1], "(") && match[i + 1] != kNone) {
+        CallSite cs;
+        cs.callee = t.text;
+        cs.loc = {file, t.line, t.col};
+        cs.tok = i;
+        // Qualifier chain `a::b::callee`.
+        std::size_t q = i;
+        while (q >= 2 && is_punct(toks[q - 1], "::") && toks[q - 2].kind == Tok::kIdent) {
+          cs.qualifier = toks[q - 2].text +
+                         (cs.qualifier.empty() ? "" : "::" + cs.qualifier);
+          q -= 2;
+        }
+        // Method receiver `expr.callee(` / `expr->callee(`.
+        if (q > 0 && (is_punct(toks[q - 1], ".") || is_punct(toks[q - 1], "->"))) {
+          std::string recv;
+          if (postfix_chain_head(toks, match, q - 1, &recv) != kNone) {
+            cs.receiver = recv;
+          }
+        }
+        const std::size_t paren = i + 1;
+        const std::size_t paren_close = match[paren];
+        const auto args = split_args(toks, match, paren, paren_close);
+
+        // -- special call shapes -------------------------------------------
+        const bool dfth_qualified = cs.qualifier.empty() || cs.qualifier == "dfth" ||
+                                    cs.qualifier == "dfth::apps";
+        if ((cs.callee == "spawn" && dfth_qualified && cs.receiver.empty()) ||
+            cs.callee == "dfth_pthread_create" ||
+            (cs.callee == "run" && dfth_qualified && cs.receiver.empty())) {
+          SpawnSite sp;
+          sp.enclosing_fn = body.fn_index;
+          sp.loc = cs.loc;
+          sp.is_run_body = (cs.callee == "run");
+          // Link the first lambda starting at a top-level argument position.
+          for (auto [a, b] : args) {
+            if (a < b && is_punct(toks[a], "[")) {
+              auto lit = lambda_at.find(a);
+              if (lit != lambda_at.end()) {
+                sp.lambda_id = lit->second;
+                break;
+              }
+            }
+          }
+          if (cs.callee == "dfth_pthread_create") {
+            if (!args.empty()) {
+              std::size_t a = args[0].first;
+              if (a < args[0].second && is_punct(toks[a], "&")) ++a;
+              sp.handle_base = first_ident_in(a, args[0].second);
+            }
+            if (args.size() >= 3 && sp.lambda_id < 0) {
+              sp.fn_arg = first_ident_in(args[2].first, args[2].second);
+            }
+            for (std::size_t ai = 3; ai < args.size(); ++ai) {
+              auto [a, b] = args[ai];
+              if (a < b && is_punct(toks[a], "&") && a + 1 < b &&
+                  toks[a + 1].kind == Tok::kIdent) {
+                sp.addr_of_args.push_back(toks[a + 1].text);
+              }
+            }
+            sp.fate = HandleFate::kLocal;
+          } else if (cs.callee == "spawn") {
+            if (sp.lambda_id < 0 && !args.empty()) {
+              sp.fn_arg = first_ident_in(args[0].first, args[0].second);
+            }
+            for (auto [a, b] : args) {
+              if (a < b && is_punct(toks[a], "&") && a + 1 < b &&
+                  toks[a + 1].kind == Tok::kIdent) {
+                sp.addr_of_args.push_back(toks[a + 1].text);
+              }
+            }
+            // Where does the handle go? Look before the callee chain.
+            const std::size_t before = q;  // first token of qualified chain
+            if (before > 0) {
+              const Token& prev = toks[before - 1];
+              if (is_punct(prev, "=")) {
+                std::string lhs;
+                const std::size_t head =
+                    postfix_chain_head(toks, match, before - 1, &lhs);
+                if (head != kNone) {
+                  if (lhs.find('.') != std::string::npos) {
+                    sp.fate = HandleFate::kEscaped;  // member store
+                  } else {
+                    sp.handle_base = toks[head].text;
+                    sp.fate = HandleFate::kLocal;
+                  }
+                } else {
+                  sp.fate = HandleFate::kEscaped;
+                }
+              } else if (is_ident(prev, "return")) {
+                sp.fate = HandleFate::kEscaped;
+              } else if (is_punct(prev, "(")) {
+                // Argument of an outer call: push_back/emplace_back keep the
+                // handle in the receiver container; anything else escapes.
+                const std::size_t outer = before - 1;
+                if (outer > 0 && toks[outer - 1].kind == Tok::kIdent) {
+                  const std::string& outer_name = toks[outer - 1].text;
+                  if (outer_name == "push_back" || outer_name == "emplace_back") {
+                    std::string recv;
+                    if (outer >= 2 &&
+                        (is_punct(toks[outer - 2], ".") ||
+                         is_punct(toks[outer - 2], "->")) &&
+                        postfix_chain_head(toks, match, outer - 2, &recv) != kNone) {
+                      sp.handle_base = recv;
+                      sp.fate = HandleFate::kLocal;
+                    } else {
+                      sp.fate = HandleFate::kEscaped;
+                    }
+                  } else {
+                    sp.fate = HandleFate::kEscaped;
+                  }
+                } else {
+                  sp.fate = HandleFate::kEscaped;
+                }
+              } else if (is_punct(prev, ",")) {
+                sp.fate = HandleFate::kEscaped;
+              } else {
+                sp.fate = HandleFate::kDiscarded;
+              }
+            }
+          }
+          model.spawns.push_back(std::move(sp));
+        } else if (cs.callee == "join" || cs.callee == "dfth_pthread_join") {
+          if (!args.empty()) {
+            std::size_t a = args[0].first;
+            if (a < args[0].second && is_punct(toks[a], "&")) ++a;
+            const std::string base = first_ident_in(a, args[0].second);
+            if (!base.empty()) fn.joined_bases.insert(resolve_alias(base));
+          }
+        } else if (cs.callee == "detach" || cs.callee == "dfth_pthread_detach") {
+          if (!args.empty()) {
+            const std::string base = first_ident_in(args[0].first, args[0].second);
+            if (!base.empty()) fn.detached_bases.insert(resolve_alias(base));
+          }
+        } else if (cs.callee == "df_read" || cs.callee == "df_write") {
+          Annotation an;
+          an.is_write = (cs.callee == "df_write");
+          an.loc = cs.loc;
+          if (!args.empty()) {
+            for (std::size_t k = args[0].first; k < args[0].second; ++k) {
+              if (toks[k].kind == Tok::kIdent) an.arg_idents.insert(toks[k].text);
+            }
+          }
+          fn.annotations.push_back(std::move(an));
+        } else if (cs.callee == "dfth_pthread_mutex_lock" ||
+                   cs.callee == "dfth_pthread_mutex_unlock" ||
+                   cs.callee == "dfth_pthread_rwlock_wrlock" ||
+                   cs.callee == "dfth_pthread_rwlock_rdlock" ||
+                   cs.callee == "dfth_pthread_rwlock_unlock_rd" ||
+                   cs.callee == "dfth_pthread_rwlock_unlock_wr") {
+          if (!args.empty()) {
+            std::size_t a = args[0].first;
+            if (a < args[0].second && is_punct(toks[a], "&")) ++a;
+            std::string id;
+            // Normalize the whole argument as a chain when possible.
+            std::size_t end = args[0].second;
+            if (postfix_chain_head(toks, match, end, &id) == kNone || id.empty()) {
+              id = first_ident_in(a, end);
+            }
+            if (!id.empty()) {
+              const bool release = cs.callee.find("unlock") != std::string::npos;
+              fn.lock_events.push_back(
+                  {release ? LockEvent::kRelease : LockEvent::kAcquire, id, cs.loc});
+            }
+          }
+        } else if (!cs.receiver.empty() &&
+                   (cs.callee == "lock" || cs.callee == "wrlock" ||
+                    cs.callee == "rdlock")) {
+          fn.lock_events.push_back({LockEvent::kAcquire, cs.receiver, cs.loc});
+        } else if (!cs.receiver.empty() &&
+                   (cs.callee == "unlock" || cs.callee == "wrunlock" ||
+                    cs.callee == "rdunlock")) {
+          fn.lock_events.push_back({LockEvent::kRelease, cs.receiver, cs.loc});
+        }
+        fn.calls.push_back(std::move(cs));
+        continue;
+      }
+
+      // Stores and initializations: assignment operators.
+      if (t.kind == Tok::kPunct &&
+          (t.text == "=" || t.text == "+=" || t.text == "-=" || t.text == "*=" ||
+           t.text == "/=" || t.text == "%=" || t.text == "&=" || t.text == "|=" ||
+           t.text == "^=" || t.text == "<<=" || t.text == ">>=")) {
+        std::string chain;
+        const std::size_t head = postfix_chain_head(toks, match, i, &chain);
+        if (head == kNone) continue;
+        const std::string base = toks[head].text;
+
+        bool through_pointer = chain.find("[]") != std::string::npos ||
+                               chain.find("->") != std::string::npos;
+        // `*p = e` — deref store when the '*' is not part of a declarator.
+        std::size_t decl_check = head;
+        if (!through_pointer && head > 0 && is_punct(toks[head - 1], "*") &&
+            chain.find('.') == std::string::npos) {
+          if (head >= 2 && is_stmt_boundary(toks[head - 2])) {
+            through_pointer = true;
+          }
+          decl_check = head - 1;
+        }
+        // Declaration with initializer? Covers `double* crow = ...` and array
+        // declarations like `Thread kids[8] = {...}` — in both, the token
+        // before the declared name is type-ish; a real store's base is
+        // preceded by a statement boundary or operator instead.
+        std::size_t decl_before = decl_check;
+        if (chain.find("[]") != std::string::npos) decl_before = head;
+        const bool is_decl =
+            decl_before > 0 &&
+            (toks[decl_before - 1].kind == Tok::kIdent ||
+             is_punct(toks[decl_before - 1], "*") ||
+             is_punct(toks[decl_before - 1], "&") ||
+             is_punct(toks[decl_before - 1], ">")) &&
+            chain.find('.') == std::string::npos && t.text == "=";
+
+        // Record the initializer/assignment RHS for derivation tracking —
+        // only for plain `x = ...` (re)bindings: a store *into* x[i] does not
+        // make x an alias of the RHS.
+        if (t.text == "=" && chain.find('.') == std::string::npos &&
+            chain.find("[]") == std::string::npos) {
+          std::set<std::string>& roots = fn.derived[base];
+          std::size_t k = i + 1;
+          while (k < body.close) {
+            const Token& rt = toks[k];
+            if (is_punct(rt, ";")) break;
+            if (rt.kind == Tok::kIdent) {
+              if (rt.text == "df_malloc" || rt.text == "df_try_malloc") {
+                fn.malloc_locals.insert(base);
+              } else {
+                roots.insert(rt.text);
+              }
+            }
+            ++k;
+          }
+        }
+
+        if (!is_decl) {
+          fn.stores.push_back({base, through_pointer, {file, t.line, t.col}});
+        }
+        continue;
+      }
+    }
+  }
+  (void)first_fn;
+}
+
+}  // namespace dfth_check

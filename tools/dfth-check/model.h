@@ -1,0 +1,144 @@
+// Frontend-neutral source model for dfth-check.
+//
+// Both frontends (the builtin token-structural one in model.cpp, and the
+// Clang LibTooling refiner in clang_frontend.cpp when LLVM dev libraries are
+// present) populate this model; the four checks in checks.h consume only it.
+// The model captures exactly the facts the fiber contracts are written in:
+//
+//   * function definitions, their parameters, and the calls they make
+//     (a name-keyed cross-TU call graph, qualified calls kept distinct),
+//   * lambdas with their capture lists,
+//   * spawn sites (dfth::spawn / dfth_pthread_create / dfth::run bodies),
+//     the variable their handle lands in, and the joins/detaches on it,
+//   * stores through pointer-shaped lvalues and the df_read/df_write
+//     annotations that may cover them,
+//   * lock acquire/release events (dfth_pthread_mutex_* and Mutex methods).
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lexer.h"
+
+namespace dfth_check {
+
+struct Location {
+  const SourceFile* file = nullptr;
+  int line = 0;
+  int col = 0;
+};
+
+struct Param {
+  std::string type_text;  ///< declarator text before the name ("const double *")
+  std::string name;
+  bool pointer_like = false;  ///< T*, T&, or a by-value struct (may carry pointers)
+};
+
+struct CallSite {
+  std::string callee;     ///< unqualified name ("sleep_for")
+  std::string qualifier;  ///< "::"-joined qualifier chain ("std::this_thread")
+  std::string receiver;   ///< postfix base for method calls ("mu", "cells[].mu")
+  Location loc;
+  std::size_t tok = 0;  ///< index of the callee token in its file's stream
+};
+
+/// A store through an lvalue: `base[...] = e`, `*base = e`, `base->f = e`,
+/// or plain `base = e`. `base` is the head identifier of the postfix chain.
+struct Store {
+  std::string base;
+  bool through_pointer = false;  ///< subscript / deref / arrow (vs plain ident)
+  Location loc;
+};
+
+/// df_read/df_write call with the identifiers its first argument mentions.
+struct Annotation {
+  bool is_write = false;
+  std::set<std::string> arg_idents;
+  Location loc;
+};
+
+/// Lock acquire/release event, in statement order within its function.
+struct LockEvent {
+  enum Kind { kAcquire, kRelease } kind = kAcquire;
+  std::string lock_id;  ///< normalized lvalue text, e.g. "mu", "node.mu"
+  Location loc;
+};
+
+struct Lambda {
+  int id = -1;
+  int enclosing_fn = -1;
+  bool default_ref_capture = false;    // [&]
+  bool default_value_capture = false;  // [=]
+  bool captures_this = false;
+  std::set<std::string> ref_captures;
+  std::set<std::string> value_captures;
+  int body_fn = -1;  ///< index into Model::functions of the synthesized body fn
+  Location loc;
+};
+
+/// How a spawn's thread handle leaves the spawning function's hands.
+enum class HandleFate {
+  kLocal,      ///< stored in a local we can track joins on
+  kDiscarded,  ///< result ignored — can never be joined
+  kEscaped,    ///< returned / stored through a member or out-param
+};
+
+struct SpawnSite {
+  int lambda_id = -1;           ///< spawned lambda, or -1
+  std::string fn_arg;           ///< named function argument (pthread_create shape)
+  std::string handle_base;      ///< variable (or container) holding the handle
+  HandleFate fate = HandleFate::kLocal;
+  bool is_run_body = false;     ///< dfth::run main_fn — a fiber entry, not joinable
+  std::vector<std::string> addr_of_args;  ///< `&x` arguments passed along
+  int enclosing_fn = -1;
+  Location loc;
+};
+
+struct Function {
+  std::string name;        ///< unqualified ("transform")
+  std::string qualified;   ///< as written ("FftRec::transform"); lambdas get
+                           ///< "<enclosing>::lambda@<line>"
+  bool is_lambda_body = false;
+  int lambda_id = -1;
+  std::vector<Param> params;
+  std::vector<CallSite> calls;
+  std::vector<Store> stores;
+  std::vector<Annotation> annotations;
+  std::vector<LockEvent> lock_events;
+  std::vector<int> lambdas;               ///< ids of lambdas defined inside
+  /// `std::mutex`, `std::condition_variable`, ... mentioned in the body —
+  /// kernel-thread sync types that must not appear in fiber-reachable code.
+  std::vector<std::pair<std::string, Location>> std_sync_mentions;
+  std::set<std::string> joined_bases;     ///< join(x)/dfth_pthread_join(x) targets
+  std::set<std::string> detached_bases;   ///< detach(x) targets
+  /// local name -> shared roots it derives from (see checks.cpp); populated
+  /// lazily by the shared-write check, declared here so frontends may seed it.
+  std::map<std::string, std::set<std::string>> derived;
+  /// locals initialized from df_malloc/df_try_malloc.
+  std::set<std::string> malloc_locals;
+  Location loc;
+  const SourceFile* file = nullptr;
+};
+
+struct Model {
+  std::vector<std::unique_ptr<SourceFile>> files;
+  std::vector<Function> functions;
+  std::vector<Lambda> lambdas;
+  std::vector<SpawnSite> spawns;
+
+  /// name -> function indices (cross-TU, unqualified key).
+  std::map<std::string, std::vector<int>> by_name;
+
+  void index();  ///< (re)build by_name after functions change
+};
+
+/// Parses `file` (already lexed) into `model` with the builtin structural
+/// frontend. Safe on arbitrary C++: unrecognized constructs degrade to plain
+/// blocks, never abort.
+void build_model_from_tokens(SourceFile* file, Model& model);
+
+}  // namespace dfth_check

@@ -1,18 +1,39 @@
 #!/usr/bin/env bash
-# Repository lint: clang-tidy (when installed) over the library sources plus
-# a grep audit that keeps the benchmark apps honest — every app must go
-# through the dfth_pthread.h shims and the tracked heap (df_malloc/df_free),
-# never raw pthreads or untracked allocation, or the space measurements the
-# apps exist for are silently wrong.
+# Repository lint, two tiers:
+#
+#   1. grep audits (always run, and the whole story under --grep-only):
+#      keep the benchmark apps honest — every app must go through the
+#      dfth_pthread.h shims and the tracked heap (df_malloc/df_free), never
+#      raw pthreads or untracked allocation, or the space measurements the
+#      apps exist for are silently wrong. Core layers must not use raw stdio.
+#   2. structural analysis (skipped under --grep-only, or when the tool is
+#      missing): dfth-check — the fiber-aware analyzer in tools/dfth-check —
+#      over src/apps, src/compat, bench and examples, then clang-tidy driven
+#      by build/compile_commands.json (exported unconditionally by the
+#      top-level CMakeLists).
+#
+# --grep-only exists for machines with no build tree: the audits need only
+# sed/grep, so CI bootstrap legs and pre-commit hooks can still run them.
 set -u
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 cd "$repo_root"
 status=0
 
+grep_only=0
+for arg in "$@"; do
+  case "$arg" in
+    --grep-only) grep_only=1 ;;
+    *) echo "usage: $0 [--grep-only]" >&2; exit 2 ;;
+  esac
+done
+
 # ---- 1. bypass audit --------------------------------------------------------
 app_files=$(find src/apps -name '*.cpp' -o -name '*.h')
-aux_files=$(find tests bench -name '*.cpp' -o -name '*.h')
+# tests/check/fixtures deliberately contains the violations dfth-check is
+# tested against (raw pthread_mutex_lock, sleep, ...) — not audit targets.
+aux_files=$(find tests bench -path tests/check/fixtures -prune -o \
+            \( -name '*.cpp' -o -name '*.h' \) -print)
 
 # Greps the given sources with // comments stripped, so prose like "forks a
 # new thread" in a comment doesn't trip the allocation check. First argument
@@ -29,7 +50,9 @@ audit_grep() {
   return $found
 }
 
-# Raw pthread usage (the apps must use the dfth_pthread.h shims).
+# Raw pthread usage (the apps must use the dfth_pthread.h shims). dfth-check
+# refines this below — it knows which calls block and which code runs on a
+# fiber — but the grep keeps even non-blocking raw pthread out of the apps.
 if audit_grep "$app_files" '\bpthread_[a-z_]+[[:space:]]*\('; then
   echo "lint: raw pthread_* call in src/apps (use compat/dfth_pthread.h)" >&2
   status=1
@@ -80,10 +103,33 @@ if [ "$status" -eq 0 ]; then
   echo "lint: allocation/threading/stdio audit clean (src/apps, src/core, src/runtime, tests, bench)"
 fi
 
-# ---- 2. clang-tidy (optional: skipped when not installed) -------------------
+if [ "$grep_only" -eq 1 ]; then
+  echo "lint: --grep-only, skipping dfth-check and clang-tidy"
+  exit $status
+fi
+
+# ---- 2. dfth-check (fiber-aware static analysis) ----------------------------
+# Blocking calls on fibers, unannotated shared writes, fiber-stack escapes,
+# and lock-order cycles. One combined invocation: fiber reachability crosses
+# TU boundaries (bench lambdas call into src/apps).
+dfth_check=build/tools/dfth-check/dfth-check
+if [ -x "$dfth_check" ]; then
+  if ! "$dfth_check" src/apps src/compat bench examples; then
+    echo "lint: dfth-check reported findings" >&2
+    status=1
+  else
+    echo "lint: dfth-check clean (src/apps, src/compat, bench, examples)"
+  fi
+else
+  echo "lint: dfth-check not built ($dfth_check missing), skipping fiber analysis"
+fi
+
+# ---- 3. clang-tidy (optional: skipped when not installed) -------------------
 if command -v clang-tidy >/dev/null 2>&1; then
+  # The top-level CMakeLists sets CMAKE_EXPORT_COMPILE_COMMANDS, so any
+  # configured build tree has the database; configure one if none exists yet.
   if [ ! -f build/compile_commands.json ]; then
-    cmake -B build -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+    cmake -B build -S . >/dev/null
   fi
   tidy_files=$(find src -name '*.cpp' ! -name 'context_x86_64*')
   if ! clang-tidy -p build --quiet $tidy_files; then

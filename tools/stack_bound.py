@@ -1,0 +1,360 @@
+#!/usr/bin/env python3
+"""Static worst-case fiber-stack bounds for dfthreads spawn entry points.
+
+The fiber runtime hands every thread a fixed-size stack (default 1 MiB,
+``dfth::Attr::stack_size`` in src/runtime/api.h) with a guard page below
+it. A fiber that outgrows its stack hits the guard page and dies; this
+tool proves, before any run, that no spawn entry point can get there.
+
+Inputs (a ``-DDFTH_STACK_USAGE=ON`` build tree):
+  * per-function frame sizes from GCC ``-fstack-usage`` ``.su`` files
+    (demangled names, used where they can be matched to symbols), with a
+    fallback to prologue analysis of the disassembly (``sub $N,%rsp`` +
+    pushed registers) which is name-exact and covers lambdas;
+  * the direct call graph from ``objdump -d`` of the linked binaries.
+
+Entry points are the spawned-lambda bodies: out-of-line ``operator()``
+symbols for ``dfth::apps`` lambdas, plus the
+``std::_Function_handler<..., <app lambda>>::_M_invoke`` wrappers that
+carry the body when the compiler inlines the lambda into its
+``std::function`` thunk (or whatever ``--entry-regex`` selects). For each entry the tool reports the
+deepest static call chain. Recursion is detected as a strongly connected
+component on the chain; the cycle is named, the bound is reported as
+unbounded-without-assumption, and a documented ``--assume-depth``
+recursion depth produces the bound that is checked against the limit.
+Indirect calls (through std::function, virtual dispatch, fn pointers)
+cannot be walked statically; they are counted per entry and reported so a
+zero-frames-missing claim is never implied.
+
+The check fails (exit 1) if any entry's bound exceeds
+``--stack-size - --guard-margin``. ``--json`` writes STACK_BOUND.json
+(drop it next to the BENCH_*.json files) with per-entry records:
+static bound, pool stack size, and — when ``--stats`` points at a
+write_stats_json() export from a DFTH_STACK_USAGE run — the observed
+``stack_high_water`` for a static-vs-observed comparison.
+
+A hermetic test mode (``--frames-file`` / ``--edges-file``) takes
+synthetic inputs so tests/check can exercise the solver without a build
+tree.
+"""
+
+import argparse
+import json
+import os
+import re
+import subprocess
+import sys
+
+DEFAULT_STACK_SIZE = 1 << 20   # dfth::Attr::stack_size default (api.h)
+DEFAULT_GUARD_MARGIN = 64 << 10
+DEFAULT_ASSUME_DEPTH = 64
+# Frames between the carrier's fiber trampoline and the spawned lambda body
+# (context_entry -> std::function::operator() -> _M_invoke) reached through
+# one indirect call, so the walk cannot see them. Charged as a constant.
+RUNTIME_PREFIX_BYTES = 4096
+
+SYM_RE = re.compile(r"^[0-9a-f]+ <(?P<sym>[^>]+)>:$")
+CALL_RE = re.compile(r"\bcall[ql]?\s+[0-9a-f]+ <(?P<target>[^>+]+)(?:\+0x[0-9a-f]+)?>")
+INDIRECT_CALL_RE = re.compile(r"\bcall[ql]?\s+\*")
+SUB_RSP_RE = re.compile(r"\bsub\s+\$0x(?P<imm>[0-9a-f]+),%rsp")
+PUSH_RE = re.compile(r"\bpush\s+%r")
+
+
+def demangle(symbols):
+    """symbol -> demangled name via one c++filt invocation."""
+    proc = subprocess.run(["c++filt"], input="\n".join(symbols),
+                          capture_output=True, text=True, check=True)
+    names = proc.stdout.splitlines()
+    return dict(zip(symbols, names))
+
+
+def su_key(name):
+    """Normalize a .su function signature for symbol matching.
+
+    GCC writes `int ns::helper(int)` (return type included, param names
+    dropped); c++filt writes `ns::helper(int)`. Strip the return type:
+    drop everything up to the last top-level space before the first '('.
+    Then drop all remaining spaces so template spellings compare equal.
+    """
+    paren = name.find("(")
+    if paren <= 0:
+        return name.replace(" ", "")
+    cut = name[:paren].rfind(" ")
+    if cut >= 0:
+        name = name[cut + 1:]
+    return name.replace(" ", "")
+
+
+def parse_su_dir(root):
+    """frame-size map {normalized-signature: bytes} from every .su file."""
+    frames = {}
+    for dirpath, _dirnames, filenames in os.walk(root):
+        for fname in filenames:
+            if not fname.endswith(".su"):
+                continue
+            with open(os.path.join(dirpath, fname), encoding="utf-8",
+                      errors="replace") as f:
+                for line in f:
+                    parts = line.rstrip("\n").split("\t")
+                    if len(parts) < 2:
+                        continue
+                    # location = file:line:col:signature
+                    loc = parts[0].split(":", 3)
+                    if len(loc) < 4:
+                        continue
+                    try:
+                        size = int(parts[1])
+                    except ValueError:
+                        continue
+                    key = su_key(loc[3])
+                    frames[key] = max(frames.get(key, 0), size)
+    return frames
+
+
+def parse_binary(path):
+    """(frames, edges, indirect) from one binary's disassembly.
+
+    frames: {symbol: prologue bytes} — `sub $N,%rsp` + 8 per pushed
+    register + 8 for the return address.
+    edges: {symbol: set(callee symbols)} (direct calls only).
+    indirect: {symbol: count of `call *` sites}.
+    """
+    proc = subprocess.run(["objdump", "-d", "--no-show-raw-insn", path],
+                          capture_output=True, text=True, check=True)
+    frames, edges, indirect = {}, {}, {}
+    cur = None
+    sub_seen = pushes = 0
+    for line in proc.stdout.splitlines():
+        m = SYM_RE.match(line)
+        if m:
+            if cur is not None:
+                frames[cur] = sub_seen + 8 * pushes + 8
+            cur = m.group("sym")
+            edges.setdefault(cur, set())
+            indirect.setdefault(cur, 0)
+            sub_seen = pushes = 0
+            continue
+        if cur is None:
+            continue
+        if PUSH_RE.search(line):
+            pushes += 1
+        m = SUB_RSP_RE.search(line)
+        if m:
+            # Keep the largest adjustment: shrink-wrapped paths may have
+            # several, the bound wants the deepest.
+            sub_seen = max(sub_seen, int(m.group("imm"), 16))
+        m = CALL_RE.search(line)
+        if m:
+            edges[cur].add(m.group("target"))
+        elif INDIRECT_CALL_RE.search(line):
+            indirect[cur] += 1
+    if cur is not None:
+        frames[cur] = sub_seen + 8 * pushes + 8
+    return frames, edges, indirect
+
+
+def parse_frames_file(path):
+    """Synthetic test input: `name bytes` per line."""
+    frames = {}
+    with open(path, encoding="utf-8") as f:
+        for line in f:
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            name, size = line.rsplit(None, 1)
+            frames[name] = int(size)
+    return frames
+
+
+def parse_edges_file(path):
+    """Synthetic test input: `caller -> callee` per line."""
+    edges = {}
+    with open(path, encoding="utf-8") as f:
+        for line in f:
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            caller, callee = (s.strip() for s in line.split("->"))
+            edges.setdefault(caller, set()).add(callee)
+    return edges
+
+
+def bound_from(entry, frames, edges, assume_depth):
+    """Worst-case stack bytes from `entry` down every direct call chain.
+
+    Returns (bound, chain, cycles): `cycles` lists each distinct cycle hit
+    during the walk (as a list of symbols); when non-empty the true bound
+    is unbounded and `bound` assumes each cycle runs `assume_depth` deep.
+    """
+    cycles = []
+    seen_cycles = set()
+    best_chain = {}
+
+    def walk(sym, on_path, path):
+        if sym in on_path:
+            start = path.index(sym)
+            cycle = tuple(path[start:])
+            if cycle not in seen_cycles:
+                seen_cycles.add(cycle)
+                cycles.append(list(cycle))
+            # Charge the whole cycle assume_depth times (once is already on
+            # the path, so assume_depth - 1 more).
+            cycle_bytes = sum(frames.get(s, 0) for s in cycle)
+            return cycle_bytes * max(assume_depth - 1, 0), [f"<cycle x{assume_depth}>"]
+        frame = frames.get(sym, 0)
+        best, chain = 0, []
+        on_path.add(sym)
+        path.append(sym)
+        for callee in sorted(edges.get(sym, ())):
+            sub, sub_chain = walk(callee, on_path, path)
+            if sub > best:
+                best, chain = sub, sub_chain
+        on_path.discard(sym)
+        path.pop()
+        return frame + best, [sym] + chain
+
+    total, chain = walk(entry, set(), [])
+    return total, chain, cycles
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("binaries", nargs="*", help="linked binaries to analyze")
+    ap.add_argument("--su-dir", help="build tree with -fstack-usage .su files")
+    ap.add_argument("--frames-file", help="synthetic frame sizes (tests)")
+    ap.add_argument("--edges-file", help="synthetic call edges (tests)")
+    ap.add_argument("--entries", nargs="*", default=[],
+                    help="explicit entry symbols (overrides --entry-regex)")
+    ap.add_argument("--entry-regex",
+                    default=(r"dfth::apps::.*\{lambda.*::operator\(\)"
+                             r"|_Function_handler<.*dfth::apps::.*\{lambda"
+                             r".*::_M_invoke"),
+                    help="demangled-name pattern selecting spawn entry points")
+    ap.add_argument("--stack-size", type=int, default=DEFAULT_STACK_SIZE)
+    ap.add_argument("--guard-margin", type=int, default=DEFAULT_GUARD_MARGIN)
+    ap.add_argument("--assume-depth", type=int, default=DEFAULT_ASSUME_DEPTH,
+                    help="assumed recursion depth for cycles in the chain")
+    ap.add_argument("--runtime-prefix", type=int, default=RUNTIME_PREFIX_BYTES,
+                    help="constant charged for the trampoline/std::function "
+                         "frames above each entry")
+    ap.add_argument("--stats", help="write_stats_json() output for the "
+                                    "observed stack_high_water comparison")
+    ap.add_argument("--json", help="write STACK_BOUND.json here")
+    ap.add_argument("-v", "--verbose", action="store_true")
+    args = ap.parse_args()
+
+    frames, edges, indirect, pretty = {}, {}, {}, {}
+    if args.frames_file or args.edges_file:
+        if not (args.frames_file and args.edges_file):
+            ap.error("--frames-file and --edges-file go together")
+        frames = parse_frames_file(args.frames_file)
+        edges = parse_edges_file(args.edges_file)
+        pretty = {s: s for s in frames}
+    else:
+        if not args.binaries:
+            ap.error("no binaries given (and no --frames-file/--edges-file)")
+        for path in args.binaries:
+            f, e, i = parse_binary(path)
+            # Same symbol linked into several binaries: keep the worst frame.
+            for sym, size in f.items():
+                frames[sym] = max(frames.get(sym, 0), size)
+            for sym, callees in e.items():
+                edges.setdefault(sym, set()).update(callees)
+            for sym, count in i.items():
+                indirect[sym] = max(indirect.get(sym, 0), count)
+        pretty = demangle(sorted(frames))
+        # Refine prologue-derived frames with .su ground truth where the
+        # demangled name matches a .su signature.
+        if args.su_dir:
+            su = parse_su_dir(args.su_dir)
+            matched = 0
+            for sym, name in pretty.items():
+                key = name.replace(" ", "")
+                if key in su:
+                    frames[sym] = max(frames[sym], su[key])
+                    matched += 1
+            if args.verbose:
+                print(f"# .su refinement: {matched}/{len(frames)} symbols "
+                      f"matched across {len(su)} .su records")
+
+    if args.entries:
+        entries = args.entries
+    else:
+        pattern = re.compile(args.entry_regex)
+        entries = sorted(s for s, name in pretty.items() if pattern.search(name))
+    if not entries:
+        print("stack_bound: no spawn entry points matched", file=sys.stderr)
+        return 2
+
+    limit = args.stack_size - args.guard_margin
+    observed = None
+    if args.stats:
+        with open(args.stats, encoding="utf-8") as f:
+            data = json.load(f)
+        observed = (data.get("stack_high_water")
+                    or data.get("stats", {}).get("stack_high_water"))
+
+    records, failed = [], 0
+    for entry in entries:
+        body, chain, cycles = bound_from(entry, frames, edges, args.assume_depth)
+        bound = body + args.runtime_prefix
+        # Indirect calls anywhere on the walked subgraph mean unseen frames.
+        reachable = {entry}
+        queue = [entry]
+        while queue:
+            for callee in edges.get(queue.pop(), ()):
+                if callee not in reachable:
+                    reachable.add(callee)
+                    queue.append(callee)
+        blind_calls = sum(indirect.get(s, 0) for s in reachable)
+        ok = bound <= limit
+        failed += 0 if ok else 1
+        rec = {
+            "entry": pretty.get(entry, entry),
+            "symbol": entry,
+            "static_bound_bytes": bound,
+            "recursive": bool(cycles),
+            "unbounded_without_assumption": bool(cycles),
+            "assumed_recursion_depth": args.assume_depth if cycles else None,
+            "cycles": [[pretty.get(s, s) for s in c] for c in cycles],
+            "deepest_chain": [pretty.get(s, s) for s in chain],
+            "indirect_call_sites": blind_calls,
+            "stack_size_bytes": args.stack_size,
+            "guard_margin_bytes": args.guard_margin,
+            "fits": ok,
+        }
+        records.append(rec)
+        status = "ok  " if ok else "FAIL"
+        extra = ""
+        if cycles:
+            extra = (f" [recursive: {' -> '.join(pretty.get(s, s) for s in cycles[0])}"
+                     f", assumed depth {args.assume_depth}]")
+        print(f"{status} {pretty.get(entry, entry)}: {bound} bytes "
+              f"(limit {limit}){extra}")
+        if args.verbose:
+            print("     chain: " + " -> ".join(rec["deepest_chain"]))
+            if blind_calls:
+                print(f"     note: {blind_calls} indirect call site(s) not walked")
+
+    out = {
+        "stack_size_bytes": args.stack_size,
+        "guard_margin_bytes": args.guard_margin,
+        "assume_depth": args.assume_depth,
+        "runtime_prefix_bytes": args.runtime_prefix,
+        "observed_stack_high_water": observed,
+        "entries": records,
+    }
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as f:
+            json.dump(out, f, indent=2)
+            f.write("\n")
+
+    worst = max((r["static_bound_bytes"] for r in records), default=0)
+    print(f"stack_bound: {len(records)} entry point(s), worst static bound "
+          f"{worst} bytes, limit {limit} bytes"
+          + (f", observed high water {observed} bytes" if observed else ""))
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
