@@ -1,0 +1,243 @@
+// Observed side of the static space-bound certification (tools/dfth-check
+// --space-bound, DESIGN.md §9): runs the seven paper benchmarks at small
+// "quickstart" configurations on the simulator with the AsyncDF scheduler
+// (p = 8, K = 32 KB) and records each run's heap high-water mark.
+//
+// Each app is driven through a named free function (space_matmul, space_fft,
+// ...) rather than inline in main: those functions are the analysis *roots*
+// the static side walks, so the input buffers the harness df_mallocs are
+// charged to S1 exactly like the app's own allocations. The emitted
+// SPACE_OBSERVED.json carries, per app, everything the static side needs to
+// evaluate the same configuration — root name, parameter bindings for the
+// symbols appearing in df_malloc size expressions, and sizeof bindings for
+// app-internal types the analyzer cannot see (taken from the compiler where
+// the type is visible here, generous constants otherwise). The ctest glue
+// (tests/check/run_space_bound_test.py) feeds these to dfth-check and
+// asserts static bound >= observed heap_peak for every app.
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "apps/barnes/barnes.h"
+#include "apps/dtree/dtree.h"
+#include "apps/fft/fft.h"
+#include "apps/fmm/fmm.h"
+#include "apps/matmul/matmul.h"
+#include "apps/spmv/spmv.h"
+#include "apps/volrend/volrend.h"
+#include "bench_common.h"
+
+namespace dfth::bench {
+namespace {
+
+// The certification configuration: must match the --space-procs/--space-quota
+// the static side is invoked with (the JSON carries both so the test script
+// never hard-codes them).
+constexpr int kProcs = 8;
+constexpr std::uint64_t kQuota = 32 << 10;
+
+RuntimeOptions quick_opts(std::uint64_t seed) {
+  RuntimeOptions o;
+  o.engine = EngineKind::Sim;
+  o.sched = SchedKind::AsyncDf;
+  o.nprocs = kProcs;
+  o.mem_quota = kQuota;
+  o.seed = seed;
+  return o;
+}
+
+// -- Analysis roots: one per app ---------------------------------------------
+//
+// Size-expression symbols bound by the JSON's `params` strings below refer to
+// identifiers inside these functions and the app sources they reach (e.g.
+// spmv's CsrMatrix charges sizeof(uint32_t) * (rows_ + 1), so rows_ is bound
+// to the quickstart row count).
+
+RunStats space_matmul(std::uint64_t seed) {
+  apps::MatmulConfig cfg;
+  cfg.n = 128;
+  cfg.base = 64;
+  auto* a = static_cast<double*>(df_malloc(cfg.n * cfg.n * sizeof(double)));
+  auto* b = static_cast<double*>(df_malloc(cfg.n * cfg.n * sizeof(double)));
+  auto* c = static_cast<double*>(df_malloc(cfg.n * cfg.n * sizeof(double)));
+  apps::matmul_fill(a, cfg.n, 1);
+  apps::matmul_fill(b, cfg.n, 2);
+  const RunStats stats =
+      run(quick_opts(seed), [&] { apps::matmul_threaded(a, b, c, cfg); });
+  df_free(c);
+  df_free(b);
+  df_free(a);
+  return stats;
+}
+
+RunStats space_fft(std::uint64_t seed) {
+  const std::size_t n = 4096;
+  auto* in = static_cast<apps::Complex*>(df_malloc(sizeof(apps::Complex) * n));
+  auto* out = static_cast<apps::Complex*>(df_malloc(sizeof(apps::Complex) * n));
+  apps::fft_fill(in, n, seed);
+  const RunStats stats = run(quick_opts(seed), [&] {
+    apps::FftPlan plan(n);
+    plan.execute_threaded(in, out, 16);
+  });
+  df_free(out);
+  df_free(in);
+  return stats;
+}
+
+RunStats space_dtree(std::uint64_t seed) {
+  apps::DtreeConfig cfg;
+  cfg.instances = 2000;
+  cfg.seed = seed;
+  const std::vector<apps::Instance> data = apps::dtree_generate(cfg);
+  return run(quick_opts(seed), [&] { apps::dtree_build_threaded(data, cfg); });
+}
+
+RunStats space_spmv(std::uint64_t seed) {
+  apps::SpmvConfig cfg;
+  cfg.rows = 2000;
+  cfg.target_nnz = 10000;
+  cfg.iterations = 2;
+  cfg.seed = seed;
+  apps::CsrMatrix m(cfg.rows, cfg.rows);
+  apps::spmv_generate(m, cfg);
+  auto* v = static_cast<double*>(df_malloc(sizeof(double) * cfg.rows));
+  auto* w = static_cast<double*>(df_malloc(sizeof(double) * cfg.rows));
+  for (std::size_t i = 0; i < cfg.rows; ++i) {
+    v[i] = 1.0;
+    w[i] = 0.0;
+  }
+  const RunStats stats =
+      run(quick_opts(seed), [&] { apps::spmv_fine(m, v, w, cfg); });
+  df_free(w);
+  df_free(v);
+  return stats;
+}
+
+RunStats space_barnes(std::uint64_t seed) {
+  apps::BarnesConfig cfg;
+  cfg.bodies = 1024;
+  cfg.timesteps = 1;
+  cfg.seed = seed;
+  std::vector<apps::Body> bodies = apps::barnes_generate(cfg);
+  return run(quick_opts(seed),
+             [&] { apps::barnes_fine(std::move(bodies), cfg); });
+}
+
+RunStats space_fmm(std::uint64_t seed) {
+  apps::FmmConfig cfg;
+  cfg.particles = 512;
+  cfg.levels = 3;
+  cfg.terms = 4;
+  cfg.chunk = 9;
+  cfg.seed = seed;
+  std::vector<apps::FmmParticle> particles = apps::fmm_generate(cfg);
+  return run(quick_opts(seed), [&] { apps::fmm_threaded(particles, cfg); });
+}
+
+RunStats space_volrend(std::uint64_t seed) {
+  apps::VolrendConfig cfg;
+  cfg.volume_dim = 32;
+  cfg.image_dim = 64;
+  cfg.tiles_per_thread = 4;
+  cfg.seed = seed;
+  apps::Volume vol(cfg);
+  return run(quick_opts(seed), [&] { apps::volrend_fine(vol, cfg); });
+}
+
+// -- Static-side bindings ----------------------------------------------------
+
+struct SpaceApp {
+  const char* name;
+  const char* root;
+  /// k=v symbol bindings for the df_malloc size expressions this root
+  /// reaches; values mirror the quickstart configuration above (generous
+  /// where the runtime value is data-dependent, e.g. spmv's nnz_).
+  std::string params;
+  /// T=bytes bindings for sizeof(T) of app-internal types. Real compiler
+  /// sizeofs where the type is visible to this TU; padded constants for
+  /// types private to an app's .cpp (VL, Cell, Cx).
+  std::string sizeofs;
+  RunStats (*drive)(std::uint64_t);
+};
+
+std::vector<SpaceApp> space_apps() {
+  const auto sz = [](std::size_t s) { return std::to_string(s); };
+  return {
+      {"matmul", "space_matmul", "n=128", "", &space_matmul},
+      {"fft", "space_fft", "n=4096,n_=4096",
+       "Complex=" + sz(sizeof(apps::Complex)), &space_fft},
+      {"dtree", "space_dtree", "n=2000",
+       "Instance=" + sz(sizeof(apps::Instance)) + ",VL=16", &space_dtree},
+      {"spmv", "space_spmv", "rows=2000,rows_=2000,nnz_=20000", "",
+       &space_spmv},
+      {"barnes", "space_barnes", "capacity_=4160",
+       "Cell=512,Body=" + sz(sizeof(apps::Body)), &space_barnes},
+      {"fmm", "space_fmm", "n=128,P=4,chunk_workspace_bytes=8192", "Cx=16",
+       &space_fmm},
+      {"volrend", "space_volrend", "dim_=32,bricks_=4", "", &space_volrend},
+  };
+}
+
+}  // namespace
+}  // namespace dfth::bench
+
+int main(int argc, char** argv) {
+  using namespace dfth;
+  bench::Common common("space_bound_apps",
+                       "observed heap peaks for the static space-bound gate");
+  auto* observed = common.cli.str_opt(
+      "observed", "SPACE_OBSERVED.json",
+      "observed-side JSON consumed by run_space_bound_test.py");
+  if (!common.parse(argc, argv)) return 0;
+  const auto seed = static_cast<std::uint64_t>(*common.seed);
+
+  std::vector<bench::SpaceApp> apps = bench::space_apps();
+  std::vector<RunStats> stats;
+  stats.reserve(apps.size());
+  int failures = 0;
+  std::printf("-- quickstart runs: AsyncDF, p=%d, K=%llu --\n", bench::kProcs,
+              static_cast<unsigned long long>(bench::kQuota));
+  for (const bench::SpaceApp& app : apps) {
+    const RunStats s = app.drive(seed);
+    common.record(std::string(app.name), s, bench::kQuota);
+    std::printf("%-8s root=%-14s heap_peak=%-9lld max_live=%-5lld %8.3f s\n",
+                app.name, app.root, static_cast<long long>(s.heap_peak),
+                static_cast<long long>(s.max_live_threads), s.elapsed_us / 1e6);
+    std::fflush(stdout);
+    if (s.threads_created == 0 || s.heap_peak <= 0) {
+      std::fprintf(stderr, "space_bound_apps: %s produced a degenerate run\n",
+                   app.name);
+      ++failures;
+    }
+    stats.push_back(s);
+  }
+
+  if (!observed->empty()) {
+    std::FILE* f = std::fopen(observed->c_str(), "w");
+    if (!f) {
+      std::fprintf(stderr, "failed to write %s\n", observed->c_str());
+      return 1;
+    }
+    std::fprintf(f, "{\"procs\": %d, \"quota_bytes\": %llu, \"apps\": [",
+                 bench::kProcs, static_cast<unsigned long long>(bench::kQuota));
+    for (std::size_t i = 0; i < apps.size(); ++i) {
+      std::fprintf(f,
+                   "%s\n{\"app\": \"%s\", \"root\": \"%s\", "
+                   "\"params\": \"%s\", \"sizeofs\": \"%s\", "
+                   "\"heap_peak\": %lld, \"max_live_threads\": %lld, "
+                   "\"elapsed_us\": %.3f}",
+                   i == 0 ? "" : ",", apps[i].name, apps[i].root,
+                   apps[i].params.c_str(), apps[i].sizeofs.c_str(),
+                   static_cast<long long>(stats[i].heap_peak),
+                   static_cast<long long>(stats[i].max_live_threads),
+                   stats[i].elapsed_us);
+    }
+    std::fprintf(f, "\n]}\n");
+    std::fclose(f);
+    std::printf("(observed json written to %s)\n", observed->c_str());
+  }
+
+  common.write_json();
+  return failures == 0 ? 0 : 1;
+}

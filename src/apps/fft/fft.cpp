@@ -72,6 +72,7 @@ struct FftRec {
 FftPlan::FftPlan(std::size_t n, bool inverse) : n_(n), inverse_(inverse) {
   DFTH_CHECK_MSG(power_of_two(n), "FFT size must be a power of two");
   twiddle_ = static_cast<Complex*>(df_malloc(sizeof(Complex) * (n_ / 2)));
+  df_write(twiddle_, sizeof(Complex) * (n_ / 2), "fft/plan:twiddle");
   const double sign = inverse_ ? 2.0 : -2.0;
   for (std::size_t k = 0; k < n_ / 2; ++k) {
     const double angle = sign * kPi * static_cast<double>(k) / static_cast<double>(n_);

@@ -1,0 +1,54 @@
+// dfth-check fixture: alloc-before-spawn.
+//
+// A df_malloc consumed by exactly one spawned child inflates the parent's
+// live footprint for the child's whole lifetime — AsyncDF could delay it if
+// the child allocated for itself. Any parent use, or sharing across several
+// children, keeps the allocation where it is.
+#include "dfth_stub.h"
+
+using namespace dfth;
+
+namespace fixture {
+
+void consume(void* buf);
+
+void premature() {
+  void* buf = df_malloc(1024);  // expect: alloc-before-spawn
+  Thread t = spawn([buf]() -> void* {
+    df_write(buf, 1024, "fixture/premature:buf");
+    return nullptr;
+  });
+  join(t);
+  df_free(buf);
+}
+
+// The parent reads the child's result after the join: the allocation has to
+// outlive the child anyway.
+void parent_also_uses() {
+  void* buf = df_malloc(1024);
+  Thread t = spawn([buf]() -> void* {
+    df_write(buf, 512, "fixture/parent_also_uses:buf");
+    return nullptr;
+  });
+  join(t);
+  consume(buf);
+  df_free(buf);
+}
+
+// Two children share the buffer: it cannot move into either one.
+void shared_across_children() {
+  void* buf = df_malloc(2048);
+  Thread a = spawn([buf]() -> void* {
+    df_write(buf, 1024, "fixture/shared:lo");
+    return nullptr;
+  });
+  Thread b = spawn([buf]() -> void* {
+    df_write(buf, 1024, "fixture/shared:hi");
+    return nullptr;
+  });
+  join(a);
+  join(b);
+  df_free(buf);
+}
+
+}  // namespace fixture

@@ -1,0 +1,47 @@
+// dfth-check fixture: blocking-while-holding-lock.
+//
+// A kernel-level wait reached while a dfth::Mutex is held serializes every
+// fiber queued on that lock behind the block. Direct calls and calls that
+// may block transitively are both reported; the fiber-aware compat shims
+// are the sanctioned path and stay silent.
+#include <unistd.h>
+
+#include "dfth_stub.h"
+
+using namespace dfth;
+
+namespace fixture {
+
+Mutex mu;
+dfth_pthread_mutex_t g_shim;
+
+void direct_block() {
+  mu.lock();
+  sleep(1);  // expect: blocking-while-holding-lock
+  mu.unlock();
+}
+
+void helper() { usleep(100); }
+
+void transitive_block() {
+  mu.lock();
+  helper();  // expect: blocking-while-holding-lock
+  mu.unlock();
+}
+
+// Lock released before the wait: nothing serializes behind it.
+void released_first() {
+  mu.lock();
+  mu.unlock();
+  sleep(1);
+}
+
+// The compat shim parks the fiber instead of the kernel thread.
+void fiber_shim_ok() {
+  mu.lock();
+  dfth_pthread_mutex_lock(&g_shim);
+  dfth_pthread_mutex_unlock(&g_shim);
+  mu.unlock();
+}
+
+}  // namespace fixture

@@ -1,0 +1,38 @@
+// dfth-check fixture: join-mismatch.
+//
+// The space bound is argued over a fully joined spawn DAG, so every spawn
+// whose handle stays local must be joined or explicitly detached in the
+// spawning function. Escaping handles are out of local-analysis reach and
+// stay silent.
+#include "dfth_stub.h"
+
+using namespace dfth;
+
+namespace fixture {
+
+void never_joined() {
+  Thread t = spawn([]() -> void* { return nullptr; });  // expect: join-mismatch
+  (void)t;
+}
+
+void discarded() {
+  spawn([]() -> void* { return nullptr; });  // expect: join-mismatch
+}
+
+void joined_ok() {
+  Thread t = spawn([]() -> void* { return nullptr; });
+  join(t);
+}
+
+void detached_ok() {
+  Thread t = spawn([]() -> void* { return nullptr; });
+  detach(t);
+}
+
+// The caller may join the returned handle: no local proof of a mismatch.
+Thread escaped_ok() {
+  Thread t = spawn([]() -> void* { return nullptr; });
+  return t;
+}
+
+}  // namespace fixture

@@ -33,7 +33,7 @@ void by_value(int n) {
 // Handle discarded: nothing can ever join this child.
 void discarded(int n) {
   int local = n;
-  spawn([&local]() -> void* {  // expect: fiber-stack-escape
+  spawn([&local]() -> void* {  // expect: fiber-stack-escape // expect: join-mismatch
     consume(&local);
     return nullptr;
   });
@@ -49,8 +49,8 @@ void detached(int n) {
   detach(t);
 }
 
-// Handle escapes: the caller might join it, but no local join pins the
-// frame that `local` lives in.
+// Handle escapes: the caller might join it (so join-mismatch stays silent),
+// but no local join pins the frame that `local` lives in.
 Thread escaping(int n) {
   int local = n;
   Thread t = spawn([&local]() -> void* {  // expect: fiber-stack-escape
@@ -63,7 +63,7 @@ Thread escaping(int n) {
 // Handle kept local but never joined in the spawning function.
 void never_joined(int n) {
   int local = n;
-  Thread t = spawn([&local]() -> void* {  // expect: fiber-stack-escape
+  Thread t = spawn([&local]() -> void* {  // expect: fiber-stack-escape // expect: join-mismatch
     consume(&local);
     return nullptr;
   });

@@ -1,0 +1,33 @@
+// dfth-check fixture: suppression scoping.
+//
+// `// dfth-check-ignore(<check>)` governs exactly one statement: its own
+// line when trailing code, the next statement line when on a comment-only
+// line. In both functions the first sleep is deliberately suppressed and
+// the second must still be reported — a misplaced ignore no longer masks
+// everything after it.
+#include <unistd.h>
+
+#include "dfth_stub.h"
+
+using namespace dfth;
+
+namespace fixture {
+
+Mutex mu;
+
+void trailing_marker() {
+  mu.lock();
+  sleep(1);  // dfth-check-ignore(blocking-while-holding-lock)
+  sleep(2);  // expect: blocking-while-holding-lock
+  mu.unlock();
+}
+
+void comment_line_marker() {
+  mu.lock();
+  // dfth-check-ignore(blocking-while-holding-lock)
+  sleep(1);
+  sleep(2);  // expect: blocking-while-holding-lock
+  mu.unlock();
+}
+
+}  // namespace fixture

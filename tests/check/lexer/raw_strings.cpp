@@ -1,0 +1,20 @@
+// Lexer fixture: raw string literals (all prefixes) and digit separators.
+// Consumed by run_lexer_test.py via `dfth-check --dump-tokens`; never
+// compiled. The sentinel identifiers prove the lexer resumed in the right
+// place: if a raw string's delimiter handling slipped, the `//` inside it
+// would eat the rest of the line and a sentinel would vanish.
+const char* plain = R"(has "quotes" and // not_a_comment)";
+int after_plain = 0;
+const char* delim = R"xy(paren )" inside)xy";
+int after_delim = 0;
+const char* u8p = u8R"(u8 // raw)";
+const char* u16 = uR"(u16 raw)";
+const char* u32 = UR"(u32 raw)";
+const wchar_t* wide = LR"(wide // raw)";
+int after_prefixed = 0;
+
+int plain_sep = 1'000'000;
+int hex_sep = 0xFF'FF;
+double float_sep = 1'000.000'1;
+unsigned long long suffixed = 1'000ull;
+int after_numbers = 0;

@@ -1,0 +1,9 @@
+// Lexer fixture: suppression marker anchoring (`G` lines in --dump-tokens).
+// A trailing marker anchors to its own line; a comment-only marker anchors
+// to the next token line, hopping blank and comment lines.
+int a = 1;  // dfth-check-ignore(blocking-while-holding-lock)
+
+// dfth-check-ignore(lock-order)
+
+// an unrelated comment between marker and statement
+int b = 2;

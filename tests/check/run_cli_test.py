@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""CLI error-path tests for dfth-check.
+
+Each misuse must exit non-zero with a one-line diagnostic on stderr —
+never a crash, never silence, never a zero exit that CI would read as a
+clean analysis.
+
+Exit codes: 0 pass, 1 mismatch, 77 skip (tool not built).
+"""
+
+import argparse
+import os
+import subprocess
+import sys
+import tempfile
+
+SKIP = 77
+
+
+def run(tool, argv):
+    return subprocess.run([tool] + argv, capture_output=True, text=True)
+
+
+def expect_error(name, proc, failures):
+    ok = True
+    if proc.returncode == 0:
+        print(f"FAIL {name}: exited 0, want non-zero")
+        ok = False
+    err = proc.stderr.strip()
+    if not err:
+        print(f"FAIL {name}: no diagnostic on stderr")
+        ok = False
+    elif len(err.splitlines()) != 1:
+        print(f"FAIL {name}: want a one-line diagnostic, got:\n{err}")
+        ok = False
+    if ok:
+        print(f"ok   {name}: exit {proc.returncode}, \"{err}\"")
+        return failures
+    return failures + 1
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--tool", required=True)
+    args = ap.parse_args()
+
+    if not os.path.isfile(args.tool) or not os.access(args.tool, os.X_OK):
+        print(f"SKIP: dfth-check binary not found at {args.tool}")
+        return SKIP
+
+    failures = 0
+
+    failures = expect_error(
+        "missing file", run(args.tool, ["/nonexistent/nowhere.cpp"]), failures)
+
+    with tempfile.TemporaryDirectory() as empty:
+        failures = expect_error(
+            "empty TU set", run(args.tool, [empty]), failures)
+
+    with tempfile.TemporaryDirectory() as d:
+        src = os.path.join(d, "x.cpp")
+        with open(src, "w", encoding="utf-8") as f:
+            f.write("int x = 0;\n")
+        failures = expect_error(
+            "unknown --check", run(args.tool, ["--check=no-such-check", src]),
+            failures)
+        failures = expect_error(
+            "unknown --format", run(args.tool, ["--format=yaml", src]),
+            failures)
+        failures = expect_error(
+            "space mode without apps",
+            run(args.tool, ["--space-bound=" + os.path.join(d, "sb.json"), src]),
+            failures)
+        failures = expect_error(
+            "malformed --space-app",
+            run(args.tool, ["--space-app=justaname", src]), failures)
+
+        # Sanity inversion: a well-formed invocation on the same TU is clean.
+        proc = run(args.tool, [src])
+        if proc.returncode != 0:
+            print(f"FAIL clean invocation: exited {proc.returncode}:\n"
+                  f"{proc.stdout}{proc.stderr}")
+            failures += 1
+        else:
+            print("ok   clean invocation: exit 0")
+
+    if failures:
+        print(f"{failures} CLI assertion(s) failed")
+        return 1
+    print("cli: all assertions passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

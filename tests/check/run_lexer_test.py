@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""Lexer unit tests for dfth-check, driven through `--dump-tokens`.
+
+The dump prints one `path:line:col KIND text` line per token (KIND in
+I/N/S/P) plus one `path:line:0 G check` line per anchored suppression
+marker. The assertions below pin the behaviors the satellites added: raw
+strings with every encoding prefix (a `//` inside one must not eat the
+line), digit separators lexed as one number token, and suppression markers
+anchored to exactly the statement they govern.
+
+Exit codes: 0 pass, 1 mismatch, 77 skip (tool not built).
+"""
+
+import argparse
+import os
+import subprocess
+import sys
+
+SKIP = 77
+
+
+def dump(tool, path):
+    proc = subprocess.run([tool, "--dump-tokens", path],
+                          capture_output=True, text=True)
+    if proc.returncode != 0:
+        print(f"FAIL: --dump-tokens exited {proc.returncode}:\n"
+              f"{proc.stdout}{proc.stderr}")
+        return None
+    rows = []
+    for line in proc.stdout.splitlines():
+        head, _, text = line.partition(" ")
+        kind, _, tok = text.partition(" ")
+        parts = head.rsplit(":", 2)
+        if len(parts) != 3 or kind not in ("I", "N", "S", "P", "G"):
+            print(f"FAIL: unparseable dump line: {line!r}")
+            return None
+        rows.append((int(parts[1]), kind, tok))
+    return rows
+
+
+def check(cond, what, failures):
+    if cond:
+        print(f"ok   {what}")
+        return failures
+    print(f"FAIL {what}")
+    return failures + 1
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--tool", required=True)
+    ap.add_argument("--lexer-dir", required=True,
+                    help="directory holding the lexer fixtures")
+    args = ap.parse_args()
+
+    if not os.path.isfile(args.tool) or not os.access(args.tool, os.X_OK):
+        print(f"SKIP: dfth-check binary not found at {args.tool}")
+        return SKIP
+
+    failures = 0
+
+    rows = dump(args.tool, os.path.join(args.lexer_dir, "raw_strings.cpp"))
+    if rows is None:
+        return 1
+    idents = [tok for _, kind, tok in rows if kind == "I"]
+    numbers = [tok for _, kind, tok in rows if kind == "N"]
+    strings = [tok for _, kind, tok in rows if kind == "S"]
+
+    # One string token per literal; the `// not_a_comment` inside the raw
+    # strings must not have commented out the rest of any line.
+    failures = check(len(strings) == 6,
+                     f"raw_strings: 6 string tokens (got {len(strings)})",
+                     failures)
+    for sentinel in ("after_plain", "after_delim", "after_prefixed",
+                     "after_numbers"):
+        failures = check(sentinel in idents,
+                         f"raw_strings: sentinel '{sentinel}' survives",
+                         failures)
+    failures = check("not_a_comment" not in idents,
+                     "raw_strings: raw-string content is not tokenized",
+                     failures)
+
+    # Digit separators: each literal is ONE number token, separator intact.
+    for want in ("1'000'000", "0xFF'FF", "1'000.000'1", "1'000ull"):
+        failures = check(want in numbers,
+                         f"raw_strings: number token {want!r}", failures)
+    failures = check("000" not in numbers and "FF" not in numbers,
+                     "raw_strings: no separator-split number fragments",
+                     failures)
+
+    rows = dump(args.tool, os.path.join(args.lexer_dir, "suppress_anchor.cpp"))
+    if rows is None:
+        return 1
+    anchors = {(line, tok) for line, kind, tok in rows if kind == "G"}
+    failures = check((4, "blocking-while-holding-lock") in anchors,
+                     "suppress_anchor: trailing marker stays on its line",
+                     failures)
+    failures = check((9, "lock-order") in anchors,
+                     "suppress_anchor: comment-only marker anchors to the "
+                     "next statement", failures)
+    failures = check(len(anchors) == 2,
+                     f"suppress_anchor: exactly 2 anchors (got {len(anchors)})",
+                     failures)
+
+    if failures:
+        print(f"{failures} lexer assertion(s) failed")
+        return 1
+    print("lexer: all assertions passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

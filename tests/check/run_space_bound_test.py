@@ -1,0 +1,174 @@
+#!/usr/bin/env python3
+"""Space-bound certification test: static bound >= observed heap peak.
+
+Pipeline (DESIGN.md §9):
+  1. run bench/space_bound_apps — the seven paper apps at quickstart
+     configurations on the simulator (AsyncDF, p=8, K=32 KB); it emits
+     SPACE_OBSERVED.json with each app's heap_peak plus the analysis root,
+     parameter bindings and sizeof bindings for the static side;
+  2. run dfth-check --space-bound with exactly those bindings over src/apps
+     and bench, producing the certified S1 + c*p*K*D bound per app;
+  3. assert, per app: the walk resolved (certified), and bound >= heap_peak;
+  4. merge observed numbers into the bound JSON (the SPACE_BOUND.json CI
+     artifact carries both sides);
+  5. regression gate: fail if any app's bound grew more than 10% over the
+     committed baseline (tests/check/space_bound_baseline.json); run with
+     --update-baseline after an intentional change.
+
+Exit codes: 0 pass, 1 violation/regression, 77 skip (tool or bench binary
+not built — ctest maps this to SKIP).
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+SKIP = 77
+GROWTH_LIMIT = 1.10
+
+
+def run_observed(bench, workdir):
+    path = os.path.join(workdir, "SPACE_OBSERVED.json")
+    proc = subprocess.run([bench, "--observed", path, "--json", ""],
+                          capture_output=True, text=True, cwd=workdir)
+    if proc.returncode != 0:
+        print(f"FAIL: {os.path.basename(bench)} exited {proc.returncode}:\n"
+              f"{proc.stdout}{proc.stderr}")
+        return None
+    with open(path, encoding="utf-8") as f:
+        return json.load(f)
+
+
+def run_static(tool, observed, sources, workdir):
+    out = os.path.join(workdir, "SPACE_BOUND.json")
+    argv = [tool, f"--space-bound={out}",
+            f"--space-procs={observed['procs']}",
+            f"--space-quota={observed['quota_bytes']}"]
+    sizeofs = []
+    for app in observed["apps"]:
+        spec = f"{app['app']}:{app['root']}"
+        if app["params"]:
+            spec += f":{app['params']}"
+        argv.append(f"--space-app={spec}")
+        if app["sizeofs"]:
+            sizeofs.append(app["sizeofs"])
+    if sizeofs:
+        argv.append("--space-sizeof=" + ",".join(sizeofs))
+    argv += sources
+    proc = subprocess.run(argv, capture_output=True, text=True)
+    if proc.returncode != 0:
+        print(f"FAIL: dfth-check --space-bound exited {proc.returncode}:\n"
+              f"{proc.stdout}{proc.stderr}")
+        return None
+    print(proc.stdout, end="")
+    with open(out, encoding="utf-8") as f:
+        return json.load(f)
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--tool", required=True, help="dfth-check binary")
+    ap.add_argument("--bench", required=True, help="space_bound_apps binary")
+    ap.add_argument("--sources", nargs="+", required=True,
+                    help="directories the static side analyzes")
+    ap.add_argument("--baseline", default=os.path.join(
+        os.path.dirname(os.path.abspath(__file__)),
+        "space_bound_baseline.json"))
+    ap.add_argument("--update-baseline", action="store_true")
+    ap.add_argument("--output", default="",
+                    help="write the merged SPACE_BOUND.json here (CI artifact)")
+    args = ap.parse_args()
+    # The bench binary runs with cwd inside a tempdir: absolutize everything.
+    args.tool = os.path.abspath(args.tool)
+    args.bench = os.path.abspath(args.bench)
+    args.sources = [os.path.abspath(s) for s in args.sources]
+
+    for binary, what in ((args.tool, "dfth-check"), (args.bench,
+                                                     "space_bound_apps")):
+        if not os.path.isfile(binary) or not os.access(binary, os.X_OK):
+            print(f"SKIP: {what} binary not found at {binary}")
+            return SKIP
+
+    failures = 0
+    with tempfile.TemporaryDirectory() as workdir:
+        observed = run_observed(args.bench, workdir)
+        if observed is None:
+            return 1
+        bounds = run_static(args.tool, observed, args.sources, workdir)
+        if bounds is None:
+            return 1
+
+    by_app = {a["app"]: a for a in bounds["apps"]}
+    heap = {a["app"]: a for a in observed["apps"]}
+    if set(by_app) != set(heap):
+        print(f"FAIL: app sets differ: static={sorted(by_app)} "
+              f"observed={sorted(heap)}")
+        return 1
+
+    # 3. certification: every app resolved, and the static bound dominates
+    # the observed heap peak.
+    for name in sorted(by_app):
+        b = by_app[name]
+        peak = heap[name]["heap_peak"]
+        bound = b["certified_bound_bytes"]
+        if not b["certified"]:
+            print(f"FAIL {name}: bound not certified (unresolved symbols: "
+                  f"{b.get('symbolic_terms', [])})")
+            failures += 1
+        elif bound < peak:
+            print(f"FAIL {name}: static bound {bound} < observed heap_peak "
+                  f"{peak}")
+            failures += 1
+        else:
+            print(f"ok   {name}: bound {bound} >= observed {peak} "
+                  f"(S1={b['serial_space_bytes']}, D={b['depth']})")
+        b["observed_heap_peak"] = peak
+        b["observed_max_live_threads"] = heap[name]["max_live_threads"]
+
+    # 5. regression gate against the committed baseline.
+    if args.update_baseline:
+        with open(args.baseline, "w", encoding="utf-8") as f:
+            json.dump({n: by_app[n]["certified_bound_bytes"]
+                       for n in sorted(by_app)}, f, indent=2, sort_keys=True)
+            f.write("\n")
+        print(f"(baseline updated: {args.baseline})")
+    elif os.path.isfile(args.baseline):
+        with open(args.baseline, encoding="utf-8") as f:
+            base = json.load(f)
+        for name in sorted(by_app):
+            bound = by_app[name]["certified_bound_bytes"]
+            if name not in base:
+                print(f"ok   {name}: new app, no baseline")
+                continue
+            limit = int(base[name] * GROWTH_LIMIT)
+            if bound > limit:
+                print(f"FAIL {name}: bound {bound} grew >10% over baseline "
+                      f"{base[name]} (limit {limit}) — if intentional, rerun "
+                      f"with --update-baseline and commit the result")
+                failures += 1
+            else:
+                print(f"ok   {name}: bound {bound} within 110% of baseline "
+                      f"{base[name]}")
+    else:
+        print(f"warning: no baseline at {args.baseline}; regression gate "
+              f"skipped (run with --update-baseline to create it)")
+
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as f:
+            json.dump(bounds, f, indent=2)
+            f.write("\n")
+        print(f"(merged SPACE_BOUND.json written to {args.output})")
+
+    if failures:
+        print(f"{failures} space-bound assertion(s) failed")
+        return 1
+    print("space-bound: all apps certified, bound >= observed, "
+          "no regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

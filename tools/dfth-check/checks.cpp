@@ -6,6 +6,8 @@
 #include <map>
 #include <tuple>
 
+#include "spawn_graph.h"
+
 namespace dfth_check {
 namespace {
 
@@ -60,16 +62,8 @@ struct Reachability {
 
 std::vector<int> callees_of(const Model& model, const Function& fn,
                             const CallSite& cs) {
-  // Only unqualified or dfth-qualified calls resolve into the analyzed TUs;
-  // std:: etc. stay external.
-  if (!cs.qualifier.empty() && cs.qualifier != "dfth" &&
-      cs.qualifier != "dfth::apps" && cs.qualifier != "apps") {
-    return {};
-  }
   (void)fn;
-  auto it = model.by_name.find(cs.callee);
-  if (it == model.by_name.end()) return {};
-  return it->second;
+  return resolve_callees(model, cs);
 }
 
 Reachability fiber_reachability(const Model& model) {
@@ -499,11 +493,252 @@ void check_lock_order(const Model& model, const CheckOptions& opts,
   }
 }
 
+// -- check 5: join-mismatch ---------------------------------------------------
+//
+// The AsyncDF space bound is argued over a spawn DAG in which every spawn has
+// a dominating join; a handle that is discarded or never joined means the
+// code builds a different DAG than the one the bound certifies. Unlike
+// fiber-stack-escape this fires regardless of what the child captures.
+
+void check_join_mismatch(const Model& model, const SpawnGraph& graph,
+                         std::vector<Diagnostic>& out) {
+  (void)graph;
+  for (const SpawnSite& sp : model.spawns) {
+    if (sp.is_run_body) continue;  // run() blocks until every thread exits
+    const Function* encl =
+        sp.enclosing_fn >= 0 ? &model.functions[sp.enclosing_fn] : nullptr;
+    const std::string where =
+        encl ? " in '" + encl->qualified + "'" : std::string();
+    switch (sp.fate) {
+      case HandleFate::kLocal: {
+        const bool joined = encl && !sp.handle_base.empty() &&
+                            encl->joined_bases.count(sp.handle_base) > 0;
+        const bool detached = encl && !sp.handle_base.empty() &&
+                              encl->detached_bases.count(sp.handle_base) > 0;
+        const bool returned = encl && !sp.handle_base.empty() &&
+                              encl->returned_bases.count(sp.handle_base) > 0;
+        if (!joined && !detached && !returned) {
+          append(out, kCheckJoinMismatch, sp.loc,
+                 "spawn" + where + " has no dominating join: handle '" +
+                     sp.handle_base +
+                     "' is neither joined nor detached in the spawning "
+                     "function — the spawn DAG the space bound is argued "
+                     "over requires every spawn to be joined");
+        }
+        break;
+      }
+      case HandleFate::kDiscarded:
+        append(out, kCheckJoinMismatch, sp.loc,
+               "spawn" + where + " discards its handle, so it can never be "
+               "joined — every spawn on the DAG needs a dominating join "
+               "(use detach explicitly if fire-and-forget is intended)");
+        break;
+      case HandleFate::kEscaped:
+        // The handle may be joined by whoever it escapes to; the local
+        // analysis cannot prove a mismatch.
+        break;
+    }
+  }
+}
+
+// -- check 6: alloc-before-spawn ----------------------------------------------
+//
+// The premature-allocation pattern AsyncDF exists to delay: a df_malloc whose
+// only consumer is one spawned child inflates the parent's live footprint for
+// the whole child lifetime. Allocating inside the child lets the scheduler
+// charge it against the child's quota grant instead.
+
+void check_alloc_before_spawn(const Model& model, const SpawnGraph& graph,
+                              std::vector<Diagnostic>& out) {
+  for (std::size_t fi = 0; fi < model.functions.size(); ++fi) {
+    const Function& fn = model.functions[fi];
+    if (fn.malloc_locals.empty()) continue;
+    const auto& spawn_sites = graph.spawn_sites_of[fi];
+    if (spawn_sites.empty()) continue;
+
+    for (const std::string& m : fn.malloc_locals) {
+      // Spawn consumers: lambdas capturing/using m, or &m passed through the
+      // pthread_create argument slot.
+      int consumers = 0;
+      const SpawnSite* consumer = nullptr;
+      for (int si : spawn_sites) {
+        const SpawnSite& sp = model.spawns[static_cast<std::size_t>(si)];
+        if (sp.is_run_body) continue;
+        const bool uses =
+            lambda_uses_ident(model, sp.lambda_id, m) ||
+            std::find(sp.addr_of_args.begin(), sp.addr_of_args.end(), m) !=
+                sp.addr_of_args.end();
+        if (uses) {
+          ++consumers;
+          consumer = &sp;
+        }
+      }
+      if (consumers != 1) continue;  // shared across children, or unused
+
+      // Any use by the parent itself keeps the allocation where it is.
+      bool parent_use = false;
+      for (const CallSite& cs : fn.calls) {
+        if (cs.callee == "spawn" || cs.callee == "run" ||
+            cs.callee == "dfth_pthread_create" || cs.callee == "df_malloc" ||
+            cs.callee == "df_try_malloc" || cs.callee == "df_free") {
+          continue;
+        }
+        if (cs.arg_idents.count(m) || cs.receiver == m) {
+          parent_use = true;
+          break;
+        }
+      }
+      if (!parent_use) {
+        for (const Store& st : fn.stores) {
+          if (st.base == m) {
+            parent_use = true;
+            break;
+          }
+        }
+      }
+      if (!parent_use) {
+        for (const auto& [local, roots] : fn.derived) {
+          if (local != m && roots.count(m)) {
+            parent_use = true;
+            break;
+          }
+        }
+      }
+      if (!parent_use) {
+        for (const Annotation& an : fn.annotations) {
+          if (an.arg_idents.count(m)) {
+            parent_use = true;
+            break;
+          }
+        }
+      }
+      if (parent_use) continue;
+
+      auto lit = fn.malloc_local_loc.find(m);
+      const Location loc =
+          lit != fn.malloc_local_loc.end() ? lit->second : consumer->loc;
+      append(out, kCheckAllocBeforeSpawn, loc,
+             "allocation '" + m + "' in '" + fn.qualified +
+                 "' is consumed only by the spawn at line " +
+                 std::to_string(consumer->loc.line) +
+                 " — allocating in the parent holds the memory for the "
+                 "child's whole lifetime; allocate inside the spawned "
+                 "thread so AsyncDF can delay it");
+    }
+  }
+}
+
+// -- check 7: blocking-while-holding-lock -------------------------------------
+//
+// Lock-graph × blocking-call join: a blocking primitive reached while a dfth
+// lock is held serializes every fiber queued on that lock behind a kernel-
+// level wait. may_block propagates transitively over the call graph.
+
+void check_blocking_lock(const Model& model, const SpawnGraph& graph,
+                         std::vector<Diagnostic>& out) {
+  const std::size_t nfn = model.functions.size();
+
+  auto direct_blocking = [&](const CallSite& cs) -> bool {
+    if (cs.callee.rfind("dfth_", 0) == 0 || cs.callee.rfind("df_", 0) == 0) {
+      return false;
+    }
+    const bool plain = cs.qualifier.empty() && cs.receiver.empty();
+    return (plain && (blocked_libc_calls().count(cs.callee) ||
+                      blocked_pthread_calls().count(cs.callee))) ||
+           is_this_thread_call(cs);
+  };
+
+  // Fixpoint: may this function reach a blocking primitive? Compat shims are
+  // the allowlist — they wrap waits in fiber-aware form.
+  std::vector<char> may_block(nfn, 0);
+  for (std::size_t fi = 0; fi < nfn; ++fi) {
+    if (in_compat_layer(model.functions[fi])) continue;
+    for (const CallSite& cs : model.functions[fi].calls) {
+      if (direct_blocking(cs)) {
+        may_block[fi] = 1;
+        break;
+      }
+    }
+  }
+  for (bool changed = true; changed;) {
+    changed = false;
+    for (std::size_t fi = 0; fi < nfn; ++fi) {
+      if (may_block[fi] || in_compat_layer(model.functions[fi])) continue;
+      for (int callee : graph.callees[fi]) {
+        if (may_block[static_cast<std::size_t>(callee)]) {
+          may_block[fi] = 1;
+          changed = true;
+          break;
+        }
+      }
+    }
+  }
+
+  for (std::size_t fi = 0; fi < nfn; ++fi) {
+    const Function& fn = model.functions[fi];
+    if (in_compat_layer(fn)) continue;
+    if (fn.lock_events.empty()) continue;
+
+    std::vector<OrderedEvent> seq;
+    for (std::size_t k = 0; k < fn.lock_events.size(); ++k) {
+      seq.push_back({OrderedEvent::kLock, k, fn.lock_events[k].loc.line,
+                     fn.lock_events[k].loc.col});
+    }
+    for (std::size_t k = 0; k < fn.calls.size(); ++k) {
+      seq.push_back({OrderedEvent::kCall, k, fn.calls[k].loc.line,
+                     fn.calls[k].loc.col});
+    }
+    std::sort(seq.begin(), seq.end(),
+              [](const OrderedEvent& a, const OrderedEvent& b) {
+                return std::tie(a.line, a.col) < std::tie(b.line, b.col);
+              });
+
+    std::vector<std::string> held;
+    for (const OrderedEvent& ev : seq) {
+      if (ev.kind == OrderedEvent::kLock) {
+        const LockEvent& le = fn.lock_events[ev.index];
+        if (le.kind == LockEvent::kAcquire) {
+          held.push_back(le.lock_id);
+        } else {
+          for (auto it = held.rbegin(); it != held.rend(); ++it) {
+            if (*it == le.lock_id) {
+              held.erase(std::next(it).base());
+              break;
+            }
+          }
+        }
+        continue;
+      }
+      if (held.empty()) continue;
+      const CallSite& cs = fn.calls[ev.index];
+      if (direct_blocking(cs)) {
+        append(out, kCheckBlockingLock, cs.loc,
+               "blocking call '" + cs.callee + "' while holding lock '" +
+                   held.back() + "' in '" + fn.qualified +
+                   "' — every fiber queued on the lock now waits on a "
+                   "kernel-level block");
+        continue;
+      }
+      for (int callee : callees_of(model, fn, cs)) {
+        if (may_block[static_cast<std::size_t>(callee)]) {
+          append(out, kCheckBlockingLock, cs.loc,
+                 "call '" + cs.callee + "' may block (via '" +
+                     model.functions[callee].qualified +
+                     "') while holding lock '" + held.back() + "' in '" +
+                     fn.qualified + "'");
+          break;
+        }
+      }
+    }
+  }
+}
+
 }  // namespace
 
 std::vector<std::string> all_check_names() {
-  return {kCheckBlockingCall, kCheckSharedWrite, kCheckStackEscape,
-          kCheckLockOrder};
+  return {kCheckBlockingCall, kCheckSharedWrite,      kCheckStackEscape,
+          kCheckLockOrder,    kCheckJoinMismatch,     kCheckAllocBeforeSpawn,
+          kCheckBlockingLock};
 }
 
 std::vector<Diagnostic> run_checks(const Model& model, const CheckOptions& opts) {
@@ -512,10 +747,16 @@ std::vector<Diagnostic> run_checks(const Model& model, const CheckOptions& opts)
   };
   std::vector<Diagnostic> out;
   const Reachability reach = fiber_reachability(model);
+  const SpawnGraph graph = build_spawn_graph(model);
   if (enabled(kCheckBlockingCall)) check_blocking_calls(model, reach, out);
   if (enabled(kCheckSharedWrite)) check_shared_writes(model, reach, opts, out);
   if (enabled(kCheckStackEscape)) check_stack_escape(model, out);
   if (enabled(kCheckLockOrder)) check_lock_order(model, opts, out);
+  if (enabled(kCheckJoinMismatch)) check_join_mismatch(model, graph, out);
+  if (enabled(kCheckAllocBeforeSpawn)) {
+    check_alloc_before_spawn(model, graph, out);
+  }
+  if (enabled(kCheckBlockingLock)) check_blocking_lock(model, graph, out);
   std::sort(out.begin(), out.end(), [](const Diagnostic& a, const Diagnostic& b) {
     return std::tie(a.path, a.line, a.col, a.check) <
            std::tie(b.path, b.line, b.col, b.check);

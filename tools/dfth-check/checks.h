@@ -1,4 +1,4 @@
-// The four fiber-correctness checks dfth-check runs over a Model.
+// The fiber-correctness checks dfth-check runs over a Model.
 //
 // Check names (used in diagnostics, --check= filters, and
 // `// dfth-check-ignore(<name>)` suppressions):
@@ -12,6 +12,19 @@
 //                            stack frame the parent may pop before join
 //   lock-order               statically possible ABBA cycles in the nested
 //                            lock-acquisition graph
+//
+// Spawn-graph checks (need the interprocedural graph in spawn_graph.h):
+//
+//   join-mismatch            a spawn whose handle is discarded or never
+//                            joined in the spawning function — the spawn has
+//                            no dominating join, so the DAG the space bound
+//                            is argued over is not what the code builds
+//   alloc-before-spawn       a df_malloc consumed by exactly one spawned
+//                            child and nothing else — the premature-
+//                            allocation pattern AsyncDF exists to delay;
+//                            allocate inside the child instead
+//   blocking-while-holding-lock  a blocking primitive reached (directly or
+//                            transitively) while a dfth lock is held
 #pragma once
 
 #include <string>
@@ -25,6 +38,9 @@ inline constexpr const char* kCheckBlockingCall = "blocking-call-on-fiber";
 inline constexpr const char* kCheckSharedWrite = "unannotated-shared-write";
 inline constexpr const char* kCheckStackEscape = "fiber-stack-escape";
 inline constexpr const char* kCheckLockOrder = "lock-order";
+inline constexpr const char* kCheckJoinMismatch = "join-mismatch";
+inline constexpr const char* kCheckAllocBeforeSpawn = "alloc-before-spawn";
+inline constexpr const char* kCheckBlockingLock = "blocking-while-holding-lock";
 
 /// All check names, in reporting order.
 std::vector<std::string> all_check_names();

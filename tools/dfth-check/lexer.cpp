@@ -14,6 +14,29 @@ const char* kPuncts[] = {
     "&&", "||", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "++", "--",
 };
 
+// Records `dfth-space-alloc: <expr>` annotations found in a comment: a
+// byte-size expression for an allocation the token scan cannot see.
+void scan_space_allocs(const std::string& comment, int line, SourceFile& out) {
+  static const std::string kMarker = "dfth-space-alloc:";
+  const std::size_t at = comment.find(kMarker);
+  if (at == std::string::npos) return;
+  std::size_t p = at + kMarker.size();
+  std::size_t end = comment.find('\n', p);
+  if (end == std::string::npos) end = comment.size();
+  std::string expr = comment.substr(p, end - p);
+  // Trim whitespace and a trailing "*/".
+  if (expr.size() >= 2 && expr.compare(expr.size() - 2, 2, "*/") == 0) {
+    expr.resize(expr.size() - 2);
+  }
+  while (!expr.empty() && std::isspace(static_cast<unsigned char>(expr.front()))) {
+    expr.erase(expr.begin());
+  }
+  while (!expr.empty() && std::isspace(static_cast<unsigned char>(expr.back()))) {
+    expr.pop_back();
+  }
+  if (!expr.empty()) out.space_allocs[line] = expr;
+}
+
 // Records `dfth-check-ignore(<check>)` / `dfth-check-ignore-file(<check>)`
 // markers found in a comment. `line` is the line the comment starts on.
 void scan_suppressions(const std::string& comment, int line, SourceFile& out) {
@@ -55,14 +78,11 @@ void scan_suppressions(const std::string& comment, int line, SourceFile& out) {
 
 bool SourceFile::suppressed(const std::string& check, int line) const {
   if (file_suppressions.count("*") || file_suppressions.count(check)) return true;
-  // A marker suppresses its own line and the line below it, so it can ride
-  // at the end of the flagged statement or on a comment line above it.
-  for (int l : {line, line - 1}) {
-    auto it = line_suppressions.find(l);
-    if (it == line_suppressions.end()) continue;
-    if (it->second.count("*") || it->second.count(check)) return true;
-  }
-  return false;
+  // Markers were re-anchored after lexing (see lex_file) so each entry sits
+  // exactly on the one statement line it governs.
+  auto it = line_suppressions.find(line);
+  if (it == line_suppressions.end()) return false;
+  return it->second.count("*") > 0 || it->second.count(check) > 0;
 }
 
 SourceFile lex_file(std::string path, const std::string& text) {
@@ -114,6 +134,7 @@ SourceFile lex_file(std::string path, const std::string& text) {
       std::size_t end = text.find('\n', i);
       if (end == std::string::npos) end = n;
       scan_suppressions(text.substr(i, end - i), start_line, out);
+      scan_space_allocs(text.substr(i, end - i), start_line, out);
       advance(end - i);
       continue;
     }
@@ -122,21 +143,38 @@ SourceFile lex_file(std::string path, const std::string& text) {
       std::size_t end = text.find("*/", i + 2);
       if (end == std::string::npos) end = n; else end += 2;
       scan_suppressions(text.substr(i, end - i), start_line, out);
+      scan_space_allocs(text.substr(i, end - i), start_line, out);
       advance(end - i);
       continue;
     }
 
-    // Raw strings: R"delim( ... )delim".
-    if (c == 'R' && i + 1 < n && text[i + 1] == '"') {
-      std::size_t open = text.find('(', i + 2);
-      if (open != std::string::npos && open - (i + 2) <= 16) {
-        const std::string delim = text.substr(i + 2, open - (i + 2));
-        const std::string closer = ")" + delim + "\"";
-        std::size_t end = text.find(closer, open + 1);
-        if (end == std::string::npos) end = n; else end += closer.size();
-        out.tokens.push_back({Tok::kString, "\"\"", line, col});
-        advance(end - i);
-        continue;
+    // Raw strings: R"delim( ... )delim", with any of the encoding prefixes
+    // (u8R / uR / UR / LR). The content is dropped like a normal string so
+    // code-shaped text inside cannot fake tokens.
+    {
+      std::size_t plen = 0;  // length up to and including the R
+      if (c == 'R' && i + 1 < n && text[i + 1] == '"') {
+        plen = 1;
+      } else if ((c == 'u' || c == 'U' || c == 'L')) {
+        if (c == 'u' && i + 3 < n && text[i + 1] == '8' && text[i + 2] == 'R' &&
+            text[i + 3] == '"') {
+          plen = 3;
+        } else if (i + 2 < n && text[i + 1] == 'R' && text[i + 2] == '"') {
+          plen = 2;
+        }
+      }
+      if (plen != 0) {
+        const std::size_t q = i + plen;  // the opening '"'
+        std::size_t open = text.find('(', q + 1);
+        if (open != std::string::npos && open - (q + 1) <= 16) {
+          const std::string delim = text.substr(q + 1, open - (q + 1));
+          const std::string closer = ")" + delim + "\"";
+          std::size_t end = text.find(closer, open + 1);
+          if (end == std::string::npos) end = n; else end += closer.size();
+          out.tokens.push_back({Tok::kString, "\"\"", line, col});
+          advance(end - i);
+          continue;
+        }
       }
     }
 
@@ -166,8 +204,12 @@ SourceFile lex_file(std::string path, const std::string& text) {
     if (std::isdigit(static_cast<unsigned char>(c))) {
       const int tline = line, tcol = col;
       std::size_t j = i;
-      // Loose pp-number: digits, letters, dots, and exponent signs.
+      // Loose pp-number: digits, letters, dots, exponent signs, and digit
+      // separators (1'000'000) — a ' inside a number is part of it when a
+      // digit/letter follows, never the start of a char literal.
       while (j < n && (ident_char(text[j]) || text[j] == '.' ||
+                       (text[j] == '\'' && j + 1 < n &&
+                        std::isalnum(static_cast<unsigned char>(text[j + 1]))) ||
                        ((text[j] == '+' || text[j] == '-') && j > i &&
                         (text[j - 1] == 'e' || text[j - 1] == 'E' ||
                          text[j - 1] == 'p' || text[j - 1] == 'P')))) {
@@ -192,6 +234,26 @@ SourceFile lex_file(std::string path, const std::string& text) {
       out.tokens.push_back({Tok::kPunct, matched, tline, tcol});
       advance(matched.size());
     }
+  }
+
+  // Re-anchor suppression markers to the single statement they govern: a
+  // marker trailing code stays on its line; one on a comment-only line moves
+  // to the next line that carries a token. This is what scopes an ignore to
+  // the *next statement only* — it can never blanket the rest of the file.
+  if (!out.line_suppressions.empty()) {
+    std::set<int> token_lines;
+    for (const Token& t : out.tokens) token_lines.insert(t.line);
+    std::map<int, std::set<std::string>> anchored;
+    for (auto& [mline, checks] : out.line_suppressions) {
+      int target = mline;
+      if (!token_lines.count(mline)) {
+        auto next = token_lines.upper_bound(mline);
+        if (next == token_lines.end()) continue;  // trailing comment: inert
+        target = *next;
+      }
+      anchored[target].insert(checks.begin(), checks.end());
+    }
+    out.line_suppressions = std::move(anchored);
   }
   return out;
 }

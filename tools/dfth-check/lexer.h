@@ -38,14 +38,22 @@ struct SourceFile {
   std::string path;
   std::vector<Token> tokens;
 
-  /// line -> set of check names suppressed on that line. A comment
-  /// `// dfth-check-ignore(<check>)` suppresses <check> on its own line and
-  /// on the following line (so it can sit above the flagged statement);
-  /// `dfth-check-ignore(*)` suppresses every check.
+  /// line -> set of check names suppressed on that line. A
+  /// `// dfth-check-ignore(<check>)` marker is scoped to the *next statement
+  /// only*: trailing a statement it suppresses that statement's line; on a
+  /// comment-only line it binds to the next line that carries code. It never
+  /// bleeds past that one statement, so a misplaced marker cannot mask a
+  /// later finding. `dfth-check-ignore(*)` suppresses every check.
   std::map<int, std::set<std::string>> line_suppressions;
 
   /// Checks suppressed for the whole file via `dfth-check-ignore-file(...)`.
   std::set<std::string> file_suppressions;
+
+  /// line -> byte-size expression from a `// dfth-space-alloc: <expr>`
+  /// annotation. Declares an allocation the token scan cannot see (e.g. a
+  /// TrackedAllocator-backed container) for the space-bound analysis; the
+  /// expression is charged to the enclosing function like a df_malloc arg.
+  std::map<int, std::string> space_allocs;
 
   bool suppressed(const std::string& check, int line) const;
 };

@@ -7,22 +7,36 @@
 // Options:
 //   --check=<name>[,<name>...]   run only the named checks (see --list-checks)
 //   --json=<file>                also write diagnostics as JSON (CI artifact)
+//   --format=<text|sarif>        stdout rendering: human text (default) or a
+//                                SARIF 2.1.0 document for code scanning
 //   --lock-graph-json=<file>     dump the static lock-order edge set, for
 //                                cross-checking against the dynamic
 //                                analyze/lock_graph.h ordering
 //   --shared-write-paths=<subs>  comma-separated path substrings where
 //                                unannotated-shared-write fires
 //                                (default: src/apps/,fixtures/)
+//   --space-bound=<file>         run the AsyncDF space-bound analysis instead
+//                                of the checks; write SPACE_BOUND.json here
+//   --space-app=<name>:<root>[+<root>...][:<k=v>[,<k=v>...]]
+//                                one app to certify (repeatable): its root
+//                                functions and integer symbol bindings
+//   --space-sizeof=<T=N>[,...]   sizeof bindings for app types
+//   --space-procs=<p> --space-quota=<K> --space-c=<c>
+//   --space-assume-depth=<d>     bound parameters (defaults: 8, 32768, 1, 8)
+//   --dump-tokens                print the lexed token stream and exit
+//                                (lexer unit-test hook)
 //   --list-checks                print check names and exit
 //   --frontend                   print the active frontend and exit
 //
 // Exit status: 0 clean, 1 diagnostics reported, 2 usage/IO error.
 //
-// Suppressions: `// dfth-check-ignore(<check>)` on the flagged line or the
-// line above; `// dfth-check-ignore-file(<check>)` anywhere in the file;
-// `*` matches every check.
+// Suppressions: `// dfth-check-ignore(<check>)` trailing the flagged
+// statement or on a comment line directly above it (next-statement scope
+// only); `// dfth-check-ignore-file(<check>)` anywhere in the file; `*`
+// matches every check.
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
@@ -33,6 +47,8 @@
 #include "checks.h"
 #include "lexer.h"
 #include "model.h"
+#include "space_bound.h"
+#include "spawn_graph.h"
 
 #if DFTH_CHECK_HAVE_CLANG
 #include "clang_frontend.h"
@@ -97,12 +113,80 @@ std::string json_escape(const std::string& s) {
   return out;
 }
 
+// SARIF 2.1.0 document for GitHub code scanning: one rule per check name,
+// one result per diagnostic.
+void print_sarif(const std::vector<Diagnostic>& diags) {
+  std::printf("{\n");
+  std::printf("  \"version\": \"2.1.0\",\n");
+  std::printf(
+      "  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n");
+  std::printf("  \"runs\": [{\n");
+  std::printf("    \"tool\": {\"driver\": {\"name\": \"dfth-check\",\n");
+  std::printf("      \"informationUri\": \"DESIGN.md#9\",\n");
+  std::printf("      \"rules\": [\n");
+  const auto names = dfth_check::all_check_names();
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    std::printf("        {\"id\": \"%s\"}%s\n", names[i].c_str(),
+                i + 1 < names.size() ? "," : "");
+  }
+  std::printf("      ]}},\n");
+  std::printf("    \"results\": [\n");
+  for (std::size_t i = 0; i < diags.size(); ++i) {
+    const Diagnostic& d = diags[i];
+    std::printf("      {\"ruleId\": \"%s\", \"level\": \"warning\",\n",
+                d.check.c_str());
+    std::printf("       \"message\": {\"text\": \"%s\"},\n",
+                json_escape(d.message).c_str());
+    std::printf(
+        "       \"locations\": [{\"physicalLocation\": "
+        "{\"artifactLocation\": {\"uri\": \"%s\"}, "
+        "\"region\": {\"startLine\": %d, \"startColumn\": %d}}}]}%s\n",
+        json_escape(d.path).c_str(), d.line, d.col > 0 ? d.col : 1,
+        i + 1 < diags.size() ? "," : "");
+  }
+  std::printf("    ]\n  }]\n}\n");
+}
+
+// Parses `<name>:<root>[+<root>...][:<k=v>[,<k=v>...]]`.
+bool parse_space_app(const std::string& v, dfth_check::AppSpec& spec) {
+  const std::size_t c1 = v.find(':');
+  if (c1 == std::string::npos || c1 == 0) return false;
+  spec.name = v.substr(0, c1);
+  const std::size_t c2 = v.find(':', c1 + 1);
+  const std::string roots =
+      v.substr(c1 + 1, (c2 == std::string::npos ? v.size() : c2) - c1 - 1);
+  if (roots.empty()) return false;
+  std::stringstream rs(roots);
+  std::string root;
+  while (std::getline(rs, root, '+')) {
+    if (!root.empty()) spec.roots.push_back(root);
+  }
+  if (spec.roots.empty()) return false;
+  if (c2 != std::string::npos) {
+    for (const std::string& kv : split_csv(v.substr(c2 + 1))) {
+      const std::size_t eq = kv.find('=');
+      if (eq == std::string::npos || eq == 0) return false;
+      char* end = nullptr;
+      const long long val = std::strtoll(kv.c_str() + eq + 1, &end, 0);
+      if (end == nullptr || *end != '\0') return false;
+      spec.params[kv.substr(0, eq)] = val;
+    }
+  }
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::vector<std::string> positional;
   dfth_check::CheckOptions opts;
   std::string json_path, lock_graph_path;
+  std::string format = "text";
+  bool dump_tokens = false;
+  std::string space_bound_path;
+  std::vector<dfth_check::AppSpec> space_apps;
+  dfth_check::SpaceBoundOptions space_opts;
+  space_opts.sizeofs = dfth_check::builtin_sizeofs();
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -140,6 +224,69 @@ int main(int argc, char** argv) {
       opts.shared_write_paths = split_csv(v);
       continue;
     }
+    if (const char* v = value_of("--format=")) {
+      format = v;
+      if (format != "text" && format != "sarif") {
+        std::fprintf(stderr, "dfth-check: unknown format '%s' (text|sarif)\n",
+                     format.c_str());
+        return 2;
+      }
+      continue;
+    }
+    if (arg == "--dump-tokens") {
+      dump_tokens = true;
+      continue;
+    }
+    if (const char* v = value_of("--space-bound=")) {
+      space_bound_path = v;
+      continue;
+    }
+    if (const char* v = value_of("--space-app=")) {
+      dfth_check::AppSpec spec;
+      if (!parse_space_app(v, spec)) {
+        std::fprintf(stderr,
+                     "dfth-check: bad --space-app '%s' (want "
+                     "name:root[+root...][:k=v,...])\n",
+                     v);
+        return 2;
+      }
+      space_apps.push_back(std::move(spec));
+      continue;
+    }
+    if (const char* v = value_of("--space-sizeof=")) {
+      for (const std::string& kv : split_csv(v)) {
+        const std::size_t eq = kv.find('=');
+        char* end = nullptr;
+        const long long val =
+            eq == std::string::npos
+                ? 0
+                : std::strtoll(kv.c_str() + eq + 1, &end, 0);
+        if (eq == std::string::npos || eq == 0 || end == nullptr ||
+            *end != '\0' || val <= 0) {
+          std::fprintf(stderr, "dfth-check: bad --space-sizeof '%s'\n",
+                       kv.c_str());
+          return 2;
+        }
+        space_opts.sizeofs[kv.substr(0, eq)] = val;
+      }
+      continue;
+    }
+    if (const char* v = value_of("--space-procs=")) {
+      space_opts.procs = std::atoll(v);
+      continue;
+    }
+    if (const char* v = value_of("--space-quota=")) {
+      space_opts.quota_bytes = std::atoll(v);
+      continue;
+    }
+    if (const char* v = value_of("--space-c=")) {
+      space_opts.c = std::atoll(v);
+      continue;
+    }
+    if (const char* v = value_of("--space-assume-depth=")) {
+      space_opts.assume_depth = std::atoi(v);
+      continue;
+    }
     if (arg.rfind("--", 0) == 0) {
       std::fprintf(stderr, "dfth-check: unknown option '%s'\n", arg.c_str());
       return 2;
@@ -162,8 +309,16 @@ int main(int argc, char** argv) {
     }
   }
 
+  const std::vector<std::string> files = collect_files(positional);
+  if (files.empty()) {
+    std::fprintf(stderr,
+                 "dfth-check: no C++ sources found under the given paths — "
+                 "nothing to analyze\n");
+    return 2;
+  }
+
   dfth_check::Model model;
-  for (const std::string& path : collect_files(positional)) {
+  for (const std::string& path : files) {
     std::ifstream in(path, std::ios::binary);
     if (!in) {
       std::fprintf(stderr, "dfth-check: cannot read '%s'\n", path.c_str());
@@ -178,22 +333,81 @@ int main(int argc, char** argv) {
   }
   model.index();
 
+  if (dump_tokens) {
+    // Lexer unit-test hook: one line per token, `path:line:col kind text`.
+    for (const auto& file : model.files) {
+      for (const dfth_check::Token& t : file->tokens) {
+        const char kind = t.kind == dfth_check::Tok::kIdent    ? 'I'
+                          : t.kind == dfth_check::Tok::kNumber ? 'N'
+                          : t.kind == dfth_check::Tok::kString ? 'S'
+                                                               : 'P';
+        std::printf("%s:%d:%d %c %s\n", file->path.c_str(), t.line, t.col,
+                    kind, t.text.c_str());
+      }
+      for (const auto& [line, checks] : file->line_suppressions) {
+        for (const auto& c : checks) {
+          std::printf("%s:%d:0 G %s\n", file->path.c_str(), line, c.c_str());
+        }
+      }
+    }
+    return 0;
+  }
+
 #if DFTH_CHECK_HAVE_CLANG
   // When LLVM dev libraries were found at configure time, refine the token
   // model with AST-accurate facts (type-checked captures, resolved callees).
   dfth_check::refine_model_with_clang(model);
 #endif
 
+  // Space-bound mode: certify S1 + c*p*K*D per app over the spawn graph and
+  // exit (the correctness checks run in their own invocation).
+  if (!space_bound_path.empty()) {
+    if (space_apps.empty()) {
+      std::fprintf(stderr,
+                   "dfth-check: --space-bound needs at least one --space-app\n");
+      return 2;
+    }
+    const dfth_check::SpawnGraph graph = dfth_check::build_spawn_graph(model);
+    std::vector<dfth_check::AppBound> bounds;
+    for (const auto& spec : space_apps) {
+      bounds.push_back(
+          dfth_check::compute_space_bound(model, graph, spec, space_opts));
+      const auto& b = bounds.back();
+      std::printf(
+          "%-10s S1=%lld bytes  D=%d  bound=%lld bytes  %s\n", b.app.c_str(),
+          b.serial_space, b.depth, b.bound,
+          b.certified ? "certified" : "UNCERTIFIED (symbolic terms remain)");
+      for (const auto& sym : b.symbolic_terms) {
+        std::printf("  symbolic: %s\n", sym.c_str());
+      }
+      for (const auto& cyc : b.recursion_cycles) {
+        std::printf("  recursion (charged x%d): %s\n", space_opts.assume_depth,
+                    cyc.c_str());
+      }
+    }
+    if (!dfth_check::write_space_bound_json(space_bound_path, bounds,
+                                            space_opts)) {
+      std::fprintf(stderr, "dfth-check: cannot write '%s'\n",
+                   space_bound_path.c_str());
+      return 2;
+    }
+    return 0;
+  }
+
   std::vector<dfth_check::LockEdge> lock_edges;
   if (!lock_graph_path.empty()) opts.lock_edges_out = &lock_edges;
 
   const std::vector<Diagnostic> diags = dfth_check::run_checks(model, opts);
-  for (const Diagnostic& d : diags) {
-    std::printf("%s:%d:%d: warning: %s [dfth-check:%s]\n", d.path.c_str(),
-                d.line, d.col, d.message.c_str(), d.check.c_str());
-  }
-  if (!diags.empty()) {
-    std::printf("dfth-check: %zu finding(s)\n", diags.size());
+  if (format == "sarif") {
+    print_sarif(diags);
+  } else {
+    for (const Diagnostic& d : diags) {
+      std::printf("%s:%d:%d: warning: %s [dfth-check:%s]\n", d.path.c_str(),
+                  d.line, d.col, d.message.c_str(), d.check.c_str());
+    }
+    if (!diags.empty()) {
+      std::printf("dfth-check: %zu finding(s)\n", diags.size());
+    }
   }
 
   if (!json_path.empty()) {

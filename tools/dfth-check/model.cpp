@@ -151,15 +151,46 @@ bool classify_function_brace(const std::vector<Token>& toks,
   }
   if (before.kind != Tok::kIdent) return false;
   if (control_keywords().count(before.text)) return false;
-  // Constructor-initializer lists (`Foo() : a_(1) {`) leave the ':' between
-  // the param list and '{'; the specifier walk above already skipped the
-  // initializer calls via their balanced parens, so `j` may not sit right
-  // after ')'. Accept the common shapes; reject `operator()` etc.
+  // Constructor-initializer lists (`Foo(...) : a_(x), b_(y) {`) put the last
+  // init item's `name(...)` right before the '{', so the walk above lands on
+  // it instead of the parameter list. Loop back over `:`/`,`-separated init
+  // items (paren or brace form) until the group whose name is *not* preceded
+  // by an initializer separator — that is the real parameter list.
+  std::size_t name_at = paren_open - 1;
+  std::size_t params_at = paren_open;
+  while (name_at > 0 &&
+         (is_punct(toks[name_at - 1], ":") || is_punct(toks[name_at - 1], ","))) {
+    std::size_t k = name_at - 1;  // the separator; previous group ends before it
+    if (k == 0) return false;
+    const Token& prev = toks[k - 1];
+    if (!(is_punct(prev, ")") || is_punct(prev, "}")) || match[k - 1] == kNone) {
+      return false;  // `case x:` or similar — not an init list
+    }
+    const std::size_t prev_open = match[k - 1];
+    if (prev_open == 0 || toks[prev_open - 1].kind != Tok::kIdent ||
+        control_keywords().count(toks[prev_open - 1].text)) {
+      return false;
+    }
+    name_at = prev_open - 1;
+    params_at = prev_open;
+    if (toks[params_at].text != "(") {
+      // Init items may be brace-form, but a parameter list never is; keep
+      // walking only if a separator precedes this group too.
+      if (name_at == 0 ||
+          !(is_punct(toks[name_at - 1], ":") || is_punct(toks[name_at - 1], ","))) {
+        return false;
+      }
+    }
+  }
+  if (toks[name_at].kind != Tok::kIdent ||
+      control_keywords().count(toks[name_at].text)) {
+    return false;
+  }
   out.open = b;
   out.close = match[b];
   out.is_lambda = false;
-  out.param_open = paren_open;
-  out.name = before.text;
+  out.param_open = params_at;
+  out.name = toks[name_at].text;
   return true;
 }
 
@@ -410,12 +441,18 @@ void build_model_from_tokens(SourceFile* file, Model& model) {
     }
   }
 
-  // Map from capture-open token -> lambda id, for spawn linking.
+  // Map from capture-open token -> lambda id, for spawn linking; and capture
+  // open -> body close, for skipping whole lambda expressions in scans whose
+  // facts must not absorb the lambda's innards (e.g. RHS derivation: in
+  // `Thread t = spawn([buf] {...})` the capture belongs to the lambda, t
+  // does not alias buf).
   std::map<std::size_t, int> lambda_at;
+  std::map<std::size_t, std::size_t> lambda_end;
   for (std::size_t bi = 0; bi < bodies.size(); ++bi) {
     if (bodies[bi].is_lambda) {
       lambda_at[bodies[bi].capture_open] =
           model.functions[bodies[bi].fn_index].lambda_id;
+      lambda_end[bodies[bi].capture_open] = bodies[bi].close;
     }
   }
 
@@ -483,6 +520,21 @@ void build_model_from_tokens(SourceFile* file, Model& model) {
       }
       const Token& t = toks[i];
 
+      // `return x;` / `return std::move(x);` — x escapes to the caller (a
+      // spawn handle returned this way may be joined there).
+      if (is_ident(t, "return") && i + 1 < body.close) {
+        std::size_t a = i + 1;
+        if (is_ident(toks[a], "std") && a + 3 < body.close &&
+            is_punct(toks[a + 1], "::") && is_ident(toks[a + 2], "move") &&
+            is_punct(toks[a + 3], "(")) {
+          a += 4;
+        }
+        if (toks[a].kind == Tok::kIdent && a + 1 < body.close &&
+            (is_punct(toks[a + 1], ";") || is_punct(toks[a + 1], ")"))) {
+          fn.returned_bases.insert(resolve_alias(toks[a].text));
+        }
+      }
+
       // Range-for alias discovery.
       if (is_ident(t, "for") && i + 1 < toks.size() && is_punct(toks[i + 1], "(") &&
           match[i + 1] != kNone) {
@@ -523,6 +575,18 @@ void build_model_from_tokens(SourceFile* file, Model& model) {
         const std::size_t paren = i + 1;
         const std::size_t paren_close = match[paren];
         const auto args = split_args(toks, match, paren, paren_close);
+        // Argument identifiers, skipping nested lambda bodies: a spawned
+        // lambda's body belongs to the lambda, not to the spawn call's
+        // argument expression.
+        for (std::size_t k = paren + 1; k < paren_close; ++k) {
+          auto bit = std::lower_bound(body_opens.begin(), body_opens.end(),
+                                      std::make_pair(k, std::size_t{0}));
+          if (bit != body_opens.end() && bit->first == k) {
+            k = bodies[bit->second].close;
+            continue;
+          }
+          if (toks[k].kind == Tok::kIdent) cs.arg_idents.insert(toks[k].text);
+        }
 
         // -- special call shapes -------------------------------------------
         const bool dfth_qualified = cs.qualifier.empty() || cs.qualifier == "dfth" ||
@@ -634,6 +698,20 @@ void build_model_from_tokens(SourceFile* file, Model& model) {
             const std::string base = first_ident_in(args[0].first, args[0].second);
             if (!base.empty()) fn.detached_bases.insert(resolve_alias(base));
           }
+        } else if (cs.callee == "df_malloc" || cs.callee == "df_try_malloc") {
+          if (!args.empty()) {
+            AllocSite as;
+            as.loc = cs.loc;
+            for (std::size_t k = args[0].first; k < args[0].second; ++k) {
+              as.size_expr.push_back(toks[k]);
+            }
+            fn.allocs.push_back(std::move(as));
+          }
+        } else if (cs.callee == "df_free") {
+          if (!args.empty()) {
+            const std::string base = first_ident_in(args[0].first, args[0].second);
+            if (!base.empty()) fn.freed_locals.insert(resolve_alias(base));
+          }
         } else if (cs.callee == "df_read" || cs.callee == "df_write") {
           Annotation an;
           an.is_write = (cs.callee == "df_write");
@@ -723,9 +801,16 @@ void build_model_from_tokens(SourceFile* file, Model& model) {
           while (k < body.close) {
             const Token& rt = toks[k];
             if (is_punct(rt, ";")) break;
+            auto le = lambda_end.find(k);
+            if (le != lambda_end.end()) {  // whole lambda expression
+              k = le->second + 1;
+              continue;
+            }
             if (rt.kind == Tok::kIdent) {
               if (rt.text == "df_malloc" || rt.text == "df_try_malloc") {
                 fn.malloc_locals.insert(base);
+                fn.malloc_local_loc.emplace(base,
+                                            Location{file, t.line, t.col});
               } else {
                 roots.insert(rt.text);
               }
@@ -740,6 +825,33 @@ void build_model_from_tokens(SourceFile* file, Model& model) {
         continue;
       }
     }
+  }
+
+  // Attribute `// dfth-space-alloc: <expr>` annotations to the innermost
+  // enclosing function body: they declare allocations the token scan cannot
+  // see (TrackedAllocator-backed containers, placement pools) and are charged
+  // exactly like a df_malloc size argument by the space-bound analysis.
+  for (const auto& [aline, expr] : file->space_allocs) {
+    int best = -1;
+    int best_span = 0;
+    for (std::size_t bi = 0; bi < bodies.size(); ++bi) {
+      const int lo = toks[bodies[bi].open].line;
+      const int hi = toks[bodies[bi].close].line;
+      if (aline < lo || aline > hi) continue;
+      const int span = hi - lo;
+      if (best < 0 || span < best_span) {
+        best = static_cast<int>(bi);
+        best_span = span;
+      }
+    }
+    if (best < 0) continue;
+    AllocSite as;
+    as.from_annotation = true;
+    as.loc = {file, aline, 1};
+    const SourceFile lexed = lex_file("<dfth-space-alloc>", expr);
+    as.size_expr = lexed.tokens;
+    model.functions[bodies[static_cast<std::size_t>(best)].fn_index].allocs
+        .push_back(std::move(as));
   }
   (void)first_fn;
 }

@@ -44,6 +44,18 @@ struct CallSite {
   std::string receiver;   ///< postfix base for method calls ("mu", "cells[].mu")
   Location loc;
   std::size_t tok = 0;  ///< index of the callee token in its file's stream
+  /// Identifiers mentioned anywhere in the argument list (for linking ctor
+  /// invocations and spawn-graph argument flow).
+  std::set<std::string> arg_idents;
+};
+
+/// A df_malloc/df_try_malloc call (or a `// dfth-space-alloc:` annotation for
+/// allocations the token scan cannot see), with its size expression kept as
+/// raw tokens so the space-bound evaluator can constant-fold or bind it.
+struct AllocSite {
+  std::vector<Token> size_expr;  ///< tokens of the size argument
+  bool from_annotation = false;
+  Location loc;
 };
 
 /// A store through an lvalue: `base[...] = e`, `*base = e`, `base->f = e`,
@@ -115,11 +127,19 @@ struct Function {
   std::vector<std::pair<std::string, Location>> std_sync_mentions;
   std::set<std::string> joined_bases;     ///< join(x)/dfth_pthread_join(x) targets
   std::set<std::string> detached_bases;   ///< detach(x) targets
+  std::set<std::string> returned_bases;   ///< `return x;` — x escapes to caller
   /// local name -> shared roots it derives from (see checks.cpp); populated
   /// lazily by the shared-write check, declared here so frontends may seed it.
   std::map<std::string, std::set<std::string>> derived;
   /// locals initialized from df_malloc/df_try_malloc.
   std::set<std::string> malloc_locals;
+  /// local -> location of its df_malloc binding (for alloc-before-spawn).
+  std::map<std::string, Location> malloc_local_loc;
+  /// df_malloc/df_try_malloc calls (and dfth-space-alloc annotations) in this
+  /// body, with their size expressions (for the space-bound analysis).
+  std::vector<AllocSite> allocs;
+  /// local name -> df_free'd in this body (for alloc-before-spawn).
+  std::set<std::string> freed_locals;
   Location loc;
   const SourceFile* file = nullptr;
 };

@@ -1,0 +1,479 @@
+#include "space_bound.h"
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <set>
+
+namespace dfth_check {
+namespace {
+
+// -- size-expression evaluation -----------------------------------------------
+//
+// Constant folding over the raw token vector of a df_malloc argument. The
+// grammar covers what size expressions are made of: integer literals (hex,
+// digit separators, suffixes), sizeof(type), identifier chains (`n`, `cfg.
+// chunk_workspace_bytes`, `rows_`), parentheses, casts, and + - * / % << >>.
+// Anything unresolved becomes a named symbol, never a silent zero-and-pass.
+
+struct Eval {
+  long long value = 0;
+  std::set<std::string> missing;
+  bool ok() const { return missing.empty(); }
+};
+
+struct ExprParser {
+  const std::vector<Token>& toks;
+  const std::map<std::string, long long>& params;
+  const std::map<std::string, long long>& sizeofs;
+  std::size_t at = 0;
+
+  bool done() const { return at >= toks.size(); }
+  bool is_p(const char* s) const {
+    return !done() && toks[at].kind == Tok::kPunct && toks[at].text == s;
+  }
+  bool is_i(const char* s) const {
+    return !done() && toks[at].kind == Tok::kIdent && toks[at].text == s;
+  }
+
+  static std::optional<long long> parse_int(const std::string& raw) {
+    std::string s;
+    for (char c : raw) {
+      if (c != '\'') s += c;  // digit separators
+    }
+    while (!s.empty() && std::strchr("uUlLzZ", s.back())) s.pop_back();
+    if (s.empty()) return std::nullopt;
+    if (s.find('.') != std::string::npos || s.find('e') != std::string::npos ||
+        s.find('E') != std::string::npos) {
+      if (s.rfind("0x", 0) != 0 && s.rfind("0X", 0) != 0) return std::nullopt;
+    }
+    try {
+      std::size_t used = 0;
+      const long long v = std::stoll(s, &used, 0);
+      if (used != s.size()) return std::nullopt;
+      return v;
+    } catch (...) {
+      return std::nullopt;
+    }
+  }
+
+  Eval lookup_symbol(const std::string& chain) {
+    auto it = params.find(chain);
+    if (it != params.end()) return {it->second, {}};
+    const std::size_t dot = chain.find_last_of(".:");
+    if (dot != std::string::npos) {
+      it = params.find(chain.substr(dot + 1));
+      if (it != params.end()) return {it->second, {}};
+    }
+    Eval e;
+    e.missing.insert(chain);
+    return e;
+  }
+
+  Eval lookup_sizeof(const std::string& type_text, bool pointer) {
+    if (pointer) return {8, {}};
+    auto it = sizeofs.find(type_text);
+    if (it != sizeofs.end()) return {it->second, {}};
+    if (type_text.rfind("std::", 0) == 0) {
+      it = sizeofs.find(type_text.substr(5));
+      if (it != sizeofs.end()) return {it->second, {}};
+    }
+    const std::size_t sep = type_text.find_last_of(":. ");
+    if (sep != std::string::npos) {
+      it = sizeofs.find(type_text.substr(sep + 1));
+      if (it != sizeofs.end()) return {it->second, {}};
+    }
+    Eval e;
+    e.missing.insert("sizeof(" + type_text + ")");
+    return e;
+  }
+
+  Eval primary() {
+    if (done()) {
+      Eval e;
+      e.missing.insert("<empty>");
+      return e;
+    }
+    const Token& t = toks[at];
+    if (t.kind == Tok::kNumber) {
+      ++at;
+      if (auto v = parse_int(t.text)) return {*v, {}};
+      Eval e;
+      e.missing.insert(t.text);
+      return e;
+    }
+    if (is_p("(")) {
+      ++at;
+      Eval e = expr();
+      if (is_p(")")) ++at;
+      return e;
+    }
+    if (is_i("sizeof")) {
+      ++at;
+      if (!is_p("(")) {
+        Eval e;
+        e.missing.insert("sizeof");
+        return e;
+      }
+      ++at;
+      std::string type_text;
+      bool pointer = false;
+      int depth = 1;
+      while (!done() && depth > 0) {
+        if (is_p("(")) ++depth;
+        if (is_p(")")) {
+          --depth;
+          if (depth == 0) {
+            ++at;
+            break;
+          }
+        }
+        const Token& tt = toks[at];
+        if (tt.kind == Tok::kPunct && tt.text == "*") pointer = true;
+        if (tt.kind == Tok::kIdent && !type_text.empty() &&
+            type_text.back() != ':') {
+          type_text += ' ';
+        }
+        if (!(tt.kind == Tok::kPunct && tt.text == "*")) type_text += tt.text;
+        ++at;
+      }
+      return lookup_sizeof(type_text, pointer);
+    }
+    if (is_i("static_cast") || is_i("reinterpret_cast") || is_i("const_cast")) {
+      ++at;
+      if (is_p("<")) {
+        int depth = 0;
+        while (!done()) {
+          if (is_p("<")) ++depth;
+          if (is_p(">")) {
+            --depth;
+            if (depth == 0) {
+              ++at;
+              break;
+            }
+          }
+          ++at;
+        }
+      }
+      return primary();  // the parenthesized operand
+    }
+    if (t.kind == Tok::kIdent) {
+      // Identifier chain: a.b, a->b, a::b — one bindable symbol.
+      std::string chain = t.text;
+      ++at;
+      while (!done() && (is_p(".") || is_p("->") || is_p("::"))) {
+        const std::string sep = toks[at].text == "::" ? "::" : ".";
+        ++at;
+        if (done() || toks[at].kind != Tok::kIdent) break;
+        chain += sep + toks[at].text;
+        ++at;
+      }
+      // A call like bodies.size() is not foldable; make the symbol explicit.
+      if (is_p("(")) {
+        int depth = 0;
+        while (!done()) {
+          if (is_p("(")) ++depth;
+          if (is_p(")")) {
+            --depth;
+            if (depth == 0) {
+              ++at;
+              break;
+            }
+          }
+          ++at;
+        }
+        chain += "()";
+        Eval e = lookup_symbol(chain);
+        return e;
+      }
+      return lookup_symbol(chain);
+    }
+    if (is_p("-") || is_p("+")) {
+      const bool neg = t.text == "-";
+      ++at;
+      Eval e = primary();
+      if (neg) e.value = -e.value;
+      return e;
+    }
+    Eval e;
+    e.missing.insert(t.text);
+    ++at;
+    return e;
+  }
+
+  static Eval combine(Eval a, const Eval& b, long long v) {
+    a.value = v;
+    a.missing.insert(b.missing.begin(), b.missing.end());
+    return a;
+  }
+
+  Eval mult() {
+    Eval lhs = primary();
+    while (is_p("*") || is_p("/") || is_p("%")) {
+      const std::string op = toks[at].text;
+      ++at;
+      const Eval rhs = primary();
+      long long v = 0;
+      if (op == "*") {
+        v = lhs.value * rhs.value;
+      } else if (rhs.value != 0) {
+        v = op == "/" ? lhs.value / rhs.value : lhs.value % rhs.value;
+      }
+      lhs = combine(lhs, rhs, v);
+    }
+    return lhs;
+  }
+
+  Eval additive() {
+    Eval lhs = mult();
+    while (is_p("+") || is_p("-")) {
+      const bool add = toks[at].text == "+";
+      ++at;
+      const Eval rhs = mult();
+      lhs = combine(lhs, rhs, add ? lhs.value + rhs.value : lhs.value - rhs.value);
+    }
+    return lhs;
+  }
+
+  Eval expr() {
+    Eval lhs = additive();
+    while (is_p("<<") || is_p(">>")) {
+      const bool left = toks[at].text == "<<";
+      ++at;
+      const Eval rhs = additive();
+      long long v = 0;
+      if (rhs.value >= 0 && rhs.value < 63) {
+        v = left ? (lhs.value << rhs.value) : (lhs.value >> rhs.value);
+      }
+      lhs = combine(lhs, rhs, v);
+    }
+    return lhs;
+  }
+};
+
+// -- the walk -----------------------------------------------------------------
+
+struct Contribution {
+  long long bytes = 0;
+  int depth = 0;  ///< max spawn edges on any path below (inclusive of entry edge)
+};
+
+struct WalkCtx {
+  const Model& model;
+  const SpawnGraph& graph;
+  const AppSpec& spec;
+  const SpaceBoundOptions& opts;
+
+  std::vector<std::optional<long long>> own_cache;
+  std::vector<int> path_pos;  // fn -> index on path, or -1
+  struct PathEntry {
+    int fn;
+    bool via_spawn;
+  };
+  std::vector<PathEntry> path;
+  std::set<std::string>* symbolic;
+  std::set<std::string>* cycles;
+  long long visits = 0;
+
+  long long own_bytes(int fi) {
+    auto& slot = own_cache[static_cast<std::size_t>(fi)];
+    if (slot) return *slot;
+    const Function& fn = model.functions[static_cast<std::size_t>(fi)];
+    long long total = 0;
+    for (const AllocSite& as : fn.allocs) {
+      ExprParser p{as.size_expr, spec.params, opts.sizeofs};
+      const Eval e = p.expr();
+      for (const auto& sym : e.missing) {
+        symbolic->insert(sym + " (in " + fn.qualified + ")");
+      }
+      if (e.ok() && e.value > 0) total += e.value;
+    }
+    slot = total;
+    return total;
+  }
+};
+
+Contribution walk(WalkCtx& ctx, int fi, bool via_spawn) {
+  if (++ctx.visits > 2000000) return {};  // runaway-graph guard
+  const std::size_t f = static_cast<std::size_t>(fi);
+  if (ctx.path_pos[f] >= 0) {
+    // Recursion: charge the cycle's own bytes and spawn edges for the
+    // (assume_depth - 1) unwindings beyond the occurrence already on the
+    // path, exactly like stack_bound.py charges recursive frames.
+    const int k = ctx.path_pos[f];
+    long long cycle_bytes = 0;
+    int cycle_spawns = via_spawn ? 1 : 0;
+    std::string desc;
+    for (std::size_t j = static_cast<std::size_t>(k); j < ctx.path.size(); ++j) {
+      cycle_bytes += ctx.own_bytes(ctx.path[j].fn);
+      if (j > static_cast<std::size_t>(k) && ctx.path[j].via_spawn) {
+        ++cycle_spawns;
+      }
+      desc += ctx.model.functions[static_cast<std::size_t>(ctx.path[j].fn)]
+                  .qualified +
+              " -> ";
+    }
+    desc += ctx.model.functions[f].qualified;
+    ctx.cycles->insert(desc);
+    const long long extra = ctx.opts.assume_depth - 1;
+    return {cycle_bytes * extra, static_cast<int>(cycle_spawns * extra)};
+  }
+
+  ctx.path_pos[f] = static_cast<int>(ctx.path.size());
+  ctx.path.push_back({fi, via_spawn});
+
+  Contribution out;
+  out.bytes = ctx.own_bytes(fi);
+
+  const Function& fn = ctx.model.functions[f];
+  // Lambdas spawned from this function are reached via spawn edges below;
+  // the rest run inline and count as plain callees.
+  std::set<int> spawned_bodies;
+  for (int si : ctx.graph.spawn_sites_of[f]) {
+    for (int child : ctx.graph.children_of_spawn[static_cast<std::size_t>(si)]) {
+      spawned_bodies.insert(child);
+    }
+  }
+  for (int callee : ctx.graph.callees[f]) {
+    const Contribution c = walk(ctx, callee, false);
+    out.bytes += c.bytes;
+    out.depth = std::max(out.depth, c.depth);
+  }
+  for (int lam : fn.lambdas) {
+    const int body = ctx.model.lambdas[lam].body_fn;
+    if (body >= 0 && !spawned_bodies.count(body)) {
+      const Contribution c = walk(ctx, body, false);
+      out.bytes += c.bytes;
+      out.depth = std::max(out.depth, c.depth);
+    }
+  }
+  for (int child : spawned_bodies) {
+    const Contribution c = walk(ctx, child, true);
+    out.bytes += c.bytes;
+    out.depth = std::max(out.depth, 1 + c.depth);
+  }
+
+  ctx.path.pop_back();
+  ctx.path_pos[f] = -1;
+  return out;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::map<std::string, long long> builtin_sizeofs() {
+  return {
+      {"bool", 1},      {"char", 1},      {"int8_t", 1},   {"uint8_t", 1},
+      {"char8_t", 1},   {"short", 2},     {"int16_t", 2},  {"uint16_t", 2},
+      {"char16_t", 2},  {"int", 4},       {"unsigned", 4}, {"int32_t", 4},
+      {"uint32_t", 4},  {"char32_t", 4},  {"float", 4},    {"wchar_t", 4},
+      {"long", 8},      {"int64_t", 8},   {"uint64_t", 8}, {"double", 8},
+      {"size_t", 8},    {"ssize_t", 8},   {"ptrdiff_t", 8}, {"intptr_t", 8},
+      {"uintptr_t", 8}, {"long long", 8}, {"unsigned long", 8},
+      {"unsigned long long", 8}, {"long double", 16},
+  };
+}
+
+AppBound compute_space_bound(const Model& model, const SpawnGraph& graph,
+                             const AppSpec& spec,
+                             const SpaceBoundOptions& opts) {
+  AppBound out;
+  out.app = spec.name;
+
+  std::set<std::string> symbolic;
+  std::set<std::string> cycles;
+  WalkCtx ctx{model,
+              graph,
+              spec,
+              opts,
+              std::vector<std::optional<long long>>(model.functions.size()),
+              std::vector<int>(model.functions.size(), -1),
+              {},
+              &symbolic,
+              &cycles,
+              0};
+
+  for (const std::string& root : spec.roots) {
+    RootBound rb;
+    rb.root = root;
+    auto it = model.by_name.find(root);
+    if (it == model.by_name.end()) {
+      rb.resolved = false;
+      out.certified = false;
+      symbolic.insert("root '" + root + "' not found");
+    } else {
+      for (int fi : it->second) {
+        const Contribution c = walk(ctx, fi, false);
+        rb.bytes += c.bytes;
+        rb.depth = std::max(rb.depth, 1 + c.depth);
+      }
+    }
+    out.serial_space += rb.bytes;
+    out.depth = std::max(out.depth, rb.depth);
+    out.per_root.push_back(std::move(rb));
+  }
+
+  if (!symbolic.empty()) out.certified = false;
+  out.symbolic_terms.assign(symbolic.begin(), symbolic.end());
+  out.recursion_cycles.assign(cycles.begin(), cycles.end());
+  out.bound =
+      out.serial_space + opts.c * opts.procs * opts.quota_bytes * out.depth;
+  return out;
+}
+
+bool write_space_bound_json(const std::string& path,
+                            const std::vector<AppBound>& apps,
+                            const SpaceBoundOptions& opts) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << "{\n";
+  out << "  \"model\": \"S1 + c*p*K*D (AsyncDF space bound)\",\n";
+  out << "  \"params\": {\"procs\": " << opts.procs
+      << ", \"quota_bytes\": " << opts.quota_bytes << ", \"c\": " << opts.c
+      << ", \"assume_depth\": " << opts.assume_depth << "},\n";
+  out << "  \"apps\": [\n";
+  for (std::size_t i = 0; i < apps.size(); ++i) {
+    const AppBound& a = apps[i];
+    out << "    {\"app\": \"" << json_escape(a.app) << "\",\n";
+    out << "     \"serial_space_bytes\": " << a.serial_space << ",\n";
+    out << "     \"depth\": " << a.depth << ",\n";
+    out << "     \"certified_bound_bytes\": " << a.bound << ",\n";
+    out << "     \"certified\": " << (a.certified ? "true" : "false") << ",\n";
+    out << "     \"per_root\": [";
+    for (std::size_t r = 0; r < a.per_root.size(); ++r) {
+      const RootBound& rb = a.per_root[r];
+      out << (r ? ", " : "") << "{\"root\": \"" << json_escape(rb.root)
+          << "\", \"bytes\": " << rb.bytes << ", \"depth\": " << rb.depth
+          << ", \"resolved\": " << (rb.resolved ? "true" : "false") << "}";
+    }
+    out << "],\n";
+    out << "     \"symbolic_terms\": [";
+    for (std::size_t s = 0; s < a.symbolic_terms.size(); ++s) {
+      out << (s ? ", " : "") << "\"" << json_escape(a.symbolic_terms[s]) << "\"";
+    }
+    out << "],\n";
+    out << "     \"recursion_cycles\": [";
+    for (std::size_t s = 0; s < a.recursion_cycles.size(); ++s) {
+      out << (s ? ", " : "") << "\"" << json_escape(a.recursion_cycles[s])
+          << "\"";
+    }
+    out << "]}" << (i + 1 < apps.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  return out.good();
+}
+
+}  // namespace dfth_check

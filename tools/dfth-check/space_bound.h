@@ -1,0 +1,86 @@
+// Static AsyncDF space-bound certification (the heap analogue of
+// tools/stack_bound.py).
+//
+// The paper's theorem bounds a p-processor AsyncDF execution's memory by
+// S1 + O(p * K * D): serial space plus one quota grant K per processor per
+// depth level. This module computes, per app, over the interprocedural spawn
+// graph (spawn_graph.h):
+//
+//   S1  an upper bound on the serial-execution footprint: the sum of every
+//       df_malloc/df_try_malloc size (and `// dfth-space-alloc:` annotation)
+//       reachable from the app's root functions over call and spawn edges.
+//       Summing ignores frees, so S1 here is >= the true serial peak.
+//   D   a bound on the spawn depth: the maximum number of spawn edges on any
+//       root-to-leaf path, plus one for the root level.
+//
+// Recursion is charged an assumed depth, exactly like stack_bound.py charges
+// recursive frames: a cycle's own bytes (and spawn edges) are multiplied by
+// (assume_depth - 1) beyond the occurrence already on the walk path. The
+// cycles charged this way are listed in the output so the assumption is
+// auditable.
+//
+// Allocation sizes are constant-folded where possible; identifiers that
+// survive folding (parameters, config fields) must be bound to values via
+// AppSpec::params — unresolved symbols are reported in symbolic_terms and
+// mark the app's bound uncertified rather than silently dropping bytes.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "model.h"
+#include "spawn_graph.h"
+
+namespace dfth_check {
+
+struct SpaceBoundOptions {
+  long long procs = 8;            ///< p
+  long long quota_bytes = 32768;  ///< K (RuntimeOptions::mem_quota default)
+  long long c = 1;                ///< constant in S1 + c*p*K*D
+  int assume_depth = 8;           ///< charged depth for recursion cycles
+  /// sizeof(type) bindings; seeded with the builtin scalar table, extended
+  /// via --space-sizeof for app types (Complex, Cell, Instance, ...).
+  std::map<std::string, long long> sizeofs;
+};
+
+/// One app to certify: root function names (the bench driver plus any setup
+/// ctors not reachable from it) and integer bindings for the symbols its
+/// size expressions mention.
+struct AppSpec {
+  std::string name;
+  std::vector<std::string> roots;
+  std::map<std::string, long long> params;
+};
+
+struct RootBound {
+  std::string root;
+  long long bytes = 0;
+  int depth = 1;
+  bool resolved = true;  ///< root name matched at least one function
+};
+
+struct AppBound {
+  std::string app;
+  long long serial_space = 0;  ///< S1: sum over roots
+  int depth = 1;               ///< D: max over roots
+  long long bound = 0;         ///< S1 + c*p*K*D
+  bool certified = true;       ///< false when symbols were unresolved
+  std::vector<RootBound> per_root;
+  std::vector<std::string> symbolic_terms;    ///< "symbol (in function)"
+  std::vector<std::string> recursion_cycles;  ///< charged at assume_depth
+};
+
+/// Default sizeof table for builtin scalar types.
+std::map<std::string, long long> builtin_sizeofs();
+
+AppBound compute_space_bound(const Model& model, const SpawnGraph& graph,
+                             const AppSpec& spec,
+                             const SpaceBoundOptions& opts);
+
+/// Writes SPACE_BOUND.json: options block plus one entry per app.
+bool write_space_bound_json(const std::string& path,
+                            const std::vector<AppBound>& apps,
+                            const SpaceBoundOptions& opts);
+
+}  // namespace dfth_check

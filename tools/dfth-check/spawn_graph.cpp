@@ -1,0 +1,126 @@
+#include "spawn_graph.h"
+
+#include <algorithm>
+#include <deque>
+
+namespace dfth_check {
+namespace {
+
+const std::set<std::string>& non_ctor_idents() {
+  // Tokens that precede a declaration-shaped call but never name a ctor body.
+  static const std::set<std::string> k = {
+      "if", "for", "while", "switch", "return", "sizeof", "new", "delete",
+      "const", "static", "auto", "case", "goto", "do", "else"};
+  return k;
+}
+
+}  // namespace
+
+std::vector<int> resolve_callees(const Model& model, const CallSite& cs) {
+  // Only unqualified or dfth-qualified calls resolve into the analyzed TUs;
+  // std:: etc. stay external.
+  if (!cs.qualifier.empty() && cs.qualifier != "dfth" &&
+      cs.qualifier != "dfth::apps" && cs.qualifier != "apps") {
+    return {};
+  }
+  auto it = model.by_name.find(cs.callee);
+  if (it != model.by_name.end()) return it->second;
+  // Declaration-shaped constructor invocation: `CellArena arena(n)` lexes as
+  // a call to `arena`; when the preceding token names an analyzed function
+  // (the ctor body, keyed by class name), link to it.
+  if (cs.receiver.empty() && cs.loc.file != nullptr && cs.tok > 0 &&
+      cs.tok < cs.loc.file->tokens.size()) {
+    const Token& prev = cs.loc.file->tokens[cs.tok - 1];
+    if (prev.kind == Tok::kIdent && !non_ctor_idents().count(prev.text)) {
+      auto pit = model.by_name.find(prev.text);
+      if (pit != model.by_name.end()) return pit->second;
+    }
+  }
+  return {};
+}
+
+std::vector<int> spawn_entry_fns(const Model& model, const SpawnSite& sp) {
+  std::vector<int> out;
+  if (sp.lambda_id >= 0) {
+    out.push_back(model.lambdas[sp.lambda_id].body_fn);
+    return out;
+  }
+  if (!sp.fn_arg.empty()) {
+    auto it = model.by_name.find(sp.fn_arg);
+    if (it != model.by_name.end()) out = it->second;
+  }
+  return out;
+}
+
+SpawnGraph build_spawn_graph(const Model& model) {
+  SpawnGraph g;
+  const std::size_t nfn = model.functions.size();
+  g.callees.resize(nfn);
+  g.spawn_sites_of.resize(nfn);
+  g.children_of_spawn.resize(model.spawns.size());
+
+  for (std::size_t fi = 0; fi < nfn; ++fi) {
+    std::set<int> seen;
+    for (const CallSite& cs : model.functions[fi].calls) {
+      for (int callee : resolve_callees(model, cs)) seen.insert(callee);
+    }
+    g.callees[fi].assign(seen.begin(), seen.end());
+  }
+  for (std::size_t si = 0; si < model.spawns.size(); ++si) {
+    const SpawnSite& sp = model.spawns[si];
+    if (sp.enclosing_fn >= 0) {
+      g.spawn_sites_of[static_cast<std::size_t>(sp.enclosing_fn)].push_back(
+          static_cast<int>(si));
+    }
+    g.children_of_spawn[si] = spawn_entry_fns(model, sp);
+  }
+
+  // Fiber reachability: BFS over call edges from every spawn/run entry.
+  std::deque<int> queue;
+  auto add = [&](int fn) {
+    if (fn < 0 || g.fiber_reachable.count(fn)) return;
+    g.fiber_reachable.insert(fn);
+    queue.push_back(fn);
+  };
+  for (const auto& children : g.children_of_spawn) {
+    for (int fn : children) add(fn);
+  }
+  while (!queue.empty()) {
+    const int fi = queue.front();
+    queue.pop_front();
+    for (int callee : g.callees[static_cast<std::size_t>(fi)]) add(callee);
+    for (int lam : model.functions[static_cast<std::size_t>(fi)].lambdas) {
+      add(model.lambdas[lam].body_fn);
+    }
+  }
+  return g;
+}
+
+bool lambda_uses_ident(const Model& model, int lambda_id,
+                       const std::string& name) {
+  if (lambda_id < 0) return false;
+  const Lambda& lam = model.lambdas[lambda_id];
+  if (lam.ref_captures.count(name) || lam.value_captures.count(name)) {
+    return true;
+  }
+  if (!lam.default_ref_capture && !lam.default_value_capture) return false;
+  if (lam.body_fn < 0) return false;
+  const Function& body = model.functions[static_cast<std::size_t>(lam.body_fn)];
+  for (const CallSite& cs : body.calls) {
+    if (cs.callee == name || cs.receiver == name || cs.arg_idents.count(name)) {
+      return true;
+    }
+  }
+  for (const Store& st : body.stores) {
+    if (st.base == name) return true;
+  }
+  for (const auto& [local, roots] : body.derived) {
+    if (local == name || roots.count(name)) return true;
+  }
+  for (const Annotation& an : body.annotations) {
+    if (an.arg_idents.count(name)) return true;
+  }
+  return false;
+}
+
+}  // namespace dfth_check

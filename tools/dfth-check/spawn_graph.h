@@ -1,0 +1,59 @@
+// Interprocedural spawn graph for dfth-check.
+//
+// The per-function model (model.h) records calls and spawn sites; this module
+// links them across translation units into the whole-program structure the
+// space-bound analysis and the graph-powered checks consume:
+//
+//   * call edges      fn -> fn, resolved through the name-keyed cross-TU
+//                     index (qualified std:: etc. calls stay external), plus
+//                     constructor invocations (`CellArena arena(n)` links to
+//                     the ctor body named `CellArena`);
+//   * spawn edges     fn -> child entry fn, one per spawn site (the spawned
+//                     lambda's body, or the named function argument in the
+//                     pthread_create shape);
+//   * fiber reachability  the set of functions reachable from any spawn/run
+//                     entry point over call edges.
+//
+// Recursion is not resolved here — the graph keeps cycles as-is; consumers
+// (space_bound.cpp) detect them during their walk and charge a documented
+// assumed depth, exactly like tools/stack_bound.py does for stack frames.
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "model.h"
+
+namespace dfth_check {
+
+/// Callee function indices for one call site. Only unqualified or
+/// dfth-qualified names resolve into the analyzed TUs; a declaration-shaped
+/// call (`Type var(args)`) resolves to `Type`'s constructor body when one was
+/// analyzed.
+std::vector<int> resolve_callees(const Model& model, const CallSite& cs);
+
+/// Entry functions a spawn site starts: the spawned lambda's body function,
+/// or every function matching the named fn argument (pthread_create shape).
+std::vector<int> spawn_entry_fns(const Model& model, const SpawnSite& sp);
+
+struct SpawnGraph {
+  /// fn index -> sorted, deduped callee fn indices (call edges).
+  std::vector<std::vector<int>> callees;
+  /// fn index -> indices into model.spawns whose enclosing_fn is this fn.
+  std::vector<std::vector<int>> spawn_sites_of;
+  /// spawn index -> child entry fn indices (spawn edges).
+  std::vector<std::vector<int>> children_of_spawn;
+  /// Functions reachable from any spawn/run entry over call edges.
+  std::set<int> fiber_reachable;
+};
+
+SpawnGraph build_spawn_graph(const Model& model);
+
+/// Does the lambda (by id) capture or use `name`? Checks the explicit capture
+/// lists and, under a default capture, the body's harvested facts (calls,
+/// stores, derivations, annotations).
+bool lambda_uses_ident(const Model& model, int lambda_id,
+                       const std::string& name);
+
+}  // namespace dfth_check
