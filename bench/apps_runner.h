@@ -19,6 +19,7 @@
 #include "apps/spmv/spmv.h"
 #include "apps/volrend/volrend.h"
 #include "bench_common.h"
+#include "obs/profile.h"
 #include "matmul_runner.h"
 
 namespace dfth::bench {
@@ -37,13 +38,16 @@ struct AppSpec {
 /// The `engine` parameter retargets the fine-grained runs (the resilience
 /// soak drives the same seven apps through the RealEngine); serial and
 /// coarse variants stay on the simulator — they exist to reproduce the
-/// paper's cost-model baselines.
+/// paper's cost-model baselines. A non-null `prof` is installed on every
+/// fine-grained run (bench/prof_apps reads it back between runs).
 inline std::vector<AppSpec> make_apps(bool full, std::uint64_t seed,
-                                      EngineKind engine = EngineKind::Sim) {
+                                      EngineKind engine = EngineKind::Sim,
+                                      obs::Profiler* prof = nullptr) {
   std::vector<AppSpec> apps;
-  auto fine_opts = [engine](SchedKind sched, int p, std::uint64_t sd) {
+  auto fine_opts = [engine, prof](SchedKind sched, int p, std::uint64_t sd) {
     RuntimeOptions o = sim_opts(sched, p, 8 << 10, sd);
     o.engine = engine;
+    o.profiler = prof;
     return o;
   };
 

@@ -30,6 +30,11 @@ struct BenchRecord {
   std::int64_t max_live_threads = 0;
   std::uint64_t faults_injected = 0;   ///< resil injector failures this run
   std::uint64_t faults_recovered = 0;  ///< injected failures absorbed this run
+  // Work/span profile (all zeros unless the run had a Profiler installed).
+  std::uint64_t work_ns = 0;
+  std::uint64_t span_ns = 0;
+  std::uint64_t burdened_span_ns = 0;
+  double parallelism = 0;
 };
 
 /// Standard options shared by the harnesses.
@@ -78,6 +83,7 @@ struct Common {
     r.max_live_threads = stats.max_live_threads;
     r.faults_injected = stats.faults_injected;
     r.faults_recovered = stats.faults_recovered;
+    copy_profile(&r, stats);
     records_.push_back(std::move(r));
   }
 
@@ -95,6 +101,7 @@ struct Common {
     r.max_live_threads = stats.max_live_threads;
     r.faults_injected = stats.faults_injected;
     r.faults_recovered = stats.faults_recovered;
+    copy_profile(&r, stats);
     records_.push_back(std::move(r));
   }
 
@@ -127,13 +134,19 @@ struct Common {
                    "\"nprocs\": %d, \"quota_bytes\": %llu, "
                    "\"elapsed_us\": %.3f, \"heap_peak\": %lld, "
                    "\"max_live_threads\": %lld, "
-                   "\"faults_injected\": %llu, \"faults_recovered\": %llu}",
+                   "\"faults_injected\": %llu, \"faults_recovered\": %llu, "
+                   "\"work_ns\": %llu, \"span_ns\": %llu, "
+                   "\"burdened_span_ns\": %llu, \"parallelism\": %.3f}",
                    first ? "" : ",", r.label.c_str(), r.scheduler.c_str(),
                    r.nprocs, static_cast<unsigned long long>(r.quota_bytes),
                    r.elapsed_us, static_cast<long long>(r.heap_peak),
                    static_cast<long long>(r.max_live_threads),
                    static_cast<unsigned long long>(r.faults_injected),
-                   static_cast<unsigned long long>(r.faults_recovered));
+                   static_cast<unsigned long long>(r.faults_recovered),
+                   static_cast<unsigned long long>(r.work_ns),
+                   static_cast<unsigned long long>(r.span_ns),
+                   static_cast<unsigned long long>(r.burdened_span_ns),
+                   r.parallelism);
       first = false;
     }
     std::fprintf(f, "\n]}\n");
@@ -142,6 +155,14 @@ struct Common {
   }
 
  private:
+  static void copy_profile(BenchRecord* r, const RunStats& stats) {
+    if (!stats.profile.enabled) return;
+    r->work_ns = stats.profile.work_ns;
+    r->span_ns = stats.profile.span_ns;
+    r->burdened_span_ns = stats.profile.burdened_span_ns;
+    r->parallelism = stats.profile.parallelism();
+  }
+
   std::string name_;
   std::vector<BenchRecord> records_;
 };

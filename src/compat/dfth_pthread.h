@@ -17,6 +17,7 @@
 
 #include <cstdint>
 #include <new>
+#include <source_location>
 
 #include "runtime/api.h"
 #include "runtime/sync.h"
@@ -69,10 +70,15 @@ inline int dfth_pthread_attr_setschedparam_priority(dfth_pthread_attr_t* a,
 
 // -- threads -----------------------------------------------------------------------
 
-inline int dfth_pthread_create(dfth_pthread_t* t, const dfth_pthread_attr_t* a,
-                               void* (*fn)(void*), void* arg) {
+// The defaulted source_location forwards the *application's* call site into
+// dfth::spawn, so the work/span profiler attributes threads to the app's
+// pthread_create line rather than to this shim.
+inline int dfth_pthread_create(
+    dfth_pthread_t* t, const dfth_pthread_attr_t* a, void* (*fn)(void*),
+    void* arg,
+    std::source_location site = std::source_location::current()) {
   const dfth::Attr attr = a ? a->attr : dfth::Attr{};
-  t->handle = dfth::spawn([fn, arg]() -> void* { return fn(arg); }, attr);
+  t->handle = dfth::spawn([fn, arg]() -> void* { return fn(arg); }, attr, site);
   return 0;
 }
 inline int dfth_pthread_join(dfth_pthread_t t, void** result) {

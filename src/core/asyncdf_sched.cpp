@@ -50,6 +50,7 @@ Tcb* AsyncDfScheduler::pick_next(int proc, std::uint64_t now, std::uint64_t* ear
       if (t->ready_at_ns <= now) {
         --ready_;
         DFTH_COUNT(obs::Counter::ReadyPops);
+        DFTH_HIST_WAIT(obs::Hist::ReadyWaitNs, now, t->ready_at_ns);
         return t;  // leftmost ready thread at the highest non-empty level
       }
       if (t->ready_at_ns < *earliest) *earliest = t->ready_at_ns;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <limits>
 
+#include "obs/counters.h"
+#include "obs/profile.h"
 #include "obs/trace.h"
 #include "util/check.h"
 
@@ -59,6 +61,7 @@ Tcb* ClusteredAdfScheduler::pick_next(int proc, std::uint64_t now,
   if (Tcb* t = scan(home, now, earliest)) {
     --ready_;
     DFTH_COUNT(obs::Counter::ReadyPops);
+    DFTH_HIST_WAIT(obs::Hist::ReadyWaitNs, now, t->ready_at_ns);
     return t;
   }
   // "Threads would be moved between SMPs only when required": the home
@@ -79,6 +82,12 @@ Tcb* ClusteredAdfScheduler::pick_next(int proc, std::uint64_t now,
       DFTH_COUNT(obs::Counter::Steals);
       DFTH_TRACE_EMIT(proc, obs::EvKind::Steal, t->id,
                       static_cast<std::uint64_t>(victim));
+      DFTH_HIST_WAIT(obs::Hist::ReadyWaitNs, now, t->ready_at_ns);
+      DFTH_HIST_WAIT(obs::Hist::StealLatencyNs, now, t->ready_at_ns);
+      if (now != std::numeric_limits<std::uint64_t>::max() &&
+          now >= t->ready_at_ns) {
+        DFTH_PROF_STEAL(t->id, now - t->ready_at_ns);
+      }
       return t;
     }
   }

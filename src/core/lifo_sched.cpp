@@ -33,6 +33,7 @@ Tcb* LifoScheduler::pick_next(int proc, std::uint64_t now, std::uint64_t* earlie
         t->sched_next = nullptr;
         --ready_;
         DFTH_COUNT(obs::Counter::ReadyPops);
+        DFTH_HIST_WAIT(obs::Hist::ReadyWaitNs, now, t->ready_at_ns);
         return t;
       }
       if (t->ready_at_ns < *earliest) *earliest = t->ready_at_ns;

@@ -2,6 +2,8 @@
 
 #include <limits>
 
+#include "obs/counters.h"
+#include "obs/profile.h"
 #include "obs/trace.h"
 #include "util/check.h"
 
@@ -61,6 +63,7 @@ Tcb* WorkStealScheduler::pick_next(int proc, std::uint64_t now, std::uint64_t* e
   // Own deque first, owner end.
   if (Tcb* t = take(deques_[self], /*from_top=*/true, now, earliest)) {
     DFTH_COUNT(obs::Counter::ReadyPops);
+    DFTH_HIST_WAIT(obs::Hist::ReadyWaitNs, now, t->ready_at_ns);
     return t;
   }
 
@@ -75,6 +78,14 @@ Tcb* WorkStealScheduler::pick_next(int proc, std::uint64_t now, std::uint64_t* e
         DFTH_COUNT(obs::Counter::ReadyPops);
         DFTH_COUNT(obs::Counter::Steals);
         DFTH_TRACE_EMIT(proc, obs::EvKind::Steal, t->id, victim);
+        DFTH_HIST_WAIT(obs::Hist::ReadyWaitNs, now, t->ready_at_ns);
+        DFTH_HIST_WAIT(obs::Hist::StealLatencyNs, now, t->ready_at_ns);
+        // The steal latency burdens the stolen thread's critical path: an
+        // ideal scheduler would have run it the instant it became ready.
+        if (now != std::numeric_limits<std::uint64_t>::max() &&
+            now >= t->ready_at_ns) {
+          DFTH_PROF_STEAL(t->id, now - t->ready_at_ns);
+        }
         return t;
       }
     }

@@ -32,8 +32,23 @@ const char* to_string(Counter c) {
   return "?";
 }
 
+const char* to_string(Hist h) {
+  switch (h) {
+    case Hist::DispatchGapNs: return "dispatch_gap_ns";
+    case Hist::StealLatencyNs: return "steal_latency_ns";
+    case Hist::ReadyWaitNs: return "ready_wait_ns";
+    case Hist::kCount: break;
+  }
+  return "?";
+}
+
 CounterRegistry& counters() {
   static CounterRegistry registry;
+  return registry;
+}
+
+HistogramRegistry& histograms() {
+  static HistogramRegistry registry;
   return registry;
 }
 

@@ -26,6 +26,18 @@ void chrome_event_prefix(std::FILE* f, bool& first) {
   first = false;
 }
 
+/// Minimal string escape for spawn-site stacks (file paths may in principle
+/// carry quotes or backslashes; nothing else in our output can).
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
 }  // namespace
 
 std::string to_json(const Breakdown& b) {
@@ -39,6 +51,18 @@ std::string to_json(const Breakdown& b) {
   std::snprintf(buf, sizeof buf, ", \"total_us\": %.3f}", b.total_us());
   out += buf;
   return out;
+}
+
+std::string to_json(const ProfileStats& p) {
+  char buf[512];
+  std::snprintf(buf, sizeof buf,
+                "{\"enabled\": %s, \"work_ns\": %" PRIu64
+                ", \"span_ns\": %" PRIu64 ", \"burdened_span_ns\": %" PRIu64
+                ", \"overhead_ns\": %" PRIu64 ", \"fibers\": %" PRIu64
+                ", \"parallelism\": %.3f}",
+                p.enabled ? "true" : "false", p.work_ns, p.span_ns,
+                p.burdened_span_ns, p.overhead_ns, p.fibers, p.parallelism());
+  return buf;
 }
 
 std::string to_json(const RunStats& s) {
@@ -63,7 +87,8 @@ std::string to_json(const RunStats& s) {
       s.faults_injected, s.faults_recovered, s.heap_peak, s.stack_peak,
       s.stacks_fresh, s.stacks_reused, s.stack_high_water, s.elapsed_us,
       s.cache_hits, s.cache_misses);
-  return std::string(buf) + to_json(s.breakdown) + "}";
+  return std::string(buf) + to_json(s.breakdown) +
+         ", \"profile\": " + to_json(s.profile) + "}";
 }
 
 bool write_stats_json(const RunStats& stats, const Tracer* tr,
@@ -77,6 +102,18 @@ bool write_stats_json(const RunStats& stats, const Tracer* tr,
       std::fprintf(out.f, "%s\"%s\": %" PRIu64, c ? ", " : "",
                    to_string(static_cast<Counter>(c)),
                    tr->counter(static_cast<Counter>(c)));
+    }
+    std::fprintf(out.f, "},\n\"histograms\": {");
+    for (int h = 0; h < kNumHists; ++h) {
+      const auto hist = static_cast<Hist>(h);
+      const HistSnapshot& s = tr->hist(hist);
+      std::fprintf(out.f,
+                   "%s\"%s\": {\"count\": %" PRIu64 ", \"p50_ns\": %" PRIu64
+                   ", \"p99_ns\": %" PRIu64 ", \"p999_ns\": %" PRIu64
+                   ", \"max_ns\": %" PRIu64 "}",
+                   h ? ", " : "", to_string(hist), s.count(),
+                   s.percentile(0.50), s.percentile(0.99), s.percentile(0.999),
+                   s.max_bound());
     }
     std::fprintf(out.f,
                  "},\n\"trace\": {\"lanes\": %d, \"events\": %zu, "
@@ -95,6 +132,15 @@ bool write_chrome_trace(const Tracer& tr, const RunStats& stats,
   std::FILE* f = out.f;
   bool first = true;
   std::fprintf(f, "{\"displayTimeUnit\": \"ns\", \"traceEvents\": [");
+
+  // Ring-overflow marker: how many events the lanes dropped. Viewers ignore
+  // the unknown metadata name; dfth-trace surfaces it in its summary so an
+  // overflowed export is never mistaken for a complete one.
+  chrome_event_prefix(f, first);
+  std::fprintf(f,
+               "{\"name\": \"dfth_dropped\", \"ph\": \"M\", \"pid\": 0, "
+               "\"tid\": 0, \"args\": {\"dropped\": %" PRIu64 "}}",
+               tr.dropped());
 
   // Lane metadata: one Chrome "thread" per worker/vproc.
   for (int lane = 0; lane < tr.lanes(); ++lane) {
@@ -220,6 +266,59 @@ bool write_chrome_trace(const Tracer& tr, const RunStats& stats,
   }
 
   std::fprintf(f, "\n]}\n");
+  return true;
+}
+
+bool write_profile_json(const std::string& label, const RunStats& stats,
+                        const Profiler* prof,
+                        const std::vector<ProfSweepRow>& sweep,
+                        const std::string& path) {
+  File out(path);
+  if (!out.f) return false;
+  std::FILE* f = out.f;
+  std::fprintf(f, "{\n\"label\": \"%s\",\n\"profile\": %s,\n",
+               json_escape(label).c_str(),
+               to_json(stats.profile).c_str());
+  std::fprintf(f, "\"elapsed_us\": %.3f,\n\"nprocs\": %d,\n",
+               prof ? prof->elapsed_us() : stats.elapsed_us,
+               prof ? prof->nprocs() : stats.nprocs);
+  std::fprintf(f, "\"sweep\": [");
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    const ProfSweepRow& r = sweep[i];
+    std::fprintf(f,
+                 "%s\n{\"p\": %d, \"predicted_lo_us\": %.3f, "
+                 "\"predicted_hi_us\": %.3f, \"measured_us\": %.3f}",
+                 i ? "," : "", r.p, r.predicted_lo_us, r.predicted_hi_us,
+                 r.measured_us);
+  }
+  std::fprintf(f, "\n],\n\"critical_path\": [");
+  if (prof) {
+    const std::vector<CritSegment> crit = prof->critical_path();
+    for (std::size_t i = 0; i < crit.size(); ++i) {
+      std::fprintf(f, "%s\n{\"stack\": \"%s\", \"ns\": %" PRIu64 "}",
+                   i ? "," : "", json_escape(crit[i].stack).c_str(),
+                   crit[i].ns);
+    }
+  }
+  std::fprintf(f, "\n],\n\"collapsed\": [");
+  if (prof) {
+    const std::vector<CollapsedLine> lines = prof->collapsed();
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+      std::fprintf(f, "%s\n{\"stack\": \"%s\", \"work_ns\": %" PRIu64 "}",
+                   i ? "," : "", json_escape(lines[i].stack).c_str(),
+                   lines[i].work_ns);
+    }
+  }
+  std::fprintf(f, "\n]\n}\n");
+  return true;
+}
+
+bool write_collapsed_stacks(const Profiler& prof, const std::string& path) {
+  File out(path);
+  if (!out.f) return false;
+  for (const CollapsedLine& line : prof.collapsed()) {
+    std::fprintf(out.f, "%s %" PRIu64 "\n", line.stack.c_str(), line.work_ns);
+  }
   return true;
 }
 

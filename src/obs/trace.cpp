@@ -89,12 +89,17 @@ void Tracer::begin_run(int lanes, std::function<std::uint64_t()> clock) {
   samples_.clear();
   clock_ = std::move(clock);
   for (auto& c : counter_snapshot_) c = 0;
+  for (auto& h : hist_snapshot_) h = HistSnapshot{};
   counters().reset();
+  histograms().reset();
 }
 
 void Tracer::end_run() {
   for (int c = 0; c < kNumCounters; ++c) {
     counter_snapshot_[c] = counters().value(static_cast<Counter>(c));
+  }
+  for (int h = 0; h < kNumHists; ++h) {
+    hist_snapshot_[h] = histograms().snapshot(static_cast<Hist>(h));
   }
   clock_ = nullptr;
 }

@@ -159,6 +159,10 @@ class Tracer {
   std::uint64_t counter(Counter c) const {
     return counter_snapshot_[static_cast<int>(c)];
   }
+  /// Histogram snapshotted at end_run() (p50/p99/p999 come from here).
+  const HistSnapshot& hist(Hist h) const {
+    return hist_snapshot_[static_cast<int>(h)];
+  }
 
  private:
   TraceConfig cfg_;
@@ -166,6 +170,7 @@ class Tracer {
   std::vector<Sample> samples_;
   std::function<std::uint64_t()> clock_;
   std::uint64_t counter_snapshot_[kNumCounters] = {};
+  HistSnapshot hist_snapshot_[kNumHists] = {};
 };
 
 /// The active trace session, or nullptr when none is installed. Engines

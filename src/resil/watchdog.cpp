@@ -94,6 +94,71 @@ void append_trace_tail(std::string* out, obs::Tracer* tracer) {
   }
 }
 
+// -- full-fidelity sections (file dump only; stderr keeps the tail) ----------
+
+void append_counters(std::string* out) {
+  append(out, "-- counters (live values at abort) --\n");
+  for (int c = 0; c < obs::kNumCounters; ++c) {
+    const auto counter = static_cast<obs::Counter>(c);
+    const std::uint64_t v = obs::counters().value(counter);
+    if (v == 0) continue;
+    append(out, "  %-16s %" PRIu64 "\n", obs::to_string(counter), v);
+  }
+}
+
+void append_histograms(std::string* out) {
+  append(out, "-- histograms (live at abort) --\n");
+  for (int h = 0; h < obs::kNumHists; ++h) {
+    const auto hist = static_cast<obs::Hist>(h);
+    const obs::HistSnapshot s = obs::histograms().snapshot(hist);
+    append(out,
+           "  %-16s count=%" PRIu64 " p50<=%" PRIu64 " p99<=%" PRIu64
+           " p999<=%" PRIu64 " max<=%" PRIu64 "\n",
+           obs::to_string(hist), s.count(), s.percentile(0.50),
+           s.percentile(0.99), s.percentile(0.999), s.max_bound());
+  }
+}
+
+void append_samples(std::string* out, obs::Tracer* tracer) {
+  append(out, "-- time series (ts live heap stack ready) --\n");
+  if (!tracer) {
+    append(out, "  (no trace session installed)\n");
+    return;
+  }
+  // SimEngine hands its samples to the tracer only at a clean run end, so
+  // an aborted Sim run may legitimately have none here.
+  const std::vector<obs::Sample>& samples = tracer->samples();
+  if (samples.empty()) {
+    append(out, "  (no samples recorded before abort)\n");
+    return;
+  }
+  for (const obs::Sample& s : samples) {
+    append(out,
+           "  %12" PRIu64 " ns live=%lld heap=%lld stack=%lld ready=%lld\n",
+           s.ts_ns, static_cast<long long>(s.live_threads),
+           static_cast<long long>(s.heap_bytes),
+           static_cast<long long>(s.stack_bytes),
+           static_cast<long long>(s.ready));
+  }
+}
+
+void append_full_rings(std::string* out, obs::Tracer* tracer) {
+  append(out, "-- trace rings (full contents, per lane) --\n");
+  if (!tracer) {
+    append(out, "  (no trace session installed)\n");
+    return;
+  }
+  for (int lane = 0; lane < tracer->lanes(); ++lane) {
+    const std::vector<obs::TraceEvent> events = tracer->lane_events(lane);
+    append(out, "  lane %d: %zu events\n", lane, events.size());
+    for (const obs::TraceEvent& ev : events) {
+      append(out, "    %12" PRIu64 " ns %-13s t%" PRIu64 " arg=%" PRIu64 "\n",
+             ev.ts_ns, to_string(ev.kind), ev.tid, ev.arg);
+    }
+  }
+  append(out, "  dropped (all lanes): %" PRIu64 "\n", tracer->dropped());
+}
+
 }  // namespace
 
 void dump_flight_recorder(const FlightInfo& info, const WatchdogConfig& cfg) {
@@ -124,11 +189,20 @@ void dump_flight_recorder(const FlightInfo& info, const WatchdogConfig& cfg) {
   } else {
     append(&out, "  (injector disarmed)\n");
   }
-  append(&out, "==== END FLIGHT RECORDER ====\n");
+  std::string tail = out;
+  append(&tail, "==== END FLIGHT RECORDER ====\n");
 
-  std::fputs(out.c_str(), stderr);
+  std::fputs(tail.c_str(), stderr);
   std::fflush(stderr);
   if (!cfg.dump_path.empty()) {
+    // The file gets the full-fidelity dump: every lane's complete ring (not
+    // just the merged tail), the counter registry, histogram summaries and
+    // the sampled time series — everything the abort would otherwise lose.
+    append_counters(&out);
+    append_histograms(&out);
+    append_samples(&out, info.tracer);
+    append_full_rings(&out, info.tracer);
+    append(&out, "==== END FLIGHT RECORDER ====\n");
     if (std::FILE* f = std::fopen(cfg.dump_path.c_str(), "w")) {
       std::fputs(out.c_str(), f);
       std::fclose(f);

@@ -55,13 +55,15 @@ RunStats run(const RuntimeOptions& opts, const std::function<void()>& main_fn) {
   return stats;
 }
 
-Thread spawn(std::function<void*()> fn, const Attr& attr) {
+Thread spawn(std::function<void*()> fn, const Attr& attr,
+             std::source_location site) {
   Engine* e = engine();
   DFTH_CHECK_MSG(e, "spawn outside dfth::run");
   // Graph recording happens inside the engine: under a child-runs-first
   // policy the child may execute to completion before this call returns, so
   // its start must be recorded before the scheduling decision.
-  Tcb* child = e->spawn(std::move(fn), attr, /*is_dummy=*/false);
+  Tcb* child = e->spawn(std::move(fn), attr, /*is_dummy=*/false,
+                        site.file_name(), static_cast<int>(site.line()));
   return Thread(child);
 }
 
@@ -121,7 +123,7 @@ Thread spawn_dummy_subtree(std::uint64_t count) {
         }
         return nullptr;
       },
-      attr, /*is_dummy=*/true);
+      attr, /*is_dummy=*/true, "<dummy>", 0);
   return Thread(tcb);
 }
 

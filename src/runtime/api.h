@@ -25,6 +25,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <source_location>
 
 #include "graph/recorder.h"
 #include "resil/watchdog.h"
@@ -36,6 +37,7 @@ namespace dfth {
 
 namespace obs {
 class Tracer;
+class Profiler;
 }
 
 namespace resil {
@@ -73,6 +75,13 @@ struct RuntimeOptions {
   /// time-series samples into it for obs/export.h / tools/dfth-trace.
   obs::Tracer* tracer = nullptr;
 
+  /// Optional caller-owned work/span profiling session (obs/profile.h):
+  /// when set (and the build has DFTH_PROF), the engine measures work, span,
+  /// burdened span and scheduler overhead, merges the summary into
+  /// RunStats::profile, and keeps per-spawn-site attribution in the session
+  /// for obs/export.h / tools/dfth-prof.
+  obs::Profiler* profiler = nullptr;
+
   /// Optional caller-owned fault-injection plan (resil/faults.h): when set
   /// (and the build has DFTH_FAULTS), the engine arms the injector for the
   /// duration of run(), so the named resource-acquisition sites fail on the
@@ -108,8 +117,12 @@ RunStats run(const RuntimeOptions& opts, const std::function<void()>& main_fn);
 /// True between run() entry and exit (i.e., engine() != nullptr).
 bool in_runtime();
 
-/// Creates a thread executing `fn`; pthread_create equivalent.
-Thread spawn(std::function<void*()> fn, const Attr& attr = {});
+/// Creates a thread executing `fn`; pthread_create equivalent. The defaulted
+/// source_location captures the caller's file:line as the thread's spawn
+/// site — the key the work/span profiler attributes critical-path time and
+/// collapsed-stack work to.
+Thread spawn(std::function<void*()> fn, const Attr& attr = {},
+             std::source_location site = std::source_location::current());
 
 /// Waits for `t` and returns its result; pthread_join equivalent.
 void* join(Thread t);

@@ -32,7 +32,11 @@ class Engine {
 
   // -- thread operations (fiber context) -----------------------------------
   virtual Tcb* current() = 0;
-  virtual Tcb* spawn(std::function<void*()> fn, const Attr& attr, bool is_dummy) = 0;
+  /// `site_file`/`site_line` name the user-visible spawn call site (static
+  /// storage duration) for the work/span profiler's attribution; the engine
+  /// stores them on the child's Tcb before it can first run.
+  virtual Tcb* spawn(std::function<void*()> fn, const Attr& attr, bool is_dummy,
+                     const char* site_file = nullptr, int site_line = 0) = 0;
   virtual void* join(Tcb* t) = 0;
   virtual void detach(Tcb* t) = 0;
   virtual void yield() = 0;

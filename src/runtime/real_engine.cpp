@@ -7,6 +7,7 @@
 #include "analyze/race_hooks.h"
 #include "core/worksteal_sched.h"
 #include "obs/counters.h"
+#include "obs/profile.h"
 #include "obs/trace.h"
 #include "resil/faults.h"
 #include "resil/watchdog.h"
@@ -100,6 +101,19 @@ void RealEngine::fiber_entry(void* arg) {
   t->result = t->entry();
   t->entry = nullptr;
   auto* self = static_cast<RealEngine*>(engine());
+  // Flush the final slice and seal the span *before* finish_thread wakes the
+  // joiner — the wake edge must read the fiber's finished span. run_fiber
+  // skips its post-switch charge on ExitCleanup so nothing double-counts;
+  // the slice restarts so the wake edge's offset covers only finish_thread.
+#if DFTH_PROF
+  if (obs::Profiler* pr = obs::profiler()) {
+    Worker* w = this_worker();
+    const std::uint64_t now = steady_now_ns();
+    pr->work(t->id, now - w->slice_start_ns);
+    w->slice_start_ns = now;
+    pr->exit_fiber(t->id, 0);
+  }
+#endif
   self->finish_thread(t);
   t->state.store(ThreadState::Done, std::memory_order_release);
   Worker* w = this_worker();
@@ -130,8 +144,12 @@ void RealEngine::finish_thread(Tcb* t) {
   if (joiner) wake(joiner);
 }
 
-Tcb* RealEngine::spawn(std::function<void*()> fn, const Attr& attr, bool is_dummy) {
+Tcb* RealEngine::spawn(std::function<void*()> fn, const Attr& attr, bool is_dummy,
+                       const char* site_file, int site_line) {
+  const std::uint64_t fork_t0 = steady_now_ns();
   Tcb* child = make_tcb(std::move(fn), attr, is_dummy);
+  child->site_file = site_file;
+  child->site_line = site_line;
   Worker* w = this_worker();
   Tcb* parent = current();
   child->parent = parent;
@@ -142,6 +160,15 @@ Tcb* RealEngine::spawn(std::function<void*()> fn, const Attr& attr, bool is_dumm
   DFTH_TRACE_EMIT(w ? w->id : opts_.nprocs,
                   is_dummy ? obs::EvKind::DummySpawn : obs::EvKind::Fork,
                   parent ? parent->id : 0, child->id);
+  // Fork edge, emitted before the child is published to the scheduler —
+  // another worker may dispatch it (and charge work to it) the moment
+  // register_thread returns. The offset is the parent's uncharged partial
+  // slice so the child inherits the span as of *now*, not slice start.
+  DFTH_PROF_THREAD_START(
+      child->id, parent ? parent->id : 0,
+      (w && parent && !parent->attr.bound) ? steady_now_ns() - w->slice_start_ns
+                                           : 0,
+      child->site_file, child->site_line);
 
   if (child->attr.bound) {
     {
@@ -175,6 +202,7 @@ Tcb* RealEngine::spawn(std::function<void*()> fn, const Attr& attr, bool is_dumm
       cv_.notify_one();
     }
   }
+  DFTH_PROF_FORK_COST(child->id, steady_now_ns() - fork_t0);
 
   if (preempt) {
     // Dive into the child; the worker requeues the parent once its context
@@ -217,6 +245,9 @@ Tcb* RealEngine::run_inline(Tcb* child) {
   child->entry = nullptr;
   DFTH_TRACE_EMIT(this_worker() ? this_worker()->id : opts_.nprocs,
                   obs::EvKind::Exit, child->id, 0);
+  // The body's time lands in the caller's slice (it ran on the caller's
+  // stack — serialized on the caller's span, which is what inline means).
+  DFTH_PROF_EXIT(child->id, 0);
   child->join_lock.lock();
   child->finished = true;
   child->join_lock.unlock();
@@ -229,8 +260,12 @@ void RealEngine::start_bound_thread(Tcb* t) {
   bound_threads_.emplace_back([this, t] {
     tl_bound = t;
     t->state.store(ThreadState::Running, std::memory_order_relaxed);
+    const std::uint64_t t0 = steady_now_ns();
     t->result = t->entry();
     t->entry = nullptr;
+    // A bound thread is one uninterrupted slice on its own kernel thread.
+    DFTH_PROF_WORK(t->id, steady_now_ns() - t0);
+    DFTH_PROF_EXIT(t->id, 0);
     t->state.store(ThreadState::Done, std::memory_order_release);
     {
       std::lock_guard<std::mutex> inner(mu_);
@@ -255,8 +290,14 @@ void* RealEngine::join(Tcb* t) {
     cur->state.store(ThreadState::Blocked, std::memory_order_relaxed);
     block_current(&t->join_lock);  // releases join_lock after the switch
     DFTH_CHECK(t->finished);
+    // Span edge for this path: the wake() from finish_thread.
   } else {
     t->join_lock.unlock();
+    // Fast path — the child already finished; take the span max here.
+    Worker* w = this_worker();
+    Tcb* cur = current();
+    DFTH_PROF_JOIN(cur ? cur->id : 0, t->id,
+                   (w && cur) ? steady_now_ns() - w->slice_start_ns : 0);
   }
   t->joined = true;
   return t->result;
@@ -369,6 +410,14 @@ void RealEngine::cancel_sleeper(Tcb* t) {
 void RealEngine::wake(Tcb* t) {
   DFTH_TRACE_EMIT(this_worker() ? this_worker()->id : opts_.nprocs,
                   obs::EvKind::Wake, t->id, current() ? current()->id : 0);
+  {
+    Worker* w = this_worker();
+    Tcb* cur = current();
+    DFTH_PROF_WAKE(
+        cur ? cur->id : 0, t->id,
+        (w && cur && !cur->attr.bound) ? steady_now_ns() - w->slice_start_ns
+                                       : 0);
+  }
   if (t->attr.bound) {
     t->state.store(ThreadState::Ready, std::memory_order_release);
     return;
@@ -455,7 +504,18 @@ void RealEngine::run_fiber(Worker& w, Tcb* t) {
   w.post_fiber = nullptr;
   w.post_next = nullptr;
   w.post_guard = nullptr;
+#if DFTH_PROF
+  if (obs::profiler()) w.slice_start_ns = steady_now_ns();
+#endif
   context_switch(&w.ctx, &t->ctx);
+#if DFTH_PROF
+  if (obs::Profiler* pr = obs::profiler()) {
+    const std::uint64_t now = steady_now_ns();
+    // ExitCleanup: fiber_entry already flushed the slice before sealing.
+    if (w.post != Post::ExitCleanup) pr->work(t->id, now - w.slice_start_ns);
+    w.idle_since_ns = now;
+  }
+#endif
   w.current = nullptr;
 }
 
@@ -494,6 +554,10 @@ void RealEngine::worker_loop(Worker& w) {
   tl_worker = &w;
   std::unique_lock<std::mutex> lk(mu_);
   while (!done_) {
+#if DFTH_PROF
+    std::uint64_t pick_t0 = 0;
+    if (obs::profiler()) pick_t0 = steady_now_ns();
+#endif
     std::uint64_t earliest = kInf;
     Tcb* t = sched_->pick_next(w.id, kInf, &earliest);
     if (!t) {
@@ -529,6 +593,15 @@ void RealEngine::worker_loop(Worker& w) {
     ++stats_.dispatches;
     progress_.fetch_add(1, std::memory_order_relaxed);
     DFTH_TRACE_EMIT(w.id, obs::EvKind::Dispatch, t->id, t->dispatches);
+#if DFTH_PROF
+    if (obs::Profiler* pr = obs::profiler()) {
+      const std::uint64_t now = steady_now_ns();
+      const std::uint64_t gap =
+          w.idle_since_ns ? now - w.idle_since_ns : 0;
+      pr->dispatch(t->id, now - pick_t0, gap);
+      DFTH_HIST(obs::Hist::DispatchGapNs, gap);
+    }
+#endif
     lk.unlock();
 
     Tcb* next = t;
@@ -538,6 +611,10 @@ void RealEngine::worker_loop(Worker& w) {
       Tcb* follow = w.post_next;
       handle_post(w);
       if (post == Post::RunNext) {
+#if DFTH_PROF
+        std::uint64_t dive_t0 = 0;
+        if (obs::profiler()) dive_t0 = steady_now_ns();
+#endif
         {
           std::lock_guard<std::mutex> inner(mu_);
           follow->state.store(ThreadState::Running, std::memory_order_relaxed);
@@ -549,6 +626,11 @@ void RealEngine::worker_loop(Worker& w) {
           DFTH_TRACE_EMIT(w.id, obs::EvKind::Dispatch, follow->id,
                           follow->dispatches);
         }
+#if DFTH_PROF
+        if (obs::Profiler* pr = obs::profiler()) {
+          pr->dispatch(follow->id, steady_now_ns() - dive_t0, 0);
+        }
+#endif
         next = follow;
       } else {
         next = nullptr;
@@ -706,6 +788,13 @@ RunStats RealEngine::run(const std::function<void()>& main_fn) {
   }
 #endif
 
+#if DFTH_PROF
+  if (opts_.profiler) {
+    opts_.profiler->begin_run();
+    obs::detail::set_profiler(opts_.profiler);
+  }
+#endif
+
   Timer timer;
 
   Tcb* main = make_tcb(
@@ -715,7 +804,10 @@ RunStats RealEngine::run(const std::function<void()>& main_fn) {
       },
       Attr{}, /*is_dummy=*/false);
   main->is_main = true;
+  main->site_file = "<main>";
+  main->site_line = 0;
   DFTH_RACE_FORK(main, nullptr);
+  DFTH_PROF_THREAD_START(main->id, 0, 0, main->site_file, main->site_line);
   if (!main->stack) {
     // No fiber stack for main even after the pool's heap fallback (or an
     // injected ctx.create fault): run main bound on a dedicated kernel
@@ -835,6 +927,13 @@ RunStats RealEngine::run(const std::function<void()>& main_fn) {
     sampler.join();
     tr->end_run();
     obs::detail::set_tracer(nullptr);
+  }
+#endif
+#if DFTH_PROF
+  if (opts_.profiler) {
+    opts_.profiler->end_run(stats_.elapsed_us, opts_.nprocs);
+    stats_.profile = opts_.profiler->stats();
+    obs::detail::set_profiler(nullptr);
   }
 #endif
   stats_.faults_injected = inj.injected_total() - injected0;

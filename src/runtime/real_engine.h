@@ -43,7 +43,8 @@ class RealEngine final : public Engine {
   RunStats run(const std::function<void()>& main_fn) override;
 
   Tcb* current() override;
-  Tcb* spawn(std::function<void*()> fn, const Attr& attr, bool is_dummy) override;
+  Tcb* spawn(std::function<void*()> fn, const Attr& attr, bool is_dummy,
+             const char* site_file, int site_line) override;
   void* join(Tcb* t) override;
   void detach(Tcb* t) override;
   void yield() override;
@@ -83,6 +84,14 @@ class RealEngine final : public Engine {
     Tcb* post_fiber = nullptr;
     Tcb* post_next = nullptr;
     SpinLock* post_guard = nullptr;
+    /// Steady-clock start of the slice the worker is currently running; the
+    /// work/span profiler charges `now - slice_start_ns` when the fiber
+    /// switches back (and uses it as the uncharged offset on edges taken
+    /// from inside the slice). Maintained only while a profiler is installed.
+    std::uint64_t slice_start_ns = 0;
+    /// Steady-clock instant the worker last finished a slice; the next
+    /// dispatch reads it as its dispatch-gap measurement.
+    std::uint64_t idle_since_ns = 0;
     std::thread thread;
   };
 

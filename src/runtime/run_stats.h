@@ -47,6 +47,40 @@ struct Breakdown {
   }
 };
 
+/// Work/span summary from the parallelism profiler (src/obs/profile.h).
+/// Plain integers so RunStats stays a value type with no obs dependency;
+/// populated only when a Profiler was installed for the run (enabled=true).
+///
+/// Invariants the profiler maintains (and tests/obs/profile_test.cpp checks):
+///   span_ns          <= work_ns            (the critical path is part of T1)
+///   span_ns          <= burdened_span_ns   (burden only adds)
+///   work_ns + overhead_ns == busy time     (everything the lanes did except
+///                                           sitting idle)
+struct ProfileStats {
+  bool enabled = false;
+  std::uint64_t work_ns = 0;           ///< T1: total useful fiber time
+  std::uint64_t span_ns = 0;           ///< T_inf: critical path, pure charges
+  std::uint64_t burdened_span_ns = 0;  ///< T_inf + per-edge scheduler burden
+  std::uint64_t overhead_ns = 0;       ///< dispatch/fork/exit/steal/lock time
+  std::uint64_t fibers = 0;            ///< fibers seen (incl. main + dummies)
+
+  double parallelism() const {
+    return span_ns ? static_cast<double>(work_ns) / static_cast<double>(span_ns)
+                   : 0.0;
+  }
+  /// Greedy-scheduler lower bound on T_p: both busy/p and span are floors.
+  double predict_lo_ns(int p) const {
+    const double busy = static_cast<double>(work_ns + overhead_ns);
+    const double sp = static_cast<double>(span_ns);
+    return p > 0 ? (busy / p > sp ? busy / p : sp) : 0.0;
+  }
+  /// Brent-style upper bound with scheduling burden: busy/p + burdened span.
+  double predict_hi_ns(int p) const {
+    const double busy = static_cast<double>(work_ns + overhead_ns);
+    return p > 0 ? busy / p + static_cast<double>(burdened_span_ns) : 0.0;
+  }
+};
+
 struct RunStats {
   // Configuration echo.
   EngineKind engine = EngineKind::Sim;
@@ -85,6 +119,9 @@ struct RunStats {
   // Locality model.
   std::uint64_t cache_hits = 0;
   std::uint64_t cache_misses = 0;
+
+  // Work/span profile (only when a Profiler was installed; see src/obs/).
+  ProfileStats profile;
 };
 
 }  // namespace dfth

@@ -6,6 +6,7 @@
 #include "analyze/race_hooks.h"
 #include "core/worksteal_sched.h"
 #include "obs/counters.h"
+#include "obs/profile.h"
 #include "resil/faults.h"
 #include "resil/watchdog.h"
 #include "space/tracked_heap.h"
@@ -125,10 +126,13 @@ void SimEngine::switch_to_loop() {
 
 // -- fiber-context operations --------------------------------------------------
 
-Tcb* SimEngine::spawn(std::function<void*()> fn, const Attr& attr, bool is_dummy) {
+Tcb* SimEngine::spawn(std::function<void*()> fn, const Attr& attr, bool is_dummy,
+                      const char* site_file, int site_line) {
   DFTH_CHECK_MSG(in_fiber_, "spawn outside a thread");
   Tcb* child = make_tcb(std::move(fn), attr, is_dummy);
   child->parent = cur_;
+  child->site_file = site_file;
+  child->site_line = site_line;
   DFTH_RACE_FORK(child, cur_);
   if (Recorder* rec = active_recorder()) rec->on_thread_start(child->id, cur_->id);
   DFTH_TRACE_EMIT(cur_proc_,
@@ -160,6 +164,12 @@ Tcb* SimEngine::run_inline(Tcb* child) {
   ++child->dispatches;
   DFTH_TRACE_EMIT(cur_proc_, obs::EvKind::Dispatch, child->id,
                   child->dispatches);
+  // Profiler bookkeeping so fiber counts match: the child exists, but its
+  // body's charges accrue to the parent (serialized on the parent's span —
+  // exactly what running inline means), so its own span stays at the
+  // inherited fork-instant value.
+  DFTH_PROF_THREAD_START(child->id, cur_->id, pend_total_ns(),
+                         child->site_file, child->site_line);
   // cur_ stays the parent: virtual cost and race segments accrued by the
   // child's body are attributed to the parent, which is exactly what running
   // on the parent's stack in its scheduling window means.
@@ -170,6 +180,7 @@ Tcb* SimEngine::run_inline(Tcb* child) {
   child->state.store(ThreadState::Done, std::memory_order_relaxed);
   live_events_.emplace_back(vnow_ns(), -1);
   DFTH_TRACE_EMIT(cur_proc_, obs::EvKind::Exit, child->id, 0);
+  DFTH_PROF_EXIT(child->id, 0);
   // No joiner can exist yet: the handle only becomes visible once we return.
   return child;
 }
@@ -188,6 +199,12 @@ void* SimEngine::join(Tcb* t) {
     ev_guard_ = nullptr;
     switch_to_loop();
     DFTH_CHECK(t->finished);
+    // The span edge for this path came from wake() when the child exited.
+  } else {
+    // Fast path — the child already finished, the joiner never blocks; take
+    // the span max here (offset: the joiner's uncharged fiber-side costs,
+    // join_us included).
+    DFTH_PROF_JOIN(cur_->id, t->id, pend_total_ns());
   }
   t->joined = true;
   return t->result;
@@ -269,6 +286,11 @@ void SimEngine::wake(Tcb* t) {
   DFTH_CHECK(t->state.load(std::memory_order_relaxed) == ThreadState::Blocked);
   DFTH_TRACE_EMIT(cur_proc_ >= 0 ? cur_proc_ : 0, obs::EvKind::Wake, t->id,
                   cur_ ? cur_->id : 0);
+  // Happens-before edge waker → wakee: the same edge the race detector
+  // orders. Covers both sync-object wakes (fiber context, offset = pending
+  // charges) and the exit → joiner wake (loop context, cur_ = the exiting
+  // child whose final span the joiner inherits).
+  DFTH_PROF_WAKE(cur_ ? cur_->id : 0, t->id, in_fiber_ ? pend_total_ns() : 0);
   t->state.store(ThreadState::Ready, std::memory_order_relaxed);
   t->ready_at_ns = vnow_ns();
   sched_->on_ready(t, cur_proc_ >= 0 ? cur_proc_ : 0);
@@ -419,6 +441,13 @@ RunStats SimEngine::run(const std::function<void()>& main_fn) {
   }
 #endif
 
+#if DFTH_PROF
+  if (opts_.profiler) {
+    opts_.profiler->begin_run();
+    obs::detail::set_profiler(opts_.profiler);
+  }
+#endif
+
   Attr main_attr;
   Tcb* main = new Tcb(next_tid_++);
   main->attr = main_attr;
@@ -444,6 +473,9 @@ RunStats SimEngine::run(const std::function<void()>& main_fn) {
   main->state.store(ThreadState::Ready, std::memory_order_relaxed);
   main->ready_at_ns = 0;
   sched_->on_ready(main, 0);
+  main->site_file = "<main>";
+  main->site_line = 0;
+  DFTH_PROF_THREAD_START(main->id, 0, 0, main->site_file, main->site_line);
 
   sim_loop();
 
@@ -494,6 +526,13 @@ RunStats SimEngine::run(const std::function<void()>& main_fn) {
     stats_.steals = ws->steal_count();
   }
   finish_trace(completion);
+#if DFTH_PROF
+  if (opts_.profiler) {
+    opts_.profiler->end_run(stats_.elapsed_us, opts_.nprocs);
+    stats_.profile = opts_.profiler->stats();
+    obs::detail::set_profiler(nullptr);
+  }
+#endif
   stats_.faults_injected = inj.injected_total() - injected0;
   stats_.faults_recovered = inj.recovered_total() - recovered0;
   if (armed_here) inj.disarm();
@@ -620,6 +659,10 @@ int SimEngine::pick_proc() const {
 }
 
 void SimEngine::apply_pending(VProc& vp) {
+  // Everything a fiber charged between scheduling points is pure fiber time:
+  // it is the profiler's "work" (advances span too), as opposed to the
+  // loop-side clock advances below, which are scheduler overhead.
+  DFTH_PROF_WORK(vp.running->id, pend_total_ns());
   vp.clock_ns += pend_ns_[kWork] + pend_ns_[kThread] + pend_ns_[kMem] + pend_ns_[kSync];
   vp.bd.work_us += ns_to_us(pend_ns_[kWork]);
   vp.bd.thread_us += ns_to_us(pend_ns_[kThread]);
@@ -667,10 +710,13 @@ void SimEngine::attempt_dispatch(VProc& vp, int pid) {
   // Keep the loop clock fresh: schedulers emit Steal events from inside
   // pick_next through the tracer clock, which reads loop_now_ns_ here.
   loop_now_ns_ = vp.clock_ns;
+  const std::uint64_t fire_t0 = vp.clock_ns;
   fire_due_sleepers(vp, pid);
+  DFTH_PROF_OVERHEAD(0, vp.clock_ns - fire_t0);
   std::uint64_t earliest = kInf;
   Tcb* t = sched_->pick_next(pid, vp.clock_ns, &earliest);
   if (t) {
+    const std::uint64_t disp_t0 = vp.clock_ns;
     sched_lock_acquire(vp, pid);
     vp.clock_ns += us_to_ns(opts_.cost.ctx_switch_us);
     vp.bd.thread_us += opts_.cost.ctx_switch_us;
@@ -680,6 +726,12 @@ void SimEngine::attempt_dispatch(VProc& vp, int pid) {
     ++stats_.dispatches;
     DFTH_TRACE_EMIT_AT(pid, obs::EvKind::Dispatch, vp.clock_ns, t->id,
                        t->dispatches);
+    // The lane's accumulated idle time is this dispatch's gap; it burdens
+    // the fiber (an ideal scheduler would have run it sooner) and must be
+    // consumed whether or not a profiler is installed.
+    DFTH_PROF_DISPATCH(t->id, vp.clock_ns - disp_t0, vp.pending_gap_ns);
+    DFTH_HIST(obs::Hist::DispatchGapNs, vp.pending_gap_ns);
+    vp.pending_gap_ns = 0;
     vp.running = t;
     return;
   }
@@ -698,6 +750,7 @@ void SimEngine::attempt_dispatch(VProc& vp, int pid) {
   if (horizon == kInf) report_deadlock();
   DFTH_CHECK_MSG(horizon > vp.clock_ns, "simulation failed to make progress");
   vp.bd.idle_us += ns_to_us(horizon - vp.clock_ns);
+  vp.pending_gap_ns += horizon - vp.clock_ns;
   vp.clock_ns = horizon;
 }
 
@@ -706,6 +759,7 @@ void SimEngine::handle_event(VProc& vp, int pid) {
     case Ev::Spawn: {
       Tcb* child = ev_child_;
       Tcb* parent = vp.running;
+      const std::uint64_t fork_t0 = vp.clock_ns;
       const double create_us = child->attr.bound ? opts_.cost.create_bound_us
                                                  : opts_.cost.create_unbound_us;
       vp.clock_ns += us_to_ns(create_us);
@@ -720,6 +774,12 @@ void SimEngine::handle_event(VProc& vp, int pid) {
       ++stats_.threads_created;
       if (child->is_dummy) ++stats_.dummy_threads;
       live_events_.emplace_back(vp.clock_ns, +1);
+      // Fork edge: the child inherits the parent's span as of the fork
+      // instant (the parent's charges were applied before this event, so no
+      // pending offset), and carries the observed creation cost as burden.
+      DFTH_PROF_THREAD_START(child->id, parent->id, 0, child->site_file,
+                             child->site_line);
+      DFTH_PROF_FORK_COST(child->id, vp.clock_ns - fork_t0);
 
       if (preempt_parent) {
         // AsyncDF / work stealing: the processor dives into the child.
@@ -736,6 +796,7 @@ void SimEngine::handle_event(VProc& vp, int pid) {
         vp.bd.thread_us += opts_.cost.ctx_switch_us;
         DFTH_TRACE_EMIT_AT(pid, obs::EvKind::Dispatch, vp.clock_ns, child->id,
                            child->dispatches);
+        DFTH_PROF_DISPATCH(child->id, us_to_ns(opts_.cost.ctx_switch_us), 0);
       } else {
         // FIFO / LIFO: the child waits its turn; the parent continues.
         child->state.store(ThreadState::Ready, std::memory_order_relaxed);
@@ -747,6 +808,7 @@ void SimEngine::handle_event(VProc& vp, int pid) {
 
     case Ev::Exit: {
       Tcb* t = vp.running;
+      const std::uint64_t exit_t0 = vp.clock_ns;
       sched_lock_acquire(vp, pid);
       sched_->unregister_thread(t);
       t->finished = true;
@@ -758,6 +820,9 @@ void SimEngine::handle_event(VProc& vp, int pid) {
       t->stack = Stack{};
       sim_stack_release(t->attr.stack_size);
       DFTH_TRACE_EMIT_AT(pid, obs::EvKind::Exit, vp.clock_ns, t->id, 0);
+      DFTH_PROF_OVERHEAD(t->id, vp.clock_ns - exit_t0);
+      // Finalize the span before the joiner wake below reads it.
+      DFTH_PROF_EXIT(t->id, 0);
       loop_now_ns_ = vp.clock_ns;
       cur_proc_ = pid;
       if (t->joiner) {
@@ -782,9 +847,11 @@ void SimEngine::handle_event(VProc& vp, int pid) {
     case Ev::QuotaPreempt:
     case Ev::OomPreempt: {
       Tcb* t = vp.running;
+      const std::uint64_t pre_t0 = vp.clock_ns;
       vp.clock_ns += us_to_ns(opts_.cost.ctx_switch_us);
       vp.bd.thread_us += opts_.cost.ctx_switch_us;
       sched_lock_acquire(vp, pid);
+      DFTH_PROF_OVERHEAD(t->id, vp.clock_ns - pre_t0);
       make_ready(vp, pid, t);
       if (ev_ == Ev::QuotaPreempt) ++stats_.quota_preemptions;
       DFTH_TRACE_EMIT_AT(pid, obs::EvKind::Preempt, vp.clock_ns, t->id,

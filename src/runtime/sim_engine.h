@@ -44,7 +44,8 @@ class SimEngine final : public Engine {
   RunStats run(const std::function<void()>& main_fn) override;
 
   Tcb* current() override { return cur_; }
-  Tcb* spawn(std::function<void*()> fn, const Attr& attr, bool is_dummy) override;
+  Tcb* spawn(std::function<void*()> fn, const Attr& attr, bool is_dummy,
+             const char* site_file, int site_line) override;
   void* join(Tcb* t) override;
   void detach(Tcb* t) override;
   void yield() override;
@@ -91,6 +92,9 @@ class SimEngine final : public Engine {
     Tcb* running = nullptr;
     Breakdown bd;
     LruCache cache;
+    /// Idle ns accumulated since this lane last did anything; consumed (and
+    /// reset) by the next dispatch as its dispatch-gap measurement.
+    std::uint64_t pending_gap_ns = 0;
   };
 
   /// A timed wait's timer entry: fires at deadline_ns unless the waiter was
@@ -111,6 +115,11 @@ class SimEngine final : public Engine {
   Tcb* run_inline(Tcb* child);
   void charge(Cat cat, double us);
   std::uint64_t vnow_ns() const;
+  /// Sum of the not-yet-applied fiber charges: the profiler's span edges
+  /// take it as the "uncharged work" offset so fiber-context edges are exact.
+  std::uint64_t pend_total_ns() const {
+    return pend_ns_[kWork] + pend_ns_[kThread] + pend_ns_[kMem] + pend_ns_[kSync];
+  }
   void switch_to_loop();
   void fire_due_sleepers(VProc& vp, int pid);
   void cancel_sleeper(Tcb* t);

@@ -39,6 +39,11 @@ struct Tcb {
   void* result = nullptr;
   bool is_dummy = false;  ///< δ no-op thread inserted before a large alloc
   bool is_main = false;
+  /// Spawn call site (static storage duration; from std::source_location in
+  /// dfth::spawn). Keys the work/span profiler's per-site attribution;
+  /// always present so Tcb layout is flag-independent.
+  const char* site_file = nullptr;
+  int site_line = 0;
 
   // -- execution state -------------------------------------------------------
   std::atomic<ThreadState> state{ThreadState::Embryo};

@@ -1,6 +1,8 @@
 // Exporter tests: the Chrome trace is well-formed line-oriented JSON with
-// one metadata lane per worker, the CSV carries the sampled curves, and the
-// stats blob embeds every Breakdown category.
+// one metadata lane per worker, the CSV carries the sampled curves, the
+// stats blob embeds every Breakdown category plus histogram percentiles,
+// exports stay well-formed when the rings overflowed (and say how much was
+// dropped), and the profiler report round-trips through write_profile_json.
 #include <gtest/gtest.h>
 
 #include <cstdio>
@@ -138,8 +140,139 @@ TEST_F(ExportTest, StatsJsonEmbedsCountersAndWorksWithoutTracer) {
 
   EXPECT_NE(full.find("\"counters\""), std::string::npos);
   EXPECT_NE(full.find("\"trace\""), std::string::npos);
+  EXPECT_NE(full.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(full.find("\"p99_ns\""), std::string::npos);
   EXPECT_NE(bare.find("\"stats\""), std::string::npos);
   EXPECT_EQ(bare.find("\"trace\""), std::string::npos);
+}
+
+TEST_F(ExportTest, RunStatsJsonEmbedsProfileSection) {
+  TracedRun r;
+  const std::string json = obs::to_json(r.stats);
+  EXPECT_NE(json.find("\"profile\""), std::string::npos);
+  EXPECT_NE(json.find("\"work_ns\""), std::string::npos);
+  EXPECT_NE(json.find("\"span_ns\""), std::string::npos);
+  EXPECT_NE(json.find("\"parallelism\""), std::string::npos);
+}
+
+// -- ring overflow: exports stay well-formed and admit the loss ------------
+
+struct OverflowRun {
+  obs::Tracer tracer;
+  RunStats stats;
+
+  OverflowRun() : tracer(small_rings()) {
+    RuntimeOptions o;
+    o.engine = EngineKind::Sim;
+    o.sched = SchedKind::AsyncDf;
+    o.nprocs = 2;
+    o.default_stack_size = 8 << 10;
+    o.tracer = &tracer;
+    stats = run(o, [] { fork_tree(48); });
+  }
+
+  static obs::TraceConfig small_rings() {
+    obs::TraceConfig cfg;
+    cfg.ring_capacity = 16;  // a depth-48 chain overflows this immediately
+    return cfg;
+  }
+};
+
+TEST_F(ExportTest, OverflowedChromeTraceStaysBalancedAndReportsDrops) {
+  if (!obs::kTraceEnabled) GTEST_SKIP() << "built with DFTH_TRACE=OFF";
+  OverflowRun r;
+  ASSERT_GT(r.tracer.dropped(), 0u);
+
+  const std::string file = path("overflow_trace.json");
+  ASSERT_TRUE(obs::write_chrome_trace(r.tracer, r.stats, file));
+  const std::string text = slurp(file);
+  std::remove(file.c_str());
+
+  // The drop marker names the exact loss, so the file is never mistaken
+  // for a complete trace.
+  const std::string marker = "\"dropped\": " + std::to_string(r.tracer.dropped());
+  EXPECT_NE(text.find("dfth_dropped"), std::string::npos);
+  EXPECT_NE(text.find(marker), std::string::npos);
+
+  // Truncated input, still well-formed output.
+  long depth = 0;
+  for (char c : text) {
+    if (c == '{' || c == '[') ++depth;
+    if (c == '}' || c == ']') --depth;
+    ASSERT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+}
+
+TEST_F(ExportTest, OverflowedCsvAndStatsJsonStayWellFormed) {
+  if (!obs::kTraceEnabled) GTEST_SKIP() << "built with DFTH_TRACE=OFF";
+  OverflowRun r;
+  ASSERT_GT(r.tracer.dropped(), 0u);
+
+  const std::string csv = path("overflow.csv");
+  ASSERT_TRUE(obs::write_timeseries_csv(r.tracer, csv));
+  const std::string csv_text = slurp(csv);
+  std::remove(csv.c_str());
+  EXPECT_EQ(csv_text.rfind("ts_us,", 0), 0u);
+  EXPECT_EQ(count_lines_with(csv_text, ","), r.tracer.samples().size() + 1);
+
+  const std::string json = path("overflow_stats.json");
+  ASSERT_TRUE(obs::write_stats_json(r.stats, &r.tracer, json));
+  const std::string json_text = slurp(json);
+  std::remove(json.c_str());
+  const std::string marker =
+      "\"dropped\": " + std::to_string(r.tracer.dropped());
+  EXPECT_NE(json_text.find(marker), std::string::npos);
+  long depth = 0;
+  for (char c : json_text) {
+    if (c == '{' || c == '[') ++depth;
+    if (c == '}' || c == ']') --depth;
+    ASSERT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+}
+
+// -- profiler report ---------------------------------------------------------
+
+TEST_F(ExportTest, ProfileJsonCarriesSweepAndAttribution) {
+  if (!obs::kProfEnabled) GTEST_SKIP() << "built with DFTH_PROF=OFF";
+  obs::Profiler prof;
+  RuntimeOptions o;
+  o.engine = EngineKind::Sim;
+  o.sched = SchedKind::AsyncDf;
+  o.nprocs = 2;
+  o.default_stack_size = 8 << 10;
+  o.profiler = &prof;
+  const RunStats stats = run(o, [] { fork_tree(6); });
+
+  std::vector<obs::ProfSweepRow> sweep;
+  for (int p : {1, 2, 4}) {
+    obs::ProfSweepRow row;
+    row.p = p;
+    row.predicted_lo_us = stats.profile.predict_lo_ns(p) / 1000.0;
+    row.predicted_hi_us = stats.profile.predict_hi_ns(p) / 1000.0;
+    if (p == o.nprocs) row.measured_us = stats.elapsed_us;
+    sweep.push_back(row);
+  }
+
+  const std::string file = path("profile.json");
+  ASSERT_TRUE(obs::write_profile_json("fork_tree", stats, &prof, sweep, file));
+  const std::string text = slurp(file);
+  std::remove(file.c_str());
+
+  EXPECT_NE(text.find("\"label\": \"fork_tree\""), std::string::npos);
+  EXPECT_NE(text.find("\"sweep\""), std::string::npos);
+  EXPECT_EQ(count_lines_with(text, "{\"p\": "), sweep.size());
+  EXPECT_NE(text.find("\"critical_path\""), std::string::npos);
+  EXPECT_NE(text.find("\"collapsed\""), std::string::npos);
+  EXPECT_GT(count_lines_with(text, "{\"stack\": "), 0u);
+  long depth = 0;
+  for (char c : text) {
+    if (c == '{' || c == '[') ++depth;
+    if (c == '}' || c == ']') --depth;
+    ASSERT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
 }
 
 }  // namespace

@@ -123,6 +123,10 @@ static_assert(sizeof(DFTH_STR(DFTH_COUNT(x))) == sizeof("((void)0)"),
 static_assert(sizeof(DFTH_STR(DFTH_TRACE_ALLOC_EVENT(0, x, y, z))) ==
                   sizeof("((void)0)"),
               "DFTH_TRACE_ALLOC_EVENT must compile away");
+static_assert(sizeof(DFTH_STR(DFTH_HIST(x, y))) == sizeof("((void)0)"),
+              "DFTH_HIST must compile away");
+static_assert(sizeof(DFTH_STR(DFTH_HIST_WAIT(x, y, z))) == sizeof("((void)0)"),
+              "DFTH_HIST_WAIT must compile away");
 #endif
 
 }  // namespace

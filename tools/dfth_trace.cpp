@@ -5,10 +5,11 @@
 //
 //   dfth-trace summary trace.json [--top N]
 //
-// Reports events by kind, per-lane occupancy, the longest dispatch gaps
-// (idle stretches between consecutive slices on a lane), the largest
-// traced allocations, and the ready-queue / live-thread peaks from the
-// counter tracks.
+// Reports events by kind, the ring-overflow drop count, per-lane occupancy,
+// the dispatch-gap distribution (p50/p99/p999 plus the longest gaps — idle
+// stretches between consecutive slices on a lane), the largest traced
+// allocations, and the ready-queue / live-thread peaks from the counter
+// tracks.
 #include <algorithm>
 #include <cstdint>
 #include <cstdio>
@@ -105,11 +106,17 @@ int summarize(const std::string& path, std::size_t top_n) {
 
   std::vector<Event> events;
   std::map<int, std::string> lane_names;
+  std::int64_t dropped = -1;
   std::string line;
   while (std::getline(in, line)) {
     Event ev;
     if (!parse_event(line, &ev)) continue;
     if (ev.ph == 'M') {
+      if (ev.name == "dfth_dropped") {
+        // Ring-overflow marker emitted by write_chrome_trace.
+        int_value(line, "dropped", &dropped);
+        continue;
+      }
       // thread_name metadata: {"args": {"name": "worker 0"}} — the args
       // name is the *second* "name" key; take the last match.
       const auto pos = line.rfind("\"name\": \"");
@@ -133,7 +140,15 @@ int summarize(const std::string& path, std::size_t top_n) {
   }
 
   std::printf("trace: %s\n", path.c_str());
-  std::printf("span: %.1f us, %zu events\n\n", t_end, events.size());
+  std::printf("span: %.1f us, %zu events\n", t_end, events.size());
+  if (dropped > 0) {
+    std::printf("dropped: %lld events lost to ring overflow — the summary "
+                "below is a truncated view\n",
+                static_cast<long long>(dropped));
+  } else if (dropped == 0) {
+    std::printf("dropped: 0 (rings did not overflow)\n");
+  }
+  std::printf("\n");
   std::printf("events by kind:\n");
   std::map<std::string, std::size_t> slices_by_kind;
   std::size_t total_slices = 0;
@@ -171,9 +186,22 @@ int summarize(const std::string& path, std::size_t top_n) {
                 slices.size(), busy, t_end > 0 ? 100.0 * busy / t_end : 0.0);
   }
 
-  // Longest dispatch gaps.
+  // Dispatch-gap distribution: percentiles first (the shape), then the
+  // tail (the culprits).
   std::sort(gaps.begin(), gaps.end(),
             [](const Gap& a, const Gap& b) { return a.len_us > b.len_us; });
+  if (!gaps.empty()) {
+    // gaps is sorted descending; index from the far end for percentiles.
+    auto pct = [&](double q) {
+      const auto idx = static_cast<std::size_t>(
+          static_cast<double>(gaps.size() - 1) * (1.0 - q));
+      return gaps[idx].len_us;
+    };
+    std::printf("\ndispatch gaps: %zu, p50 %.1f us, p99 %.1f us, "
+                "p999 %.1f us, max %.1f us\n",
+                gaps.size(), pct(0.50), pct(0.99), pct(0.999),
+                gaps.front().len_us);
+  }
   std::printf("\nlongest dispatch gaps:\n");
   for (std::size_t i = 0; i < std::min(top_n, gaps.size()); ++i) {
     std::printf("  lane %-3d at %12.1f us: %10.1f us idle\n", gaps[i].lane,

@@ -99,8 +99,20 @@ if audit_grep "$core_files" '\b(printf|fprintf|puts|fputs)[[:space:]]*\(|std::(c
   status=1
 fi
 
+# Same rule for the observability and resilience layers, minus the two
+# designated stdio sinks: obs/export.cpp IS the file writer the pipeline
+# parses, and resil/watchdog.cpp must dump its flight recorder to stderr
+# from an async-signal path where the logger is off the table.
+obs_files=$(find src/obs src/resil \
+            \( -path src/obs/export.cpp -o -path src/resil/watchdog.cpp \) \
+            -prune -o \( -name '*.cpp' -o -name '*.h' \) -print)
+if audit_grep "$obs_files" '\b(printf|fprintf|puts|fputs)[[:space:]]*\(|std::(cout|cerr)\b'; then
+  echo "lint: raw stdio in src/obs or src/resil (use DFTH_LOG_* — only export.cpp and watchdog.cpp are stdio sinks)" >&2
+  status=1
+fi
+
 if [ "$status" -eq 0 ]; then
-  echo "lint: allocation/threading/stdio audit clean (src/apps, src/core, src/runtime, tests, bench)"
+  echo "lint: allocation/threading/stdio audit clean (src/apps, src/core, src/runtime, src/obs, src/resil, tests, bench)"
 fi
 
 if [ "$grep_only" -eq 1 ]; then
