@@ -6,6 +6,7 @@
 // minutes on one host core; --full selects the paper's sizes.
 #pragma once
 
+#include <cctype>
 #include <functional>
 #include <memory>
 #include <string>
@@ -35,19 +36,42 @@ struct AppSpec {
   std::function<RunStats(int)> coarse;
 };
 
+/// Filesystem-safe lowercase identifier for an app ("Vol. Rend." ->
+/// "vol-rend"). Used to name schedule logs; tools/dfth-replay matches a
+/// log's recorded tag back to an AppSpec through this same mapping.
+inline std::string app_slug(const std::string& name) {
+  std::string slug;
+  for (char c : name) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      slug.push_back(
+          static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+    } else if (!slug.empty() && slug.back() != '-') {
+      slug.push_back('-');
+    }
+  }
+  while (!slug.empty() && slug.back() == '-') slug.pop_back();
+  return slug;
+}
+
 /// The `engine` parameter retargets the fine-grained runs (the resilience
 /// soak drives the same seven apps through the RealEngine); serial and
 /// coarse variants stay on the simulator — they exist to reproduce the
 /// paper's cost-model baselines. A non-null `prof` is installed on every
-/// fine-grained run (bench/prof_apps reads it back between runs).
-inline std::vector<AppSpec> make_apps(bool full, std::uint64_t seed,
-                                      EngineKind engine = EngineKind::Sim,
-                                      obs::Profiler* prof = nullptr) {
+/// fine-grained run (bench/prof_apps reads it back between runs). `tweak`,
+/// when set, gets the final say on each fine-grained run's RuntimeOptions —
+/// the record/replay harnesses use it to point record_path/replay_path at a
+/// per-app schedule log without the registry knowing about either.
+inline std::vector<AppSpec> make_apps(
+    bool full, std::uint64_t seed, EngineKind engine = EngineKind::Sim,
+    obs::Profiler* prof = nullptr,
+    std::function<void(RuntimeOptions&)> tweak = {}) {
   std::vector<AppSpec> apps;
-  auto fine_opts = [engine, prof](SchedKind sched, int p, std::uint64_t sd) {
+  auto fine_opts = [engine, prof,
+                    tweak](SchedKind sched, int p, std::uint64_t sd) {
     RuntimeOptions o = sim_opts(sched, p, 8 << 10, sd);
     o.engine = engine;
     o.profiler = prof;
+    if (tweak) tweak(o);
     return o;
   };
 

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cmath>
 
+#include "replay/session.h"
 #include "runtime/api.h"
 #include "runtime/sync.h"
 #include "util/check.h"
@@ -91,6 +92,51 @@ Cell* make_child(CellArena& arena, const Cell& parent, int octant) {
 /// initialized cells.
 void insert_body(CellArena& arena, Cell* cell, const std::vector<Body>& bodies,
                  std::uint32_t idx, std::size_t leaf_cap, bool use_locks) {
+  // Under a record/replay session the optimistic descent is unreplayable by
+  // construction: the unlocked leaf_flag/child reads observe concurrent
+  // splits at physical-timing granularity, so the descent path (hence which
+  // cell each insert locks) is schedule-dependent in a way the sync-order
+  // log cannot pin. Degrade to the lock-first descent below — every tree-
+  // state read then happens inside an ordered critical section, and the
+  // logged lock order fully determines the tree.
+  if (use_locks && replay::pinned()) {
+    std::uint64_t hops = 0;
+    while (true) {
+      ++hops;
+      cell->mu.lock();
+      if (cell->is_leaf_relaxed()) {
+        if (cell->bodies.size() < leaf_cap || cell->depth >= kMaxDepth) {
+          cell->bodies.push_back(idx);
+          cell->mu.unlock();
+          break;
+        }
+        for (std::uint32_t resident : cell->bodies) {
+          const int oct = octant_of(*cell, bodies[resident]);
+          Cell* ch = cell->child[oct].load(std::memory_order_relaxed);
+          if (!ch) {
+            ch = make_child(arena, *cell, oct);
+            cell->child[oct].store(ch, std::memory_order_release);
+          }
+          ch->bodies.push_back(resident);
+        }
+        cell->bodies.clear();
+        cell->bodies.shrink_to_fit();
+        cell->leaf_flag.store(false, std::memory_order_release);
+        cell->mu.unlock();
+        continue;  // now internal; descend under the next lock
+      }
+      const int oct = octant_of(*cell, bodies[idx]);
+      Cell* next = cell->child[oct].load(std::memory_order_relaxed);
+      if (!next) {
+        next = make_child(arena, *cell, oct);
+        cell->child[oct].store(next, std::memory_order_release);
+      }
+      cell->mu.unlock();
+      cell = next;
+    }
+    annotate_work(hops * 12);
+    return;
+  }
   std::uint64_t hops = 0;
   while (true) {
     ++hops;

@@ -181,19 +181,50 @@ std::uint8_t cast_ray(const Volume& vol, const VolrendConfig& cfg, std::size_t p
   return static_cast<std::uint8_t>(std::clamp(intensity * 255.0, 0.0, 255.0));
 }
 
-void render_tile(const Volume& vol, const VolrendConfig& cfg, Image& out,
-                 std::size_t tile, double view_angle) {
+// Renders one 4x4 tile into its private block of the tile-major scratch
+// buffer (tile t owns bytes [t*16, t*16+16)). Rendering directly into the
+// row-major image would be correct byte-wise but racy granule-wise: a 4-pixel
+// row segment is half of an 8-byte race-detector granule, so horizontally
+// adjacent tiles on different fibers would falsely share shadow cells. The
+// tile-major layout makes every tile's writes granule-disjoint by
+// construction; assemble_tiles() folds the scratch into the image on the
+// spawning fiber, after the joins that order it against every renderer.
+void render_tile(const Volume& vol, const VolrendConfig& cfg,
+                 std::uint8_t* tiles_out, std::size_t tile, double view_angle) {
   const std::size_t tiles_x = (cfg.image_dim + kTilePixels - 1) / kTilePixels;
   const std::size_t tx = (tile % tiles_x) * kTilePixels;
   const std::size_t ty = (tile / tiles_x) * kTilePixels;
+  std::uint8_t* slot = tiles_out + tile * kTilePixels * kTilePixels;
+  df_write(slot, kTilePixels * kTilePixels, "volrend/render_tile:tile");
   for (std::size_t dy = 0; dy < kTilePixels; ++dy) {
     const std::size_t py = ty + dy;
     if (py >= cfg.image_dim) break;
     const std::size_t row = std::min(kTilePixels, cfg.image_dim - tx);
-    df_write(&out[py * cfg.image_dim + tx], row, "volrend/render_tile:row");
     for (std::size_t dx = 0; dx < row; ++dx) {
       const std::size_t px = tx + dx;
-      out[py * cfg.image_dim + px] = cast_ray(vol, cfg, px, py, view_angle);
+      slot[dy * kTilePixels + dx] = cast_ray(vol, cfg, px, py, view_angle);
+    }
+  }
+}
+
+/// Copies the tile-major scratch into the row-major image. Callers run this
+/// on the fiber that joined every renderer, so the whole image is covered by
+/// one annotation up front.
+void assemble_tiles(const std::uint8_t* tiles_in, const VolrendConfig& cfg,
+                    Image& out) {
+  df_write(out.data(), out.size(), "volrend/assemble_tiles:image");
+  const std::size_t tiles_x = (cfg.image_dim + kTilePixels - 1) / kTilePixels;
+  for (std::size_t tile = 0; tile < tiles_x * tiles_x; ++tile) {
+    const std::size_t tx = (tile % tiles_x) * kTilePixels;
+    const std::size_t ty = (tile / tiles_x) * kTilePixels;
+    const std::uint8_t* slot = tiles_in + tile * kTilePixels * kTilePixels;
+    for (std::size_t dy = 0; dy < kTilePixels; ++dy) {
+      const std::size_t py = ty + dy;
+      if (py >= cfg.image_dim) break;
+      const std::size_t row = std::min(kTilePixels, cfg.image_dim - tx);
+      for (std::size_t dx = 0; dx < row; ++dx) {
+        out[py * cfg.image_dim + tx + dx] = slot[dy * kTilePixels + dx];
+      }
     }
   }
 }
@@ -209,11 +240,14 @@ std::size_t volrend_tile_count(const VolrendConfig& cfg) {
 
 Image volrend_serial(const Volume& vol, const VolrendConfig& cfg) {
   Image img(cfg.image_dim * cfg.image_dim, 0);
+  std::vector<std::uint8_t> tiles_buf(
+      volrend_tile_count(cfg) * kTilePixels * kTilePixels, 0);
   for (int f = 0; f < cfg.frames; ++f) {
     const double angle = frame_angle(f);
     for (std::size_t tile = 0; tile < volrend_tile_count(cfg); ++tile) {
-      render_tile(vol, cfg, img, tile, angle);
+      render_tile(vol, cfg, tiles_buf.data(), tile, angle);
     }
+    assemble_tiles(tiles_buf.data(), cfg, img);
   }
   return img;
 }
@@ -222,6 +256,7 @@ Image volrend_coarse(const Volume& vol, const VolrendConfig& cfg, int nprocs) {
   DFTH_CHECK_MSG(in_runtime(), "volrend_coarse outside dfth::run");
   Image img(cfg.image_dim * cfg.image_dim, 0);
   const std::size_t tiles = volrend_tile_count(cfg);
+  std::vector<std::uint8_t> tiles_buf(tiles * kTilePixels * kTilePixels, 0);
 
   // SPLASH-2 scheme: the image is pre-partitioned into contiguous blocks of
   // tiles, one explicit task queue per processor; a processor that runs out
@@ -257,12 +292,13 @@ Image volrend_coarse(const Volume& vol, const VolrendConfig& cfg, int nprocs) {
             }
           }
           if (!found) break;
-          render_tile(vol, cfg, img, tile, angle);
+          render_tile(vol, cfg, tiles_buf.data(), tile, angle);
         }
         return nullptr;
       }));
     }
     for (auto& th : threads) join(th);
+    assemble_tiles(tiles_buf.data(), cfg, img);
   }
   return img;
 }
@@ -272,6 +308,7 @@ Image volrend_fine(const Volume& vol, const VolrendConfig& cfg) {
   Image img(cfg.image_dim * cfg.image_dim, 0);
   const std::size_t tiles = volrend_tile_count(cfg);
   const std::size_t per_thread = std::max<std::size_t>(1, cfg.tiles_per_thread);
+  std::vector<std::uint8_t> tiles_buf(tiles * kTilePixels * kTilePixels, 0);
 
   for (int f = 0; f < cfg.frames; ++f) {
     const double angle = frame_angle(f);
@@ -281,33 +318,34 @@ Image volrend_fine(const Volume& vol, const VolrendConfig& cfg) {
       const std::size_t hi = std::min(tiles, lo + per_thread);
       threads.push_back(spawn([&, lo, hi, angle]() -> void* {
         for (std::size_t tile = lo; tile < hi; ++tile) {
-          render_tile(vol, cfg, img, tile, angle);
+          render_tile(vol, cfg, tiles_buf.data(), tile, angle);
         }
         return nullptr;
       }));
     }
     for (auto& t : threads) join(t);
+    assemble_tiles(tiles_buf.data(), cfg, img);
   }
   return img;
 }
 
 namespace {
 
-void render_range_tree(const Volume& vol, const VolrendConfig& cfg, Image& img,
-                       std::size_t lo, std::size_t hi, std::size_t grain,
-                       double angle) {
+void render_range_tree(const Volume& vol, const VolrendConfig& cfg,
+                       std::uint8_t* tiles_out, std::size_t lo, std::size_t hi,
+                       std::size_t grain, double angle) {
   if (hi - lo <= grain) {
     for (std::size_t tile = lo; tile < hi; ++tile) {
-      render_tile(vol, cfg, img, tile, angle);
+      render_tile(vol, cfg, tiles_out, tile, angle);
     }
     return;
   }
   const std::size_t mid = lo + (hi - lo) / 2;
   Thread left = spawn([&, lo, mid, grain, angle]() -> void* {
-    render_range_tree(vol, cfg, img, lo, mid, grain, angle);
+    render_range_tree(vol, cfg, tiles_out, lo, mid, grain, angle);
     return nullptr;
   });
-  render_range_tree(vol, cfg, img, mid, hi, grain, angle);
+  render_range_tree(vol, cfg, tiles_out, mid, hi, grain, angle);
   join(left);
 }
 
@@ -318,8 +356,11 @@ Image volrend_fine_tree(const Volume& vol, const VolrendConfig& cfg) {
   Image img(cfg.image_dim * cfg.image_dim, 0);
   const std::size_t tiles = volrend_tile_count(cfg);
   const std::size_t per_thread = std::max<std::size_t>(1, cfg.tiles_per_thread);
+  std::vector<std::uint8_t> tiles_buf(tiles * kTilePixels * kTilePixels, 0);
   for (int f = 0; f < cfg.frames; ++f) {
-    render_range_tree(vol, cfg, img, 0, tiles, per_thread, frame_angle(f));
+    render_range_tree(vol, cfg, tiles_buf.data(), 0, tiles, per_thread,
+                      frame_angle(f));
+    assemble_tiles(tiles_buf.data(), cfg, img);
   }
   return img;
 }

@@ -5,6 +5,7 @@
 #include "obs/counters.h"
 #include "obs/profile.h"
 #include "obs/trace.h"
+#include "replay/hooks.h"
 #include "util/check.h"
 
 namespace dfth {
@@ -87,6 +88,7 @@ Tcb* DfDequesScheduler::pick_next(int proc, std::uint64_t now,
       DFTH_COUNT(obs::Counter::Steals);
       DFTH_TRACE_EMIT(proc, obs::EvKind::Steal, t->id,
                       static_cast<std::uint64_t>(victim->owner));
+      DFTH_REPLAY_STEAL(proc, t->id, static_cast<std::uint64_t>(victim->owner));
       DFTH_HIST_WAIT(obs::Hist::ReadyWaitNs, now, t->ready_at_ns);
       DFTH_HIST_WAIT(obs::Hist::StealLatencyNs, now, t->ready_at_ns);
       if (now != std::numeric_limits<std::uint64_t>::max() &&

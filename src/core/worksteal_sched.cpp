@@ -5,6 +5,7 @@
 #include "obs/counters.h"
 #include "obs/profile.h"
 #include "obs/trace.h"
+#include "replay/hooks.h"
 #include "util/check.h"
 
 namespace dfth {
@@ -78,6 +79,7 @@ Tcb* WorkStealScheduler::pick_next(int proc, std::uint64_t now, std::uint64_t* e
         DFTH_COUNT(obs::Counter::ReadyPops);
         DFTH_COUNT(obs::Counter::Steals);
         DFTH_TRACE_EMIT(proc, obs::EvKind::Steal, t->id, victim);
+        DFTH_REPLAY_STEAL(proc, t->id, static_cast<std::uint64_t>(victim));
         DFTH_HIST_WAIT(obs::Hist::ReadyWaitNs, now, t->ready_at_ns);
         DFTH_HIST_WAIT(obs::Hist::StealLatencyNs, now, t->ready_at_ns);
         // The steal latency burdens the stolen thread's critical path: an

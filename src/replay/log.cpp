@@ -1,0 +1,201 @@
+// Schedule-log reader/writer. This translation unit is the replay layer's
+// designated file-I/O sink (tools/lint.sh audits every other replay file for
+// stdio usage).
+#include "replay/log.h"
+
+#include <algorithm>
+#include <cstdarg>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+
+namespace dfth::replay {
+namespace {
+
+// snprintf into *error; keeps diagnostics one-line and allocation-light.
+void set_error(std::string* error, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+void set_error(std::string* error, const char* fmt, ...) {
+  if (error == nullptr) return;
+  char buf[512];
+  va_list ap;
+  va_start(ap, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, ap);
+  va_end(ap);
+  *error = buf;
+}
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+
+}  // namespace
+
+const char* to_string(EvKind kind) {
+  switch (kind) {
+    case EvKind::TidAlloc: return "tid-alloc";
+    case EvKind::SpawnReg: return "spawn";
+    case EvKind::Dispatch: return "dispatch";
+    case EvKind::Requeue: return "requeue";
+    case EvKind::Wake: return "wake";
+    case EvKind::ExitSched: return "exit-sched";
+    case EvKind::ExitJoin: return "exit-join";
+    case EvKind::Join: return "join";
+    case EvKind::Sync: return "sync";
+    case EvKind::TimeoutClaim: return "timeout-claim";
+    case EvKind::TimeoutReady: return "timeout-ready";
+    case EvKind::Fault: return "fault";
+    case EvKind::Steal: return "steal";
+    case EvKind::QuotaShrink: return "quota-shrink";
+    case EvKind::kCount: break;
+  }
+  return "?";
+}
+
+std::uint64_t checksum_record(std::uint64_t h, const Record& r) {
+  unsigned char bytes[sizeof(Record)];
+  std::memcpy(bytes, &r, sizeof(Record));
+  for (unsigned char byte : bytes) {
+    h ^= byte;
+    h *= 0x100000001b3ull;  // FNV-1a prime
+  }
+  return h;
+}
+
+bool save_log(const std::string& path, LogHeader header,
+              const std::vector<std::vector<Record>>& lane_records,
+              std::string* error) {
+  std::memcpy(header.magic, kLogMagic, sizeof(kLogMagic));
+  header.version = kLogVersion;
+  header.lanes = static_cast<std::uint32_t>(lane_records.size());
+  header.event_count = 0;
+  std::uint64_t sum = kChecksumSeed;
+  for (const auto& records : lane_records) {
+    header.event_count += records.size();
+    for (const Record& r : records) sum = checksum_record(sum, r);
+  }
+  header.checksum = sum;
+
+  std::unique_ptr<std::FILE, FileCloser> f(std::fopen(path.c_str(), "wb"));
+  if (!f) {
+    set_error(error, "replay log: cannot open '%s' for writing", path.c_str());
+    return false;
+  }
+  if (std::fwrite(&header, sizeof(header), 1, f.get()) != 1) {
+    set_error(error, "replay log: short write of header to '%s'", path.c_str());
+    return false;
+  }
+  for (std::size_t lane = 0; lane < lane_records.size(); ++lane) {
+    LaneBlockHeader block;
+    block.lane = static_cast<std::uint32_t>(lane);
+    block.count = lane_records[lane].size();
+    if (std::fwrite(&block, sizeof(block), 1, f.get()) != 1 ||
+        (block.count != 0 &&
+         std::fwrite(lane_records[lane].data(), sizeof(Record), lane_records[lane].size(),
+                     f.get()) != lane_records[lane].size())) {
+      set_error(error, "replay log: short write of lane %zu to '%s'", lane, path.c_str());
+      return false;
+    }
+  }
+  if (std::fflush(f.get()) != 0) {
+    set_error(error, "replay log: flush of '%s' failed", path.c_str());
+    return false;
+  }
+  return true;
+}
+
+bool load_log(const std::string& path, LoadedLog* out, std::string* error) {
+  std::unique_ptr<std::FILE, FileCloser> f(std::fopen(path.c_str(), "rb"));
+  if (!f) {
+    set_error(error, "replay log: cannot open '%s'", path.c_str());
+    return false;
+  }
+  LogHeader& header = out->header;
+  if (std::fread(&header, sizeof(header), 1, f.get()) != 1) {
+    set_error(error, "replay log: '%s' is shorter than a log header (%zu bytes)",
+              path.c_str(), sizeof(LogHeader));
+    return false;
+  }
+  if (std::memcmp(header.magic, kLogMagic, sizeof(kLogMagic)) != 0) {
+    set_error(error, "replay log: '%s' has no DFTHLOG1 magic — not a schedule log",
+              path.c_str());
+    return false;
+  }
+  if (header.version != kLogVersion) {
+    set_error(error, "replay log: '%s' is format version %u, this build reads %u",
+              path.c_str(), header.version, kLogVersion);
+    return false;
+  }
+
+  out->ordered.clear();
+  out->annotations.clear();
+  std::uint64_t sum = kChecksumSeed;
+  std::uint64_t total = 0;
+  std::vector<Record> lane_buf;
+  for (std::uint32_t lane = 0; lane < header.lanes; ++lane) {
+    LaneBlockHeader block;
+    if (std::fread(&block, sizeof(block), 1, f.get()) != 1) {
+      set_error(error, "replay log: '%s' truncated at lane block %u of %u",
+                path.c_str(), lane, header.lanes);
+      return false;
+    }
+    lane_buf.resize(block.count);
+    if (block.count != 0 &&
+        std::fread(lane_buf.data(), sizeof(Record), block.count, f.get()) != block.count) {
+      set_error(error,
+                "replay log: '%s' truncated inside lane %u (%llu records promised)",
+                path.c_str(), block.lane,
+                static_cast<unsigned long long>(block.count));
+      return false;
+    }
+    std::uint64_t prev_seq = 0;
+    bool first_in_lane = true;
+    for (const Record& r : lane_buf) {
+      sum = checksum_record(sum, r);
+      if (r.kind >= static_cast<std::uint16_t>(EvKind::kCount)) {
+        set_error(error, "replay log: '%s' lane %u has unknown event kind %u (seq %llu)",
+                  path.c_str(), block.lane, r.kind,
+                  static_cast<unsigned long long>(r.seq));
+        return false;
+      }
+      // seq must ascend within a lane block (single writer per lane).
+      if (!first_in_lane && r.seq <= prev_seq) {
+        set_error(error, "replay log: '%s' lane %u seq not ascending (%llu after %llu)",
+                  path.c_str(), block.lane, static_cast<unsigned long long>(r.seq),
+                  static_cast<unsigned long long>(prev_seq));
+        return false;
+      }
+      first_in_lane = false;
+      prev_seq = r.seq;
+      ++total;
+      if ((r.flags & kFlagAnnotation) != 0) {
+        out->annotations.push_back(r);
+      } else {
+        out->ordered.push_back(r);
+      }
+    }
+  }
+  if (total != header.event_count) {
+    set_error(error, "replay log: '%s' holds %llu records but header promised %llu",
+              path.c_str(), static_cast<unsigned long long>(total),
+              static_cast<unsigned long long>(header.event_count));
+    return false;
+  }
+  if (sum != header.checksum) {
+    set_error(error,
+              "replay log: '%s' checksum mismatch (%016llx computed, %016llx stored) — "
+              "file is corrupt",
+              path.c_str(), static_cast<unsigned long long>(sum),
+              static_cast<unsigned long long>(header.checksum));
+    return false;
+  }
+  auto by_seq = [](const Record& x, const Record& y) { return x.seq < y.seq; };
+  std::stable_sort(out->ordered.begin(), out->ordered.end(), by_seq);
+  std::stable_sort(out->annotations.begin(), out->annotations.end(), by_seq);
+  return true;
+}
+
+}  // namespace dfth::replay

@@ -1,0 +1,41 @@
+// Determinism signature: the schedule-dependent RunStats counters folded
+// into one comparable line. A record→replay pair that reproduced the same
+// schedule produces byte-identical signatures; CI and the property tests
+// diff these instead of eyeballing whole stat dumps.
+//
+// Deliberately excluded:
+//   - elapsed_us (wall clock is never pinned),
+//   - heap_peak / oom_preemptions (a *genuine* allocator OOM depends on the
+//     host heap, which the log does not control),
+//   - stacks_fresh / stacks_reused (the stack pool's internal free-list
+//     order is not an ordered decision — reuse vs. fresh can differ while
+//     the schedule is identical).
+#pragma once
+
+#include <string>
+
+#include "runtime/run_stats.h"
+
+namespace dfth::replay {
+
+inline std::string determinism_signature(const RunStats& s) {
+  std::string sig;
+  auto field = [&sig](const char* key, std::uint64_t v) {
+    if (!sig.empty()) sig += ' ';
+    sig += key;
+    sig += '=';
+    sig += std::to_string(v);
+  };
+  field("threads", s.threads_created);
+  field("dummies", s.dummy_threads);
+  field("live", static_cast<std::uint64_t>(s.max_live_threads));
+  field("dispatches", s.dispatches);
+  field("quota", s.quota_preemptions);
+  field("steals", s.steals);
+  field("inline", s.inline_runs);
+  field("timeouts", s.sync_timeouts);
+  field("faults", s.faults_injected);
+  return sig;
+}
+
+}  // namespace dfth::replay

@@ -3,6 +3,7 @@
 #include <cstdio>
 
 #include "obs/counters.h"
+#include "replay/hooks.h"
 
 namespace dfth::resil {
 
@@ -58,22 +59,37 @@ void FaultInjector::disarm() { armed_.store(false, std::memory_order_release); }
 bool FaultInjector::should_fail(FaultSite site) {
   if (!armed_.load(std::memory_order_acquire)) return false;
   const int i = static_cast<int>(site);
+#if DFTH_REPLAY
+  // Only probes of *enabled* sites are ordered decisions: a site's per-thread
+  // probe interleaving decides which thread draws each every_nth/probability
+  // outcome, so replay must pin it. Disabled-site probes are order-free
+  // no-ops; gating them would serialize every heap allocation and flood the
+  // log. plan_ is constant while armed_ (arm() publishes it with release),
+  // so this pre-lock read is safe. Every probe site sits outside any shared
+  // lock (verified per site), so gating here cannot deadlock.
+  const bool ordered = ::dfth::replay::active() != nullptr &&
+                       plan_.sites[i].enabled();
+  if (ordered) DFTH_REPLAY_FAULT_GATE();
+#endif
   std::lock_guard<std::mutex> lock(mu_);
   const SiteSpec& spec = plan_.sites[i];
   const std::uint64_t n = ++evals_[i];
-  if (!spec.enabled() || n <= spec.skip_first) return false;
-  if (injected_[i] >= spec.max_failures) return false;
   bool fail = false;
-  if (spec.every_nth != 0 && (n - spec.skip_first) % spec.every_nth == 0) {
-    fail = true;
+  if (spec.enabled() && n > spec.skip_first && injected_[i] < spec.max_failures) {
+    if (spec.every_nth != 0 && (n - spec.skip_first) % spec.every_nth == 0) {
+      fail = true;
+    }
+    if (spec.probability > 0.0 && rng_[i].next_bool(spec.probability)) {
+      fail = true;
+    }
+    if (fail) {
+      ++injected_[i];
+      DFTH_COUNT(obs::Counter::FaultsInjected);
+    }
   }
-  if (spec.probability > 0.0 && rng_[i].next_bool(spec.probability)) {
-    fail = true;
-  }
-  if (fail) {
-    ++injected_[i];
-    DFTH_COUNT(obs::Counter::FaultsInjected);
-  }
+#if DFTH_REPLAY
+  if (ordered) DFTH_REPLAY_FAULT_COMMIT(site, fail);
+#endif
   return fail;
 }
 

@@ -189,6 +189,18 @@ void dump_flight_recorder(const FlightInfo& info, const WatchdogConfig& cfg) {
   } else {
     append(&out, "  (injector disarmed)\n");
   }
+  append(&out, "-- record/replay --\n");
+  if (!info.record_log.empty()) {
+    append(&out, "  in-flight schedule log flushed to: %s\n",
+           info.record_log.c_str());
+    append(&out, "  reproduce with: %s\n", info.replay_cmd.c_str());
+  } else if (!info.replay_log.empty()) {
+    append(&out, "  this run was replaying: %s\n", info.replay_log.c_str());
+  } else {
+    append(&out,
+           "  (no recording session — set RuntimeOptions::record_path to "
+           "make the next failure replayable)\n");
+  }
   std::string tail = out;
   append(&tail, "==== END FLIGHT RECORDER ====\n");
 

@@ -71,6 +71,15 @@ struct FlightInfo {
   const std::vector<Tcb*>* all_tcbs = nullptr;
   Scheduler* sched = nullptr;      ///< may be an AuditedScheduler decorator
   obs::Tracer* tracer = nullptr;   ///< active trace session, if any
+
+  /// Record/replay context (src/replay/): when the aborting run was
+  /// recording, the engine flushes the in-flight schedule log before
+  /// gathering this info and sets record_log to its path plus replay_cmd to
+  /// a paste-ready command line that re-executes the recorded schedule.
+  /// When the aborting run itself was a replay, replay_log names its input.
+  std::string record_log;
+  std::string replay_cmd;
+  std::string replay_log;
 };
 
 /// Writes the flight-recorder dump to stderr (and cfg.dump_path when set).

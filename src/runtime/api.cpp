@@ -7,17 +7,120 @@
 #include "analyze/auditor.h"
 #endif
 #include "analyze/race_hooks.h"
+#include "resil/faults.h"
 #include "runtime/real_engine.h"
 #include "runtime/sim_engine.h"
 #include "space/tracked_heap.h"
 #include "util/check.h"
+#include "util/log.h"
+#if DFTH_REPLAY
+#include <cstring>
+
+#include "replay/session.h"
+#endif
 
 namespace dfth {
 namespace {
 
 Engine* g_engine = nullptr;
 
+#if DFTH_REPLAY
+// Builds the record or replay session `opts` asks for (nullptr when neither
+// path is set), rejecting malformed logs and header/option mismatches with a
+// specific diagnostic before any engine state exists. On replay the log's
+// embedded fault plan replaces opts->fault_plan — the recorded failure
+// schedule is part of the schedule being reproduced.
+std::unique_ptr<replay::Session> open_replay_session(RuntimeOptions* opts) {
+  if (opts->record_path.empty() && opts->replay_path.empty()) return nullptr;
+  DFTH_CHECK_MSG(opts->record_path.empty() || opts->replay_path.empty(),
+                 "record_path and replay_path are mutually exclusive");
+
+  if (!opts->replay_path.empty()) {
+    replay::LoadedLog log;
+    std::string error;
+    if (!replay::load_log(opts->replay_path, &log, &error)) {
+      DFTH_LOG_ERROR("replay: %s", error.c_str());
+      DFTH_CHECK_MSG(false, "replay log rejected — see diagnostic above");
+    }
+    const replay::Mode mode = opts->engine == EngineKind::Real
+                                  ? replay::Mode::Replay
+                                  : replay::Mode::CrossReplay;
+    if (mode == replay::Mode::Replay) {
+      // Decision-for-decision pinning only makes sense when the run being
+      // driven is shaped exactly like the recorded one.
+      const replay::LogHeader& h = log.header;
+      const bool match =
+          h.engine == static_cast<std::uint32_t>(EngineKind::Real) &&
+          h.sched == static_cast<std::uint32_t>(opts->sched) &&
+          h.nprocs == static_cast<std::uint32_t>(opts->nprocs) &&
+          h.cluster_size == static_cast<std::uint32_t>(opts->cluster_size) &&
+          h.seed == opts->seed && h.mem_quota == opts->mem_quota &&
+          h.default_stack_size == opts->default_stack_size;
+      if (!match) {
+        DFTH_LOG_ERROR(
+            "replay: '%s' was recorded with engine=%u sched=%u nprocs=%u "
+            "cluster=%u seed=%llu quota=%llu stack=%llu, but this run asks "
+            "for sched=%u nprocs=%u cluster=%u seed=%llu quota=%llu "
+            "stack=%llu — pass identical options (or EngineKind::Sim for a "
+            "cross-replay)",
+            opts->replay_path.c_str(), h.engine, h.sched, h.nprocs,
+            h.cluster_size, static_cast<unsigned long long>(h.seed),
+            static_cast<unsigned long long>(h.mem_quota),
+            static_cast<unsigned long long>(h.default_stack_size),
+            static_cast<std::uint32_t>(opts->sched),
+            static_cast<std::uint32_t>(opts->nprocs),
+            static_cast<std::uint32_t>(opts->cluster_size),
+            static_cast<unsigned long long>(opts->seed),
+            static_cast<unsigned long long>(opts->mem_quota),
+            static_cast<unsigned long long>(opts->default_stack_size));
+        DFTH_CHECK_MSG(false, "replay log does not match the run's options");
+      }
+      if (log.header.clean_end == 0) {
+        DFTH_LOG_WARN(
+            "replay: '%s' is an abort-time partial log (%llu events) — the "
+            "run will free-run once the log is exhausted",
+            opts->replay_path.c_str(),
+            static_cast<unsigned long long>(log.header.event_count));
+      }
+    }
+    auto s = replay::Session::start_replay(std::move(log), mode,
+                                           opts->replay_path);
+    opts->fault_plan = s->embedded_plan();
+    return s;
+  }
+
+  replay::LogHeader h{};
+  h.engine = static_cast<std::uint32_t>(opts->engine);
+  h.sched = static_cast<std::uint32_t>(opts->sched);
+  h.nprocs = static_cast<std::uint32_t>(opts->nprocs);
+  h.cluster_size = static_cast<std::uint32_t>(opts->cluster_size);
+  h.seed = opts->seed;
+  h.mem_quota = opts->mem_quota;
+  h.default_stack_size = opts->default_stack_size;
+  std::strncpy(h.tag, opts->record_tag.c_str(), sizeof(h.tag) - 1);
+  if (opts->fault_plan != nullptr) {
+    static_assert(resil::kNumFaultSites <= replay::kMaxFaultSitesWire,
+                  "widen LogHeader::fault_sites for the new fault site");
+    h.has_fault_plan = 1;
+    h.fault_seed = opts->fault_plan->seed;
+    for (int i = 0; i < resil::kNumFaultSites; ++i) {
+      const resil::SiteSpec& spec = opts->fault_plan->sites[i];
+      h.fault_sites[i].every_nth = spec.every_nth;
+      h.fault_sites[i].probability = spec.probability;
+      h.fault_sites[i].skip_first = spec.skip_first;
+      h.fault_sites[i].max_failures = spec.max_failures;
+    }
+  }
+  // One writer lane per kernel worker plus the shared external lane (host,
+  // supervisor, bound threads). The simulator runs on one host thread.
+  const int lanes =
+      (opts->engine == EngineKind::Real ? opts->nprocs : 1) + 1;
+  return replay::Session::start_record(h, lanes, opts->record_path);
+}
+#endif  // DFTH_REPLAY
+
 }  // namespace
+
 
 // Deliberately not inlined (see engine.h): a fiber resumed on a different
 // kernel thread must re-read the engine/current state through a call.
@@ -35,14 +138,28 @@ RunStats run(const RuntimeOptions& opts, const std::function<void()>& main_fn) {
   DFTH_CHECK_MSG(!in_runtime(), "dfth::run is not reentrant");
   DFTH_CHECK(opts.nprocs >= 1);
 
+  // The effective options may differ from the caller's: a replayed log's
+  // embedded fault plan overrides fault_plan so the recorded failure
+  // schedule reproduces.
+  RuntimeOptions effective = opts;
+#if DFTH_REPLAY
+  std::unique_ptr<replay::Session> session = open_replay_session(&effective);
+  // Installed before engine construction: RealEngine's constructor consults
+  // the active session to substitute the schedule-pinned ReplayScheduler.
+  replay::set_active(session.get());
+#else
+  DFTH_CHECK_MSG(opts.record_path.empty() && opts.replay_path.empty(),
+                 "record_path/replay_path set but the build has -DDFTH_REPLAY=OFF");
+#endif
+
   std::unique_ptr<Engine> eng;
-  if (opts.engine == EngineKind::Sim) {
-    eng = std::make_unique<SimEngine>(opts);
+  if (effective.engine == EngineKind::Sim) {
+    eng = std::make_unique<SimEngine>(effective);
   } else {
-    eng = std::make_unique<RealEngine>(opts);
+    eng = std::make_unique<RealEngine>(effective);
   }
 
-  if (opts.recorder) detail::set_recorder(opts.recorder);
+  if (effective.recorder) detail::set_recorder(effective.recorder);
 
   // Fiber ids restart per run, so stale happens-before state from a prior
   // run must not leak into this one (accumulated reports are kept).
@@ -52,6 +169,16 @@ RunStats run(const RuntimeOptions& opts, const std::function<void()>& main_fn) {
   RunStats stats = eng->run(main_fn);
   detail::set_engine(nullptr);
   detail::set_recorder(nullptr);
+#if DFTH_REPLAY
+  if (session) {
+    std::string error;
+    if (!session->finish_record(/*clean=*/true, &error)) {
+      DFTH_LOG_ERROR("replay: %s", error.c_str());
+      DFTH_CHECK_MSG(false, "failed to write the schedule log");
+    }
+    replay::set_active(nullptr);
+  }
+#endif
   return stats;
 }
 
@@ -167,19 +294,27 @@ void* df_try_malloc(std::size_t bytes, DfStatus* status) {
   }
 #endif
   std::int64_t fresh = 0;
-  void* p = TrackedHeap::instance().allocate_ex(bytes, &fresh);
+  bool injected = false;
+  void* p = TrackedHeap::instance().allocate_ex(bytes, &fresh,
+                                                /*probe_faults=*/true, &injected);
   // OOM recovery. Retries skip the dummy-tree/auditor preamble above: the δ
   // credit was already granted for this allocation, and re-auditing would
   // double-count it. Each failed attempt asks the engine to recover
   // (preempt AsyncDF-style, shrink the effective quota, back off); the
   // engine bounds the attempts and we surface kNoMem once it gives up.
+  // Retries also skip the fault-site probe: one allocation request is one
+  // site evaluation, so an injected failure is transient by construction —
+  // re-probing let an aggressive plan fail every bounded retry and surface
+  // kNoMem into code that treats allocation as infallible.
   for (int attempt = 0; p == nullptr; ++attempt) {
     if (e == nullptr || !e->on_alloc_failed(bytes, attempt)) {
       if (status) *status = DfStatus::kNoMem;
       return nullptr;
     }
-    p = TrackedHeap::instance().allocate_ex(bytes, &fresh);
+    p = TrackedHeap::instance().allocate_ex(bytes, &fresh,
+                                            /*probe_faults=*/false);
   }
+  if (injected) DFTH_FAULT_RECOVERED(resil::FaultSite::kHeapAlloc);
   if (e) e->on_alloc(bytes, fresh);  // may quota-preempt the calling thread
   if (Recorder* rec = active_recorder()) {
     rec->on_alloc(self_id(), static_cast<std::int64_t>(bytes));

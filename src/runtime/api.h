@@ -25,6 +25,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <new>
 #include <source_location>
 
 #include "graph/recorder.h"
@@ -91,6 +92,27 @@ struct RuntimeOptions {
   /// Stall-watchdog deadlines and dump destination (resil/watchdog.h).
   /// Disabled by default.
   resil::WatchdogConfig watchdog;
+
+  /// When non-empty (and the build has DFTH_REPLAY), record every
+  /// nondeterministic scheduling/sync/fault decision of this run into a
+  /// binary schedule log at this path. If the run aborts (DFTH_CHECK,
+  /// watchdog kill), the in-flight log is flushed so the failure itself is
+  /// replayable. Mutually exclusive with replay_path.
+  std::string record_path;
+
+  /// When non-empty (and the build has DFTH_REPLAY), drive this run from a
+  /// previously recorded schedule log instead of live scheduling decisions.
+  /// On EngineKind::Real the log must come from a matching Real run (same
+  /// sched/nprocs/seed/quota) and is replayed decision-for-decision; on
+  /// EngineKind::Sim any log is cross-replayed under virtual time. A log
+  /// that recorded a fault plan re-arms the identical plan, overriding
+  /// fault_plan.
+  std::string replay_path;
+
+  /// Free-form label (e.g. the app name) embedded in a recorded log's
+  /// header so tools/dfth-replay can re-create the run. Truncated to 63
+  /// chars.
+  std::string record_tag;
 };
 
 /// Opaque thread handle (cheap to copy). Valid until the enclosing run()
@@ -176,7 +198,12 @@ struct TrackedAllocator {
   TrackedAllocator() = default;
   template <typename U>
   TrackedAllocator(const TrackedAllocator<U>&) {}
-  T* allocate(std::size_t n) { return static_cast<T*>(df_malloc(n * sizeof(T))); }
+  T* allocate(std::size_t n) {
+    // The Allocator contract requires a throw on failure: returning nullptr
+    // sends std::vector straight into placement-new on address zero.
+    if (auto* p = static_cast<T*>(df_malloc(n * sizeof(T)))) return p;
+    throw std::bad_alloc();
+  }
   void deallocate(T* p, std::size_t) { df_free(p); }
   bool operator==(const TrackedAllocator&) const { return true; }
 };

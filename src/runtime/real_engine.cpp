@@ -9,11 +9,16 @@
 #include "obs/counters.h"
 #include "obs/profile.h"
 #include "obs/trace.h"
+#include "replay/hooks.h"
 #include "resil/faults.h"
 #include "resil/watchdog.h"
 #include "space/tracked_heap.h"
 #include "util/check.h"
 #include "util/timer.h"
+
+#if DFTH_REPLAY
+#include "replay/replay_sched.h"
+#endif
 
 #if DFTH_VALIDATE
 #include "analyze/auditor.h"
@@ -35,6 +40,18 @@ std::uint64_t steady_now_ns() {
 thread_local void* tl_worker = nullptr;  // RealEngine::Worker*
 thread_local Tcb* tl_bound = nullptr;    // bound thread's own Tcb
 
+// Thread-id allocation goes through the replay session when one is active:
+// the raw atomic's assignment order is itself a recorded (and replayed)
+// decision, so a replayed run names every fiber identically.
+std::uint64_t take_tid(std::atomic<std::uint64_t>& next) {
+#if DFTH_REPLAY
+  if (auto* rs = ::dfth::replay::active()) {
+    return rs->alloc_tid(next, ::dfth::replay::self_actor());
+  }
+#endif
+  return next++;
+}
+
 }  // namespace
 
 // Both accessors are noinline on purpose: fibers migrate between kernel
@@ -51,8 +68,20 @@ __attribute__((noinline)) Tcb* RealEngine::current() {
 
 RealEngine::RealEngine(const RuntimeOptions& opts) : opts_(opts) {
   DFTH_CHECK(opts_.nprocs >= 1);
-  sched_ = make_scheduler(opts_.sched, opts_.nprocs, opts_.seed,
-                          opts_.cluster_size);
+#if DFTH_REPLAY
+  if (auto* rs = replay::active();
+      rs != nullptr && rs->mode() == replay::Mode::Replay) {
+    // Schedule-pinned replay: serve the logged dispatch outcomes instead of
+    // re-running the recorded policy (see replay/replay_sched.h for why the
+    // policy itself cannot be replayed through).
+    sched_ = std::make_unique<replay::ReplayScheduler>(
+        rs, opts_.sched, replay::ReplayScheduler::Pinning::Pin);
+  }
+#endif
+  if (!sched_) {
+    sched_ = make_scheduler(opts_.sched, opts_.nprocs, opts_.seed,
+                            opts_.cluster_size);
+  }
   eff_quota_.store(opts_.mem_quota, std::memory_order_relaxed);
   stats_.engine = EngineKind::Real;
   stats_.sched = opts_.sched;
@@ -68,7 +97,7 @@ RealEngine::~RealEngine() {
 }
 
 Tcb* RealEngine::make_tcb(std::function<void*()> fn, const Attr& attr, bool is_dummy) {
-  Tcb* t = new Tcb(next_tid_++);
+  Tcb* t = new Tcb(take_tid(next_tid_));
   t->attr = attr;
   if (t->attr.stack_size == 0) t->attr.stack_size = opts_.default_stack_size;
   DFTH_CHECK(t->attr.priority >= 0 && t->attr.priority < kNumPriorities);
@@ -125,21 +154,30 @@ void RealEngine::fiber_entry(void* arg) {
 void RealEngine::finish_thread(Tcb* t) {
   DFTH_TRACE_EMIT(this_worker() ? this_worker()->id : opts_.nprocs,
                   obs::EvKind::Exit, t->id, 0);
+  DFTH_REPLAY_GATE_SELF();
   {
     std::lock_guard<std::mutex> lk(mu_);
     if (!t->attr.bound) sched_->unregister_thread(t);
     --live_;
     progress_.fetch_add(1, std::memory_order_relaxed);
+    DFTH_REPLAY_COMMIT(::dfth::replay::EvKind::ExitSched,
+                       ::dfth::replay::self_actor(), t->id, 0);
     if (live_ == 0) {
       done_ = true;
       cv_.notify_all();
       done_cv_.notify_all();
     }
   }
+  DFTH_REPLAY_GATE_SELF();
   t->join_lock.lock();
   t->finished = true;
   Tcb* joiner = t->joiner;
   t->joiner = nullptr;
+  // The exit-vs-join race on join_lock decides whether the joiner blocks;
+  // b records which joiner (0 = none yet) so replay verifies the outcome.
+  DFTH_REPLAY_COMMIT(::dfth::replay::EvKind::ExitJoin,
+                     ::dfth::replay::self_actor(), t->id,
+                     joiner ? joiner->id : 0);
   t->join_lock.unlock();
   if (joiner) wake(joiner);
 }
@@ -171,6 +209,7 @@ Tcb* RealEngine::spawn(std::function<void*()> fn, const Attr& attr, bool is_dumm
       child->site_file, child->site_line);
 
   if (child->attr.bound) {
+    DFTH_REPLAY_GATE_SELF();
     {
       std::lock_guard<std::mutex> lk(mu_);
       all_tcbs_.push_back(child);
@@ -178,6 +217,9 @@ Tcb* RealEngine::spawn(std::function<void*()> fn, const Attr& attr, bool is_dumm
       ++bound_live_;
       ++stats_.threads_created;
       stats_.max_live_threads = std::max(stats_.max_live_threads, live_);
+      DFTH_REPLAY_COMMIT(::dfth::replay::EvKind::SpawnReg,
+                         ::dfth::replay::self_actor(), child->id,
+                         ::dfth::replay::kSpawnBound);
     }
     start_bound_thread(child);
     return child;
@@ -186,6 +228,7 @@ Tcb* RealEngine::spawn(std::function<void*()> fn, const Attr& attr, bool is_dumm
   if (!child->stack) return run_inline(child);
 
   bool preempt;
+  DFTH_REPLAY_GATE_SELF();
   {
     std::lock_guard<std::mutex> lk(mu_);
     all_tcbs_.push_back(child);
@@ -201,6 +244,11 @@ Tcb* RealEngine::spawn(std::function<void*()> fn, const Attr& attr, bool is_dumm
       sched_->on_ready(child, w ? w->id : 0);
       cv_.notify_one();
     }
+    // Committed after the placement is final: b is the *effective*
+    // decision (fork dive or queued), which is what replay must pin.
+    DFTH_REPLAY_COMMIT(::dfth::replay::EvKind::SpawnReg,
+                       ::dfth::replay::self_actor(), child->id,
+                       preempt ? ::dfth::replay::kSpawnPreempt : 0);
   }
   DFTH_PROF_FORK_COST(child->id, steady_now_ns() - fork_t0);
 
@@ -226,6 +274,7 @@ Tcb* RealEngine::run_inline(Tcb* child) {
   // parallel. The child is never registered with the scheduler and never
   // counted in live_ (it is already Done when the handle becomes visible).
   [[maybe_unused]] Tcb* parent = current();
+  DFTH_REPLAY_GATE_SELF();
   {
     std::lock_guard<std::mutex> lk(mu_);
     all_tcbs_.push_back(child);
@@ -235,6 +284,9 @@ Tcb* RealEngine::run_inline(Tcb* child) {
 #if DFTH_VALIDATE
     if (auto* aud = analyze::active_auditor()) aud->on_inline_run(parent, child);
 #endif
+    DFTH_REPLAY_COMMIT(::dfth::replay::EvKind::SpawnReg,
+                       ::dfth::replay::self_actor(), child->id,
+                       ::dfth::replay::kSpawnInline);
   }
   DFTH_COUNT(obs::Counter::InlineRuns);
   child->state.store(ThreadState::Running, std::memory_order_relaxed);
@@ -281,7 +333,12 @@ void* RealEngine::join(Tcb* t) {
   DFTH_CHECK_MSG(!t->joined, "thread joined twice");
   DFTH_TRACE_EMIT(this_worker() ? this_worker()->id : opts_.nprocs,
                   obs::EvKind::Join, current() ? current()->id : 0, t->id);
+  DFTH_REPLAY_GATE_SELF();
   t->join_lock.lock();
+  // The join-vs-exit race on join_lock decides blocking; commit the outcome
+  // inside the section so replay reproduces (and verifies) it.
+  DFTH_REPLAY_COMMIT(::dfth::replay::EvKind::Join, ::dfth::replay::self_actor(),
+                     t->id, t->finished ? 0 : 1);
   if (!t->finished) {
     Tcb* cur = current();
     DFTH_CHECK_MSG(cur, "join from outside the runtime");
@@ -357,9 +414,23 @@ void RealEngine::block_current_timed(SpinLock* guard, WaitList* list,
     guard->unlock();
     const std::uint64_t deadline = steady_now_ns() + timeout_ns;
     while (cur->state.load(std::memory_order_acquire) == ThreadState::Blocked) {
-      if (steady_now_ns() >= deadline) {
+      bool due = steady_now_ns() >= deadline;
+#if DFTH_REPLAY
+      if (auto* rs = replay::active();
+          rs != nullptr && rs->mode() == replay::Mode::Replay &&
+          !rs->replay_exhausted()) {
+        // The deadline-vs-waker race is pinned: expire exactly when the log
+        // says this waiter claimed itself, never on this run's wall clock.
+        due = rs->head_is(replay::EvKind::TimeoutClaim, cur->id, nullptr);
+      }
+#endif
+      if (due) {
         guard->lock();
         const bool claimed = list->remove(cur);
+        if (claimed) {
+          DFTH_REPLAY_COMMIT(::dfth::replay::EvKind::TimeoutClaim, cur->id,
+                             cur->id, 0);
+        }
         guard->unlock();
         if (claimed) {
           cur->timed_out = true;
@@ -419,15 +490,21 @@ void RealEngine::wake(Tcb* t) {
                                        : 0);
   }
   if (t->attr.bound) {
+    // A bound waiter spins on its own state word; no shared scheduler state
+    // is touched, so this store is not an ordered replay event (documented
+    // limitation: bound-thread wake timing is not bit-pinned).
     t->state.store(ThreadState::Ready, std::memory_order_release);
     return;
   }
   Worker* w = this_worker();
+  DFTH_REPLAY_GATE_SELF();
   std::lock_guard<std::mutex> lk(mu_);
   t->state.store(ThreadState::Ready, std::memory_order_relaxed);
   t->ready_at_ns = 0;
   sched_->on_ready(t, w ? w->id : 0);
   progress_.fetch_add(1, std::memory_order_relaxed);
+  DFTH_REPLAY_COMMIT(::dfth::replay::EvKind::Wake, ::dfth::replay::self_actor(),
+                     t->id, 0);
   cv_.notify_one();
 }
 
@@ -469,21 +546,31 @@ bool RealEngine::on_alloc_failed(std::size_t bytes, int attempt) {
   // surfaces DfStatus::kNoMem.
   constexpr int kOomMaxAttempts = 16;
   if (attempt >= kOomMaxAttempts) return false;
-  {
-    std::lock_guard<std::mutex> lk(mu_);
-    ++stats_.oom_preemptions;
-  }
   DFTH_COUNT(obs::Counter::OomPreempts);
   Tcb* cur = current();
 #if DFTH_VALIDATE
   if (auto* aud = analyze::active_auditor()) aud->on_oom_preempt(cur);
 #endif
-  std::size_t q = eff_quota_.load(std::memory_order_relaxed);
-  while (q > 0) {
-    const std::size_t shrunk = std::max<std::size_t>(q / 2, 4096);
-    if (eff_quota_.compare_exchange_weak(q, shrunk, std::memory_order_relaxed)) {
-      break;
+  // The halving is an ordered decision: every later dispatch grants
+  // t->quota from eff_quota_, so the quota a fiber runs with — and hence
+  // where it quota-preempts — depends on how many halvings landed before
+  // its dispatch. Serialize the shrink under mu_ (the same lock the grant
+  // holds) and log it like any other scheduling decision; a lock-free CAS
+  // here raced the grants at physical timing, which record/replay cannot
+  // pin.
+  DFTH_REPLAY_GATE_SELF();
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    ++stats_.oom_preemptions;
+    const std::size_t q = eff_quota_.load(std::memory_order_relaxed);
+    std::size_t shrunk = q;
+    if (q > 0) {
+      shrunk = std::max<std::size_t>(q / 2, 4096);
+      eff_quota_.store(shrunk, std::memory_order_relaxed);
     }
+    DFTH_REPLAY_COMMIT(::dfth::replay::EvKind::QuotaShrink,
+                       ::dfth::replay::self_actor(), shrunk,
+                       static_cast<std::uint64_t>(attempt));
   }
   // Real backoff: give concurrent frees a chance to land before retrying.
   std::this_thread::sleep_for(
@@ -543,17 +630,36 @@ void RealEngine::handle_post(Worker& w) {
 }
 
 void RealEngine::enqueue_ready(Tcb* t, int proc_hint) {
+  // Only workers reach here (handle_post), so the deciding actor is the
+  // lane, not a fiber — the requeued fiber's context is already detached.
+  DFTH_REPLAY_GATE(::dfth::replay::lane_actor(proc_hint));
   std::lock_guard<std::mutex> lk(mu_);
   t->state.store(ThreadState::Ready, std::memory_order_relaxed);
   sched_->on_ready(t, proc_hint);
   progress_.fetch_add(1, std::memory_order_relaxed);
+  DFTH_REPLAY_COMMIT(::dfth::replay::EvKind::Requeue,
+                     ::dfth::replay::lane_actor(proc_hint), t->id, 0);
   cv_.notify_one();
 }
 
 void RealEngine::worker_loop(Worker& w) {
   tl_worker = &w;
+  DFTH_REPLAY_BIND_LANE(w.id);
   std::unique_lock<std::mutex> lk(mu_);
   while (!done_) {
+#if DFTH_REPLAY
+    // Admission control: in a pinned replay a lane may only take the
+    // scheduler lock to dispatch when the log's next ordered decision is its
+    // own (its events are all emitted from this kernel thread in program
+    // order, so the head here is always this lane's next Dispatch).
+    if (auto* rs = replay::active();
+        rs != nullptr && rs->mode() == replay::Mode::Replay) {
+      lk.unlock();
+      rs->gate(replay::lane_actor(w.id));
+      lk.lock();
+      if (done_) break;
+    }
+#endif
 #if DFTH_PROF
     std::uint64_t pick_t0 = 0;
     if (obs::profiler()) pick_t0 = steady_now_ns();
@@ -593,6 +699,8 @@ void RealEngine::worker_loop(Worker& w) {
     ++stats_.dispatches;
     progress_.fetch_add(1, std::memory_order_relaxed);
     DFTH_TRACE_EMIT(w.id, obs::EvKind::Dispatch, t->id, t->dispatches);
+    DFTH_REPLAY_COMMIT(::dfth::replay::EvKind::Dispatch,
+                       ::dfth::replay::lane_actor(w.id), t->id, 0);
 #if DFTH_PROF
     if (obs::Profiler* pr = obs::profiler()) {
       const std::uint64_t now = steady_now_ns();
@@ -615,6 +723,7 @@ void RealEngine::worker_loop(Worker& w) {
         std::uint64_t dive_t0 = 0;
         if (obs::profiler()) dive_t0 = steady_now_ns();
 #endif
+        DFTH_REPLAY_GATE(::dfth::replay::lane_actor(w.id));
         {
           std::lock_guard<std::mutex> inner(mu_);
           follow->state.store(ThreadState::Running, std::memory_order_relaxed);
@@ -625,6 +734,11 @@ void RealEngine::worker_loop(Worker& w) {
           progress_.fetch_add(1, std::memory_order_relaxed);
           DFTH_TRACE_EMIT(w.id, obs::EvKind::Dispatch, follow->id,
                           follow->dispatches);
+          // b = 1: a fork dive, not a queue-served pick — cross-replay on
+          // the simulator excludes these (they re-happen on its own spawn
+          // path).
+          DFTH_REPLAY_COMMIT(::dfth::replay::EvKind::Dispatch,
+                             ::dfth::replay::lane_actor(w.id), follow->id, 1);
         }
 #if DFTH_PROF
         if (obs::Profiler* pr = obs::profiler()) {
@@ -659,17 +773,24 @@ restart:
     // resume and the timer loses quietly.
     s.guard->lock();
     const bool claimed = s.list->remove(s.t);
+    if (claimed) {
+      DFTH_REPLAY_COMMIT(::dfth::replay::EvKind::TimeoutClaim,
+                         ::dfth::replay::kActorTimer, s.t->id, 0);
+    }
     s.guard->unlock();
     if (claimed) {
       s.t->timed_out = true;
       DFTH_TRACE_EMIT(opts_.nprocs, obs::EvKind::Wake, s.t->id, 0);
       DFTH_COUNT(obs::Counter::SyncTimeouts);
+      DFTH_REPLAY_GATE(::dfth::replay::kActorTimer);
       std::lock_guard<std::mutex> g(mu_);
       ++stats_.sync_timeouts;
       s.t->state.store(ThreadState::Ready, std::memory_order_relaxed);
       s.t->ready_at_ns = 0;
       sched_->on_ready(s.t, 0);
       progress_.fetch_add(1, std::memory_order_relaxed);
+      DFTH_REPLAY_COMMIT(::dfth::replay::EvKind::TimeoutReady,
+                         ::dfth::replay::kActorTimer, s.t->id, 0);
       cv_.notify_one();
     }
     lk.lock();
@@ -678,6 +799,57 @@ restart:
     goto restart;
   }
 }
+
+#if DFTH_REPLAY
+void RealEngine::replay_fire_sleepers(std::unique_lock<std::mutex>& lk) {
+  auto* rs = replay::active();
+  DFTH_CHECK(rs != nullptr && rs->mode() == replay::Mode::Replay);
+restart:
+  std::uint64_t tid = 0;
+  if (!rs->head_is(replay::EvKind::TimeoutClaim, replay::kActorTimer, &tid)) {
+    // A truncated (abort-time) log free-runs on wall-clock deadlines once
+    // every ordered decision has been consumed.
+    if (rs->replay_exhausted()) fire_due_sleepers(lk);
+    return;
+  }
+  // The log's next decision is a timer claim of fiber `tid`. Its sleeper may
+  // not be armed yet (the fiber is still switching away) — leave the head
+  // alone and retry on the next supervisor poll.
+  for (std::size_t i = 0; i < sleepers_.size(); ++i) {
+    if (sleepers_[i].t->id != tid) continue;
+    const RtSleeper s = sleepers_[i];
+    sleepers_.erase(sleepers_.begin() + static_cast<std::ptrdiff_t>(i));
+    firing_ = s.t;
+    lk.unlock();
+    s.guard->lock();
+    const bool claimed = s.list->remove(s.t);
+    // A waker cannot have popped the fiber first: its guard section is gated
+    // behind this very record. Losing the claim anyway means the run
+    // diverged from the log.
+    DFTH_CHECK_MSG(claimed, "replay: logged timeout claim lost its race");
+    rs->commit(replay::EvKind::TimeoutClaim, replay::kActorTimer, tid, 0);
+    s.guard->unlock();
+    s.t->timed_out = true;
+    DFTH_TRACE_EMIT(opts_.nprocs, obs::EvKind::Wake, s.t->id, 0);
+    DFTH_COUNT(obs::Counter::SyncTimeouts);
+    rs->gate(replay::kActorTimer);
+    {
+      std::lock_guard<std::mutex> g(mu_);
+      ++stats_.sync_timeouts;
+      s.t->state.store(ThreadState::Ready, std::memory_order_relaxed);
+      s.t->ready_at_ns = 0;
+      sched_->on_ready(s.t, 0);
+      progress_.fetch_add(1, std::memory_order_relaxed);
+      rs->commit(replay::EvKind::TimeoutReady, replay::kActorTimer, tid, 0);
+      cv_.notify_one();
+    }
+    lk.lock();
+    firing_ = nullptr;
+    sup_cv_.notify_all();
+    goto restart;
+  }
+}
+#endif  // DFTH_REPLAY
 
 void RealEngine::supervisor_loop() {
   using std::chrono::milliseconds;
@@ -701,6 +873,17 @@ void RealEngine::supervisor_loop() {
       nap_ns = std::min(
           nap_ns, static_cast<std::uint64_t>(nanoseconds(poll).count()));
     }
+#if DFTH_REPLAY
+    const bool pinned = [] {
+      auto* rs = replay::active();
+      return rs != nullptr && rs->mode() == replay::Mode::Replay;
+    }();
+    if (pinned) {
+      // Replayed timer fires are driven by the log head, not by deadlines —
+      // no notification marks the head becoming a TimeoutClaim, so poll.
+      nap_ns = std::min(nap_ns, std::uint64_t{1'000'000});
+    }
+#endif
     if (nap_ns == kInf) {
       sup_cv_.wait(lk);
     } else if (nap_ns > 0) {
@@ -708,7 +891,15 @@ void RealEngine::supervisor_loop() {
     }
     if (sup_stop_) break;
 
+#if DFTH_REPLAY
+    if (pinned) {
+      replay_fire_sleepers(lk);
+    } else {
+      fire_due_sleepers(lk);
+    }
+#else
     fire_due_sleepers(lk);
+#endif
 
     if (stall.count() > 0) {
       const std::uint64_t p = progress_.load(std::memory_order_relaxed);
@@ -758,6 +949,18 @@ void RealEngine::dump_flight(const char* reason, bool have_lock) {
   info.all_tcbs = &all_tcbs_;
   info.sched = sched_.get();
   info.tracer = obs::tracer();
+#if DFTH_REPLAY
+  if (auto* rs = replay::active()) {
+    if (rs->mode() == replay::Mode::Record) {
+      // Persist the schedule up to the abort so the hang itself replays.
+      rs->flush_partial();
+      info.record_log = rs->path();
+      info.replay_cmd = "tools/dfth-replay replay " + rs->path();
+    } else {
+      info.replay_log = rs->path();
+    }
+  }
+#endif
   resil::dump_flight_recorder(info, opts_.watchdog);
 }
 
@@ -814,6 +1017,7 @@ RunStats RealEngine::run(const std::function<void()>& main_fn) {
     // thread — the Solaris bound-thread escape hatch. Children it spawns
     // still go through the scheduler as usual.
     main->attr.bound = true;
+    DFTH_REPLAY_GATE(::dfth::replay::kActorHost);
     {
       std::lock_guard<std::mutex> lk(mu_);
       all_tcbs_.push_back(main);
@@ -821,9 +1025,13 @@ RunStats RealEngine::run(const std::function<void()>& main_fn) {
       ++bound_live_;
       stats_.threads_created = 1;
       stats_.max_live_threads = 1;
+      DFTH_REPLAY_COMMIT(::dfth::replay::EvKind::SpawnReg,
+                         ::dfth::replay::kActorHost, main->id,
+                         ::dfth::replay::kSpawnBound);
     }
     start_bound_thread(main);
   } else {
+    DFTH_REPLAY_GATE(::dfth::replay::kActorHost);
     std::lock_guard<std::mutex> lk(mu_);
     all_tcbs_.push_back(main);
     sched_->register_thread(nullptr, main);
@@ -832,6 +1040,8 @@ RunStats RealEngine::run(const std::function<void()>& main_fn) {
     live_ = 1;
     stats_.threads_created = 1;
     stats_.max_live_threads = 1;
+    DFTH_REPLAY_COMMIT(::dfth::replay::EvKind::SpawnReg,
+                       ::dfth::replay::kActorHost, main->id, 0);
   }
 
   // Resource-exhaustion degradation: losing workers only loses parallelism.
@@ -920,6 +1130,11 @@ RunStats RealEngine::run(const std::function<void()>& main_fn) {
   if (auto* ws = dynamic_cast<WorkStealScheduler*>(sched_->underlying())) {
     stats_.steals = ws->steal_count();
   }
+#if DFTH_REPLAY
+  if (auto* prs = dynamic_cast<replay::ReplayScheduler*>(sched_.get())) {
+    stats_.steals = prs->steal_count();
+  }
+#endif
 
 #if DFTH_TRACE
   if (obs::Tracer* tr = obs::tracer()) {

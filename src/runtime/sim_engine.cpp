@@ -7,11 +7,16 @@
 #include "core/worksteal_sched.h"
 #include "obs/counters.h"
 #include "obs/profile.h"
+#include "replay/hooks.h"
 #include "resil/faults.h"
 #include "resil/watchdog.h"
 #include "space/tracked_heap.h"
 #include "util/check.h"
 #include "util/log.h"
+
+#if DFTH_REPLAY
+#include "replay/replay_sched.h"
+#endif
 
 #if DFTH_VALIDATE
 #include "analyze/auditor.h"
@@ -57,6 +62,20 @@ bool SimEngine::LruCache::touch_block(std::uint32_t id) {
 
 SimEngine::SimEngine(const RuntimeOptions& opts) : opts_(opts) {
   DFTH_CHECK(opts_.nprocs >= 1);
+#if DFTH_REPLAY
+  if (auto* rs = replay::active();
+      rs != nullptr && rs->mode() == replay::Mode::CrossReplay) {
+    // Cross-replay: map the recorded run's dispatch order onto virtual time.
+    // The pinned scheduler carries the *logged* policy kind (its needs_quota
+    // answer must match the run that produced the schedule), and is built
+    // directly so AuditedScheduler never audits a pinned schedule against a
+    // policy it does not implement.
+    sched_ = std::make_unique<replay::ReplayScheduler>(
+        rs, static_cast<SchedKind>(rs->header().sched),
+        replay::ReplayScheduler::Pinning::Cross);
+  }
+  if (!sched_)
+#endif
   sched_ = make_scheduler(opts_.sched, opts_.nprocs, opts_.seed,
                           opts_.cluster_size);
   procs_.resize(static_cast<std::size_t>(opts_.nprocs));
@@ -159,6 +178,8 @@ Tcb* SimEngine::run_inline(Tcb* child) {
   if (auto* aud = analyze::active_auditor()) aud->on_inline_run(cur_, child);
 #endif
   charge(kThread, opts_.cost.create_unbound_us);
+  DFTH_REPLAY_COMMIT(::dfth::replay::EvKind::SpawnReg, cur_->id, child->id,
+                     ::dfth::replay::kSpawnInline);
   live_events_.emplace_back(vnow_ns(), +1);
   child->state.store(ThreadState::Running, std::memory_order_relaxed);
   ++child->dispatches;
@@ -470,6 +491,11 @@ RunStats SimEngine::run(const std::function<void()>& main_fn) {
   live_events_.emplace_back(0, +1);
   sim_stack_acquire_us(main->attr.stack_size);  // cost of the first stack: free
   sched_->register_thread(nullptr, main);
+  // Single host thread: recording needs no gates here or below — commits
+  // merely stamp the (already deterministic) decision order into the log so
+  // a Sim log can be inspected and cross-replayed like a Real one.
+  DFTH_REPLAY_COMMIT(::dfth::replay::EvKind::SpawnReg,
+                     ::dfth::replay::kActorHost, main->id, 0);
   main->state.store(ThreadState::Ready, std::memory_order_relaxed);
   main->ready_at_ns = 0;
   sched_->on_ready(main, 0);
@@ -726,6 +752,8 @@ void SimEngine::attempt_dispatch(VProc& vp, int pid) {
     ++stats_.dispatches;
     DFTH_TRACE_EMIT_AT(pid, obs::EvKind::Dispatch, vp.clock_ns, t->id,
                        t->dispatches);
+    DFTH_REPLAY_COMMIT(::dfth::replay::EvKind::Dispatch,
+                       ::dfth::replay::lane_actor(pid), t->id, 0);
     // The lane's accumulated idle time is this dispatch's gap; it burdens
     // the fiber (an ideal scheduler would have run it sooner) and must be
     // consumed whether or not a profiler is installed.
@@ -770,6 +798,9 @@ void SimEngine::handle_event(VProc& vp, int pid) {
 
       sched_lock_acquire(vp, pid);
       const bool preempt_parent = sched_->register_thread(parent, child);
+      DFTH_REPLAY_COMMIT(::dfth::replay::EvKind::SpawnReg, parent->id,
+                         child->id,
+                         preempt_parent ? ::dfth::replay::kSpawnPreempt : 0);
       ++live_;
       ++stats_.threads_created;
       if (child->is_dummy) ++stats_.dummy_threads;
@@ -797,6 +828,8 @@ void SimEngine::handle_event(VProc& vp, int pid) {
         DFTH_TRACE_EMIT_AT(pid, obs::EvKind::Dispatch, vp.clock_ns, child->id,
                            child->dispatches);
         DFTH_PROF_DISPATCH(child->id, us_to_ns(opts_.cost.ctx_switch_us), 0);
+        DFTH_REPLAY_COMMIT(::dfth::replay::EvKind::Dispatch,
+                           ::dfth::replay::lane_actor(pid), child->id, 1);
       } else {
         // FIFO / LIFO: the child waits its turn; the parent continues.
         child->state.store(ThreadState::Ready, std::memory_order_relaxed);
@@ -820,6 +853,7 @@ void SimEngine::handle_event(VProc& vp, int pid) {
       t->stack = Stack{};
       sim_stack_release(t->attr.stack_size);
       DFTH_TRACE_EMIT_AT(pid, obs::EvKind::Exit, vp.clock_ns, t->id, 0);
+      DFTH_REPLAY_COMMIT(::dfth::replay::EvKind::ExitSched, t->id, t->id, 0);
       DFTH_PROF_OVERHEAD(t->id, vp.clock_ns - exit_t0);
       // Finalize the span before the joiner wake below reads it.
       DFTH_PROF_EXIT(t->id, 0);
@@ -885,6 +919,17 @@ void SimEngine::dump_flight(const char* reason) {
   info.all_tcbs = &all_tcbs_;
   info.sched = sched_.get();
   info.tracer = obs::tracer();
+#if DFTH_REPLAY
+  if (auto* rs = replay::active()) {
+    if (rs->mode() == replay::Mode::Record) {
+      rs->flush_partial();
+      info.record_log = rs->path();
+      info.replay_cmd = "tools/dfth-replay replay " + rs->path();
+    } else {
+      info.replay_log = rs->path();
+    }
+  }
+#endif
   resil::dump_flight_recorder(info, opts_.watchdog);
 }
 

@@ -27,6 +27,24 @@
 // acquire-side hooks run under the object's guard_.
 #include "analyze/race_hooks.h"
 
+// Record/replay hooks (replay/hooks.h, -DDFTH_REPLAY builds): every guard_
+// critical section is one ordered decision. The SYNC_GATE runs before
+// guard_.lock() (no instrumented lock held), the SYNC_COMMIT runs inside the
+// section, immediately after the acquire — so the log captures exactly the
+// order in which fibers won each object's guard, which is the only
+// nondeterminism these primitives have (everything else is a deterministic
+// function of that order plus the wait-list FIFO discipline).
+#include "replay/hooks.h"
+
+#if DFTH_REPLAY
+#define DFTH_SYNC_SECTION(op)                             \
+  DFTH_REPLAY_SYNC_GATE();                                \
+  guard_.lock();                                          \
+  DFTH_REPLAY_SYNC_COMMIT(this, ::dfth::replay::SyncOp::op)
+#else
+#define DFTH_SYNC_SECTION(op) guard_.lock()
+#endif
+
 namespace dfth {
 namespace {
 
@@ -38,12 +56,24 @@ Engine* checked_engine() {
 
 }  // namespace
 
+// Destructors only unbind the object from the record/replay schedule log:
+// arena-per-phase apps destroy a whole tree of primitives and rebuild at the
+// recycled addresses, and a stale address→id binding would name the new
+// object with its corpse's id (record and replay recycle memory in different
+// orders, so the conflation diverges). Destroying a primitive with waiters
+// is still UB, exactly as for pthreads.
+Mutex::~Mutex() { DFTH_REPLAY_SYNC_DESTROY(this); }
+CondVar::~CondVar() { DFTH_REPLAY_SYNC_DESTROY(this); }
+Semaphore::~Semaphore() { DFTH_REPLAY_SYNC_DESTROY(this); }
+Barrier::~Barrier() { DFTH_REPLAY_SYNC_DESTROY(this); }
+RwLock::~RwLock() { DFTH_REPLAY_SYNC_DESTROY(this); }
+
 // -- Mutex --------------------------------------------------------------------
 
 void Mutex::lock() {
   Engine* e = checked_engine();
   e->charge_sync_op();
-  guard_.lock();
+  DFTH_SYNC_SECTION(MutexLock);
   Tcb* cur = e->current();
   if (owner_ == nullptr) {
     owner_ = cur;
@@ -70,7 +100,7 @@ bool Mutex::try_lock_for(std::uint64_t timeout_ns) {
     DFTH_FAULT_RECOVERED(resil::FaultSite::kSyncTimeout);
     return false;
   }
-  guard_.lock();
+  DFTH_SYNC_SECTION(MutexTryLockFor);
   Tcb* cur = e->current();
   if (owner_ == nullptr) {
     owner_ = cur;
@@ -97,7 +127,7 @@ bool Mutex::try_lock_for(std::uint64_t timeout_ns) {
 bool Mutex::try_lock() {
   Engine* e = checked_engine();
   e->charge_sync_op();
-  guard_.lock();
+  DFTH_SYNC_SECTION(MutexTryLock);
   if (owner_ != nullptr) {
     guard_.unlock();
     return false;
@@ -112,7 +142,7 @@ bool Mutex::try_lock() {
 void Mutex::unlock() {
   Engine* e = checked_engine();
   e->charge_sync_op();
-  guard_.lock();
+  DFTH_SYNC_SECTION(MutexUnlock);
   DFTH_CHECK_MSG(owner_ == e->current(), "Mutex::unlock by non-owner");
   DFTH_RACE_RELEASE(e->current(), this);
   Tcb* next = waiters_.pop();
@@ -129,7 +159,10 @@ void CondVar::wait(Mutex& m) {
   e->charge_sync_op();
   Tcb* cur = e->current();
   DFTH_CHECK_MSG(m.held_by(cur), "CondVar::wait caller does not hold the mutex");
-  guard_.lock();
+  // The m.unlock() below commits its own nested MutexUnlock while this
+  // CvWait section still holds guard_ — safe: no other actor's event on this
+  // CondVar can sit between the two in the log (it would have needed guard_).
+  DFTH_SYNC_SECTION(CvWait);
   waiters_.push(cur);
   cur->state.store(ThreadState::Blocked, std::memory_order_relaxed);
   // Release the user mutex only after we are on the wait list (we still hold
@@ -156,7 +189,7 @@ bool CondVar::timed_wait(Mutex& m, std::uint64_t timeout_ns) {
     DFTH_FAULT_RECOVERED(resil::FaultSite::kSyncTimeout);
     return false;
   }
-  guard_.lock();
+  DFTH_SYNC_SECTION(CvTimedWait);
   waiters_.push(cur);
   cur->state.store(ThreadState::Blocked, std::memory_order_relaxed);
   m.unlock();
@@ -173,7 +206,7 @@ bool CondVar::timed_wait(Mutex& m, std::uint64_t timeout_ns) {
 void CondVar::signal() {
   Engine* e = checked_engine();
   e->charge_sync_op();
-  guard_.lock();
+  DFTH_SYNC_SECTION(CvSignal);
   DFTH_RACE_RELEASE(e->current(), this);
   Tcb* t = waiters_.pop();
   guard_.unlock();
@@ -183,7 +216,7 @@ void CondVar::signal() {
 void CondVar::broadcast() {
   Engine* e = checked_engine();
   e->charge_sync_op();
-  guard_.lock();
+  DFTH_SYNC_SECTION(CvBroadcast);
   DFTH_RACE_RELEASE(e->current(), this);
   WaitList woken;
   while (Tcb* t = waiters_.pop()) woken.push(t);
@@ -196,7 +229,7 @@ void CondVar::broadcast() {
 void Semaphore::acquire() {
   Engine* e = checked_engine();
   e->charge_sync_op();
-  guard_.lock();
+  DFTH_SYNC_SECTION(SemAcquire);
   Tcb* cur = e->current();
   if (count_ > 0) {
     --count_;
@@ -215,7 +248,7 @@ void Semaphore::acquire() {
 bool Semaphore::try_acquire() {
   Engine* e = checked_engine();
   e->charge_sync_op();
-  guard_.lock();
+  DFTH_SYNC_SECTION(SemTryAcquire);
   const bool ok = count_ > 0;
   if (ok) {
     --count_;
@@ -232,7 +265,7 @@ bool Semaphore::try_acquire_for(std::uint64_t timeout_ns) {
     DFTH_FAULT_RECOVERED(resil::FaultSite::kSyncTimeout);
     return false;
   }
-  guard_.lock();
+  DFTH_SYNC_SECTION(SemTryAcquireFor);
   Tcb* cur = e->current();
   if (count_ > 0) {
     --count_;
@@ -254,7 +287,7 @@ bool Semaphore::try_acquire_for(std::uint64_t timeout_ns) {
 void Semaphore::release() {
   Engine* e = checked_engine();
   e->charge_sync_op();
-  guard_.lock();
+  DFTH_SYNC_SECTION(SemRelease);
   DFTH_RACE_RELEASE(e->current(), this);
   Tcb* t = waiters_.pop();
   if (!t) ++count_;
@@ -267,7 +300,7 @@ void Semaphore::release() {
 void Barrier::arrive_and_wait() {
   Engine* e = checked_engine();
   e->charge_sync_op();
-  guard_.lock();
+  DFTH_SYNC_SECTION(BarrierArrive);
   Tcb* cur = e->current();
   const std::uint64_t gen = generation_.load(std::memory_order_relaxed);
   if (++arrived_ == parties_) {
@@ -296,7 +329,7 @@ void Barrier::arrive_and_wait() {
 void RwLock::rdlock() {
   Engine* e = checked_engine();
   e->charge_sync_op();
-  guard_.lock();
+  DFTH_SYNC_SECTION(RwRdLock);
   Tcb* cur = e->current();
   if (!writer_ && waiting_writers_ == 0) {
     ++readers_;
@@ -316,7 +349,7 @@ void RwLock::rdlock() {
 bool RwLock::try_rdlock() {
   Engine* e = checked_engine();
   e->charge_sync_op();
-  guard_.lock();
+  DFTH_SYNC_SECTION(RwTryRdLock);
   const bool ok = !writer_ && waiting_writers_ == 0;
   if (ok) {
     ++readers_;
@@ -330,7 +363,7 @@ bool RwLock::try_rdlock() {
 void RwLock::rdunlock() {
   Engine* e = checked_engine();
   e->charge_sync_op();
-  guard_.lock();
+  DFTH_SYNC_SECTION(RwRdUnlock);
   DFTH_CHECK_MSG(readers_ > 0, "rdunlock without rdlock");
   --readers_;
   DFTH_RACE_RD_RELEASE(e->current(), this);
@@ -345,7 +378,7 @@ void RwLock::rdunlock() {
 void RwLock::wrlock() {
   Engine* e = checked_engine();
   e->charge_sync_op();
-  guard_.lock();
+  DFTH_SYNC_SECTION(RwWrLock);
   Tcb* cur = e->current();
   if (!writer_ && readers_ == 0) {
     writer_ = true;
@@ -366,7 +399,7 @@ void RwLock::wrlock() {
 bool RwLock::try_wrlock() {
   Engine* e = checked_engine();
   e->charge_sync_op();
-  guard_.lock();
+  DFTH_SYNC_SECTION(RwTryWrLock);
   const bool ok = !writer_ && readers_ == 0;
   if (ok) {
     writer_ = true;
@@ -380,7 +413,7 @@ bool RwLock::try_wrlock() {
 void RwLock::wrunlock() {
   Engine* e = checked_engine();
   e->charge_sync_op();
-  guard_.lock();
+  DFTH_SYNC_SECTION(RwWrUnlock);
   DFTH_CHECK_MSG(writer_, "wrunlock without wrlock");
   writer_ = false;
   DFTH_RACE_RELEASE(e->current(), this);
@@ -411,6 +444,15 @@ void RwLock::release_to_next() {
 // -- Once ------------------------------------------------------------------------
 
 void Once::call(const std::function<void()>& fn) {
+#if DFTH_REPLAY
+  // Under an active record/replay session the lock-free fast path is
+  // disabled: whether a caller sees done_ without taking m_ is a data race
+  // the log cannot capture. Forcing everyone through m_ makes the whole
+  // operation a function of the mutex-acquisition order, which the m_ hooks
+  // already record. Same policy on record and replay, so the event streams
+  // line up.
+  if (::dfth::replay::active() == nullptr)
+#endif
   if (done_.load(std::memory_order_acquire)) {
 #if DFTH_RACE
     // Fast-path observers synchronize with the runner through done_ alone

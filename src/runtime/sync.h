@@ -29,6 +29,14 @@ namespace dfth {
 /// pthread_mutex_t equivalent. Non-recursive; FIFO handoff to waiters.
 class Mutex {
  public:
+  Mutex() = default;
+  /// Unbinds the address from the record/replay schedule log (the allocator
+  /// may recycle it for a new primitive within the same run). Same for every
+  /// primitive below.
+  ~Mutex();
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
   void lock();
   bool try_lock();
   /// lock() with a deadline: returns true if the mutex was acquired within
@@ -69,6 +77,11 @@ class LockGuard {
 /// pthread_cond_t equivalent.
 class CondVar {
  public:
+  CondVar() = default;
+  ~CondVar();
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
   /// Atomically releases `m` and blocks; reacquires `m` before returning.
   void wait(Mutex& m);
 
@@ -98,6 +111,9 @@ class CondVar {
 class Semaphore {
  public:
   explicit Semaphore(int initial = 0) : count_(initial) {}
+  ~Semaphore();
+  Semaphore(const Semaphore&) = delete;
+  Semaphore& operator=(const Semaphore&) = delete;
 
   void acquire();       ///< P: decrement or block
   bool try_acquire();
@@ -119,6 +135,9 @@ class Semaphore {
 class Barrier {
  public:
   explicit Barrier(int parties) : parties_(parties) {}
+  ~Barrier();
+  Barrier(const Barrier&) = delete;
+  Barrier& operator=(const Barrier&) = delete;
 
   /// Blocks until `parties` threads have arrived; the generation then flips
   /// and the barrier is immediately reusable.
@@ -156,6 +175,11 @@ class Once {
 /// off to the next writer if any, otherwise wakes every waiting reader.
 class RwLock {
  public:
+  RwLock() = default;
+  ~RwLock();
+  RwLock(const RwLock&) = delete;
+  RwLock& operator=(const RwLock&) = delete;
+
   void rdlock();
   bool try_rdlock();
   void rdunlock();

@@ -11,6 +11,7 @@
 #include "analyze/san_fibers.h"
 #include "obs/counters.h"
 #include "resil/faults.h"
+#include "space/tracked_heap.h"
 #include "util/check.h"
 
 namespace dfth {
@@ -68,7 +69,18 @@ StackPool& StackPool::instance() {
 Stack StackPool::acquire(std::size_t usable_bytes) {
   const std::size_t usable = round_up_pages(usable_bytes == 0 ? page_size() : usable_bytes);
 
-  {
+  // Both stack-site fault draws happen up front, on *every* acquire, not on
+  // the fresh-mapping path only: reuse-vs-fresh is pool state that the
+  // record/replay log (src/replay/) does not order, so the per-acquire probe
+  // sequence must not depend on it — a replayed run that reuses where the
+  // recording mapped fresh would otherwise probe a different site sequence
+  // and be reported as a divergence. An injected failure forces the
+  // fresh-mapping path below, which treats it as attempt 0's failure.
+  const bool pre_inj_mmap = DFTH_FAULT_SHOULD_FAIL(resil::FaultSite::kStackMmap);
+  const bool pre_inj_mprotect =
+      !pre_inj_mmap && DFTH_FAULT_SHOULD_FAIL(resil::FaultSite::kStackMprotect);
+
+  if (!pre_inj_mmap && !pre_inj_mprotect) {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = cache_.find(usable);
     if (it != cache_.end() && !it->second.empty()) {
@@ -99,8 +111,12 @@ Stack StackPool::acquire(std::size_t usable_bytes) {
       trim();
       std::this_thread::sleep_for(std::chrono::microseconds(50u << attempt));
     }
+    // Attempt 0 consumes the pre-lookup draws; later attempts draw afresh.
+    const bool inj_mmap = attempt == 0
+                              ? pre_inj_mmap
+                              : DFTH_FAULT_SHOULD_FAIL(resil::FaultSite::kStackMmap);
     void* mapping = MAP_FAILED;
-    if (DFTH_FAULT_SHOULD_FAIL(resil::FaultSite::kStackMmap)) {
+    if (inj_mmap) {
       mmap_failed = true;
     } else {
       mapping = ::mmap(nullptr, total, PROT_NONE, MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
@@ -108,7 +124,10 @@ Stack StackPool::acquire(std::size_t usable_bytes) {
     }
     if (mapping == MAP_FAILED) continue;
     void* usable_lo = static_cast<char*>(mapping) + page_size();
-    if (DFTH_FAULT_SHOULD_FAIL(resil::FaultSite::kStackMprotect) ||
+    const bool inj_mprotect =
+        attempt == 0 ? pre_inj_mprotect
+                     : DFTH_FAULT_SHOULD_FAIL(resil::FaultSite::kStackMprotect);
+    if (inj_mprotect ||
         ::mprotect(usable_lo, usable, PROT_READ | PROT_WRITE) != 0) {
       mprotect_failed = true;
       ::munmap(mapping, total);
@@ -155,6 +174,11 @@ Stack StackPool::acquire(std::size_t usable_bytes) {
 
 void StackPool::release(Stack stack) {
   if (!stack) return;
+  // Retire race-detector shadow covering the stack before it can be recycled:
+  // a later fiber reusing this region must not inherit epochs from a dead
+  // one's locals (the same reuse hazard df_free handles for heap blocks).
+  // O(1) while the shadow table is empty, i.e. in every non-race run.
+  TrackedHeap::instance().shadow().clear_range(stack.base, stack.size);
 #if DFTH_STACK_USAGE
   const auto used = static_cast<std::int64_t>(painted_usage(stack.base, stack.size));
 #else

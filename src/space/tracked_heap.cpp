@@ -76,15 +76,20 @@ void* TrackedHeap::allocate(std::size_t bytes) {
   return allocate_ex(bytes, &fresh);
 }
 
-void* TrackedHeap::allocate_ex(std::size_t bytes, std::int64_t* fresh_bytes_out) {
+void* TrackedHeap::allocate_ex(std::size_t bytes, std::int64_t* fresh_bytes_out,
+                               bool probe_faults, bool* injected_out) {
   *fresh_bytes_out = 0;
+  if (injected_out) *injected_out = false;
   // Failure must be effect-free: counters, live bytes and the peak are only
   // touched once the backing allocation is in hand, so a failed attempt
   // followed by an engine OOM-preempt retry never double-counts. (The old
   // path threw bad_alloc here — out of a fiber, through a context switch,
   // straight into std::terminate.)
   if (bytes > SIZE_MAX - sizeof(Header)) return nullptr;  // size overflow
-  if (DFTH_FAULT_SHOULD_FAIL(resil::FaultSite::kHeapAlloc)) return nullptr;
+  if (probe_faults && DFTH_FAULT_SHOULD_FAIL(resil::FaultSite::kHeapAlloc)) {
+    if (injected_out) *injected_out = true;
+    return nullptr;
+  }
   auto* header = static_cast<Header*>(std::malloc(sizeof(Header) + bytes));
   if (!header) return nullptr;
   header->size = bytes;

@@ -104,7 +104,16 @@ class TrackedHeap {
   /// untouched) when the backing allocation fails, when sizeof(Header) +
   /// bytes would overflow, or when the resil injector fails the
   /// `heap.alloc` site.
-  void* allocate_ex(std::size_t bytes, std::int64_t* fresh_bytes_out);
+  /// `probe_faults` = false skips the kHeapAlloc fault-site evaluation:
+  /// df_try_malloc's OOM-recovery retries use it, so one allocation request
+  /// draws the site exactly once and an injected failure is transient by
+  /// construction (an aggressive plan — every 2nd evaluation failing —
+  /// could otherwise fail all bounded retries and surface kNoMem into code
+  /// that treats allocation as infallible). `injected_out` (may be null)
+  /// reports whether a nullptr return was an injected failure as opposed to
+  /// the backing malloc failing.
+  void* allocate_ex(std::size_t bytes, std::int64_t* fresh_bytes_out,
+                    bool probe_faults = true, bool* injected_out = nullptr);
 
   /// Shadow cells for the race detector; deallocate() clears a freed
   /// block's range automatically.

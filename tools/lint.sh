@@ -99,20 +99,33 @@ if audit_grep "$core_files" '\b(printf|fprintf|puts|fputs)[[:space:]]*\(|std::(c
   status=1
 fi
 
-# Same rule for the observability and resilience layers, minus the two
+# Same rule for the observability, resilience and replay layers, minus the
 # designated stdio sinks: obs/export.cpp IS the file writer the pipeline
-# parses, and resil/watchdog.cpp must dump its flight recorder to stderr
-# from an async-signal path where the logger is off the table.
-obs_files=$(find src/obs src/resil \
-            \( -path src/obs/export.cpp -o -path src/resil/watchdog.cpp \) \
+# parses, resil/watchdog.cpp must dump its flight recorder to stderr from an
+# async-signal path where the logger is off the table, and replay/log.cpp is
+# the schedule-log reader/writer (binary file I/O, same standing as
+# export.cpp).
+obs_files=$(find src/obs src/resil src/replay \
+            \( -path src/obs/export.cpp -o -path src/resil/watchdog.cpp \
+               -o -path src/replay/log.cpp \) \
             -prune -o \( -name '*.cpp' -o -name '*.h' \) -print)
 if audit_grep "$obs_files" '\b(printf|fprintf|puts|fputs)[[:space:]]*\(|std::(cout|cerr)\b'; then
-  echo "lint: raw stdio in src/obs or src/resil (use DFTH_LOG_* — only export.cpp and watchdog.cpp are stdio sinks)" >&2
+  echo "lint: raw stdio in src/obs, src/resil or src/replay (use DFTH_LOG_* — only export.cpp, watchdog.cpp and replay/log.cpp are stdio sinks)" >&2
+  status=1
+fi
+
+# The replay layer must not sidestep the runtime it is recording: no raw
+# pthread primitives (its own locks are std:: on host threads by design, but
+# pthread_* would bypass the compat shims' accounting elsewhere) and no
+# untracked allocation of log buffers.
+replay_files=$(find src/replay -name '*.cpp' -o -name '*.h')
+if audit_grep "$replay_files" '\bpthread_[a-z_]+[[:space:]]*\('; then
+  echo "lint: raw pthread_* call in src/replay" >&2
   status=1
 fi
 
 if [ "$status" -eq 0 ]; then
-  echo "lint: allocation/threading/stdio audit clean (src/apps, src/core, src/runtime, src/obs, src/resil, tests, bench)"
+  echo "lint: allocation/threading/stdio audit clean (src/apps, src/core, src/runtime, src/obs, src/resil, src/replay, tests, bench)"
 fi
 
 if [ "$grep_only" -eq 1 ]; then
