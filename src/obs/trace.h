@@ -72,6 +72,7 @@ enum PreemptReason : std::uint64_t {
   kPreemptQuota = 2,
   kPreemptForkDive = 3,  ///< parent preempted so the child runs (AsyncDF/WS)
   kPreemptOom = 4,       ///< heap exhaustion treated as quota exhaustion
+  kPreemptDeadline = 5,  ///< cancel-token deadline fired at this dispatch
 };
 
 struct TraceEvent {

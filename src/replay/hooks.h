@@ -66,7 +66,26 @@
       dfth_rs_->annotate_steal((lane), (tid), (victim));     \
   } while (0)
 
+#define DFTH_REPLAY_CANCEL_FIRE(lane, tid)                   \
+  do {                                                       \
+    if (auto* dfth_rs_ = ::dfth::replay::active())           \
+      dfth_rs_->annotate_cancel_fire((lane), (tid));         \
+  } while (0)
+
 #else  // !DFTH_REPLAY
+
+#include <cstdint>
+
+namespace dfth::replay {
+// Function-shaped hooks (serve/server.cpp threads observed values through
+// its control flow, which a statement macro cannot express): OFF-mode
+// passthroughs matching the session.h declarations.
+inline bool pinned() { return false; }
+inline bool pinned_active() { return false; }
+inline std::uint64_t observe_u64(std::uint64_t /*site*/, std::uint64_t live) {
+  return live;
+}
+}  // namespace dfth::replay
 
 #define DFTH_REPLAY_BIND_LANE(lane) ((void)0)
 #define DFTH_REPLAY_GATE(actor) ((void)0)
@@ -78,5 +97,6 @@
 #define DFTH_REPLAY_FAULT_GATE() ((void)0)
 #define DFTH_REPLAY_FAULT_COMMIT(site, injected) ((void)0)
 #define DFTH_REPLAY_STEAL(lane, tid, victim) ((void)0)
+#define DFTH_REPLAY_CANCEL_FIRE(lane, tid) ((void)0)
 
 #endif  // DFTH_REPLAY

@@ -50,6 +50,9 @@ const char* to_string(EvKind kind) {
     case EvKind::Fault: return "fault";
     case EvKind::Steal: return "steal";
     case EvKind::QuotaShrink: return "quota-shrink";
+    case EvKind::CancelFire: return "cancel-fire";
+    case EvKind::CancelCheck: return "cancel-check";
+    case EvKind::Observe: return "observe";
     case EvKind::kCount: break;
   }
   return "?";

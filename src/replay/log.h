@@ -41,7 +41,7 @@ inline constexpr bool kReplayEnabled = false;
 enum class EvKind : std::uint16_t {
   TidAlloc = 0,   ///< actor allocated thread id `a` (linearizes next_tid_)
   SpawnReg,       ///< actor registered child `a` with the scheduler; b = flags
-  Dispatch,       ///< lane actor dispatched fiber `a`; b = 1 for a fork dive
+  Dispatch,       ///< lane actor dispatched fiber `a`; b = kDispatch* flags
   Requeue,        ///< lane actor re-enqueued preempted/yielded fiber `a`
   Wake,           ///< actor made blocked fiber `a` runnable
   ExitSched,      ///< exiting fiber (actor) left the scheduler; a = own tid
@@ -53,6 +53,12 @@ enum class EvKind : std::uint16_t {
   Fault,          ///< actor probed fault site `a`; b = 1 when injected
   Steal,          ///< annotation: lane actor stole fiber `a` from victim `b`
   QuotaShrink,    ///< actor halved eff_quota_ to `a` on OOM (attempt `b`)
+  CancelFire,     ///< annotation: lane actor expired fiber `a`'s deadline at
+                  ///< dispatch (the decision itself is pinned by the Dispatch
+                  ///< record's kDispatchDeadline flag, not by this record)
+  CancelCheck,    ///< actor polled cancel_requested(); a = observed value
+  Observe,        ///< actor pinned a raced read (replay::observe_u64):
+                  ///< a = observed value, b = site id (kObs*)
   kCount,
 };
 
@@ -76,6 +82,20 @@ inline std::uint64_t lane_actor(int lane) {
 inline constexpr std::uint64_t kSpawnPreempt = 1;  ///< fork dive: child runs now
 inline constexpr std::uint64_t kSpawnBound = 2;    ///< child got a kernel thread
 inline constexpr std::uint64_t kSpawnInline = 4;   ///< child ran on the parent's stack
+
+/// Dispatch `b` flags. The deadline bit rides on the Dispatch record (one
+/// ordered decision, committed in one critical section) instead of being a
+/// separate ordered record: a sibling actor's sync commit could take the seq
+/// between two back-to-back commits, and the replaying lane — which may not
+/// gate while holding the scheduler lock — would stall on it forever.
+inline constexpr std::uint64_t kDispatchForkDive = 1;  ///< parent preempted
+inline constexpr std::uint64_t kDispatchDeadline = 2;  ///< cancel token fired here
+
+/// Observe `b` site ids: which raced read a replay::observe_u64 call pinned.
+/// Sites make divergence diagnostics readable and let replay verify that the
+/// run is replaying the *same* read, not merely one with an equal value.
+inline constexpr std::uint64_t kObsClockNs = 1;     ///< dfth::now_ns() (Real)
+inline constexpr std::uint64_t kObsServeBase = 16;  ///< serve/server.cpp sites
 
 /// One recorded decision. 40 bytes, written verbatim (the format is
 /// host-endian; logs are artifacts of one machine's run, not an interchange
@@ -103,7 +123,7 @@ struct SiteSpecWire {
 };
 
 inline constexpr char kLogMagic[8] = {'D', 'F', 'T', 'H', 'L', 'O', 'G', '1'};
-inline constexpr std::uint32_t kLogVersion = 1;
+inline constexpr std::uint32_t kLogVersion = 2;
 inline constexpr int kMaxFaultSitesWire = 8;
 
 struct LogHeader {

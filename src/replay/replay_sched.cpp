@@ -27,7 +27,10 @@ ReplayScheduler::ReplayScheduler(Session* session, SchedKind logged_kind,
         children_of_[r.actor].push_back({r.a, r.b});
         break;
       case EvKind::Dispatch:
-        if (r.b == 0) dispatch_order_.push_back(r.a);
+        // Fork dives re-happen on the simulator's own spawn path; the
+        // deadline flag may ride on a queue-served dispatch, so mask rather
+        // than compare against zero.
+        if ((r.b & kDispatchForkDive) == 0) dispatch_order_.push_back(r.a);
         break;
       default:
         break;

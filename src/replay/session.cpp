@@ -55,6 +55,41 @@ std::uint64_t self_actor() {
   return kActorHost;
 }
 
+bool pinned_active() {
+  Session* s = active();
+  return s != nullptr && s->mode() == Mode::Replay && !s->replay_exhausted();
+}
+
+std::uint64_t observe_u64(std::uint64_t site, std::uint64_t live) {
+  Session* rs = active();
+  if (rs == nullptr) return live;
+  // Sim runs are deterministic under virtual time and always cross-replay;
+  // pinning them would only bloat the log with records CrossReplay ignores.
+  Engine* e = engine();
+  if (e == nullptr || e->kind() != EngineKind::Real) return live;
+  const std::uint64_t actor = self_actor();
+  if (rs->mode() == Mode::Replay) {
+    if (rs->replay_exhausted()) return live;
+    if (rs->gate(actor) == Session::Turn::Mine) {
+      std::uint64_t a = 0, seq = 0, b = 0;
+      if (rs->head_is(EvKind::Observe, actor, &a, &seq, &b) && b == site) {
+        rs->commit(EvKind::Observe, actor, a, site);
+        return a;
+      }
+      // Our turn but the log expected a different event (or a different
+      // site): commit the live value so the session diagnoses the
+      // divergence and aborts with both sides printed.
+      rs->commit(EvKind::Observe, actor, live, site);
+      return live;
+    }
+    // Log exhausted between the check above and the gate: free-run.
+    return live;
+  }
+  // Record appends; CrossReplay's commit() is a no-op.
+  rs->commit(EvKind::Observe, actor, live, site);
+  return live;
+}
+
 Session::Session(Mode mode, std::string path)
     : mode_(mode), path_(std::move(path)) {}
 
@@ -151,6 +186,30 @@ Session::Turn Session::gate(std::uint64_t actor) {
     }
   }
   return Turn::Free;
+}
+
+std::string Session::position_summary() const {
+  if (mode_ != Mode::Replay) return std::string();
+  std::lock_guard<std::mutex> lk(cursor_mu_);
+  char buf[224];
+  if (cursor_ >= log_.ordered.size()) {
+    std::snprintf(buf, sizeof(buf),
+                  "ordered log exhausted (%zu events) — was free-running",
+                  log_.ordered.size());
+    return buf;
+  }
+  const Record& h = log_.ordered[cursor_];
+  std::snprintf(
+      buf, sizeof(buf),
+      "cursor at ordered event %zu/%zu; next decision {seq=%llu kind=%s "
+      "actor=%llx a=%llu b=%llu}",
+      cursor_, log_.ordered.size(),
+      static_cast<unsigned long long>(h.seq),
+      to_string(static_cast<EvKind>(h.kind)),
+      static_cast<unsigned long long>(h.actor),
+      static_cast<unsigned long long>(h.a),
+      static_cast<unsigned long long>(h.b));
+  return buf;
 }
 
 void Session::commit(EvKind kind, std::uint64_t actor, std::uint64_t a,
@@ -264,6 +323,24 @@ void Session::annotate_steal(int lane, std::uint64_t tid, std::uint64_t victim) 
   buf.records.push_back(r);
 }
 
+void Session::annotate_cancel_fire(int lane, std::uint64_t tid) {
+  if (mode_ != Mode::Record) return;
+  const int idx = (lane >= 0 && lane < static_cast<int>(lanes_.size()))
+                      ? lane
+                      : static_cast<int>(lanes_.size()) - 1;
+  LaneBuf& buf = *lanes_[static_cast<std::size_t>(idx)];
+  std::lock_guard<std::mutex> lg(buf.mu);
+  Record r;
+  r.seq = seq_.fetch_add(1, std::memory_order_relaxed);
+  r.actor = lane_actor(lane);
+  r.kind = static_cast<std::uint16_t>(EvKind::CancelFire);
+  r.flags = kFlagAnnotation;
+  r.lane = static_cast<std::uint32_t>(idx);
+  r.a = tid;
+  r.b = 0;
+  buf.records.push_back(r);
+}
+
 bool Session::consume_steal(int lane, std::uint64_t tid, std::uint64_t before_seq,
                             std::uint64_t* victim) {
   if (mode_ != Mode::Replay) return false;
@@ -278,7 +355,7 @@ bool Session::consume_steal(int lane, std::uint64_t tid, std::uint64_t before_se
 }
 
 bool Session::head_is(EvKind kind, std::uint64_t actor, std::uint64_t* a,
-                      std::uint64_t* seq) const {
+                      std::uint64_t* seq, std::uint64_t* b) const {
   if (mode_ != Mode::Replay) return false;
   std::lock_guard<std::mutex> lk(cursor_mu_);
   if (cursor_ >= log_.ordered.size()) return false;
@@ -286,6 +363,7 @@ bool Session::head_is(EvKind kind, std::uint64_t actor, std::uint64_t* a,
   if (h.kind != static_cast<std::uint16_t>(kind) || h.actor != actor) return false;
   if (a != nullptr) *a = h.a;
   if (seq != nullptr) *seq = h.seq;
+  if (b != nullptr) *b = h.b;
   return true;
 }
 

@@ -138,6 +138,11 @@ class Session {
   /// consumption happens in ReplayScheduler via consume_steal().
   void annotate_steal(int lane, std::uint64_t tid, std::uint64_t victim);
 
+  /// Cancel-fire annotation: lane expired fiber `tid`'s deadline at a
+  /// dispatch. Diagnostics only (dfth-replay event counts); the pinned
+  /// decision is the Dispatch record's kDispatchDeadline flag.
+  void annotate_cancel_fire(int lane, std::uint64_t tid);
+
   /// Replay: pop lane's next recorded steal if it names `tid` and was logged
   /// before `before_seq` (the Dispatch about to be served). Returns true and
   /// the victim on a match.
@@ -145,10 +150,11 @@ class Session {
                      std::uint64_t* victim);
 
   /// Replay: non-blocking head peek — true when the next ordered record is
-  /// {kind, actor}; fills *a (and *seq when non-null). Timer/bound-waiter
-  /// polling and ReplayScheduler's dispatch serving.
+  /// {kind, actor}; fills *a (and *seq / *b when non-null). Timer/bound-
+  /// waiter polling, ReplayScheduler's dispatch serving, and the engines'
+  /// recorded-Dispatch-flags reads (deadline expiry).
   bool head_is(EvKind kind, std::uint64_t actor, std::uint64_t* a,
-               std::uint64_t* seq = nullptr) const;
+               std::uint64_t* seq = nullptr, std::uint64_t* b = nullptr) const;
 
   /// Replay: every ordered record has been consumed — free-run from here.
   bool replay_exhausted() const;
@@ -158,6 +164,11 @@ class Session {
     std::lock_guard<std::mutex> lk(cursor_mu_);
     return cursor_;
   }
+
+  /// Replay: one-line cursor + next-decision summary for the flight
+  /// recorder (where the schedule wedged when an abort interrupts a
+  /// replay). Empty for Record/CrossReplay sessions.
+  std::string position_summary() const;
 
   /// Replay: flags of the head SpawnReg record (ReplayScheduler's
   /// register_thread answer). Falls back to `fallback` when not replaying or
@@ -237,5 +248,20 @@ std::uint64_t self_actor();
 /// is unreplayable by construction — when this returns true it must take a
 /// lock-ordered equivalent so the schedule log captures every decision.
 bool pinned();
+
+/// True when an installed session is in strict (same-engine) Replay and the
+/// ordered log still has records to serve. Code with side-effecting raced
+/// operations (an MPSC pop consumes an element; an admission CAS reserves
+/// bytes) consults this to *pre-read* the recorded outcome via observe_u64
+/// before performing — or skipping — the live operation.
+bool pinned_active();
+
+/// Pins a raced read. Record (Real engine only): commits {Observe, actor,
+/// live, site} and returns `live`. Replay: gates, verifies the head record's
+/// site, commits and returns the *recorded* value — control flow that
+/// branches on the result re-takes the recorded path even when the live
+/// value raced differently. CrossReplay, no session, log exhausted, or Sim
+/// engine (virtual time is already deterministic): passthrough of `live`.
+std::uint64_t observe_u64(std::uint64_t site, std::uint64_t live);
 
 }  // namespace dfth::replay

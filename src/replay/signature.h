@@ -35,6 +35,7 @@ inline std::string determinism_signature(const RunStats& s) {
   field("inline", s.inline_runs);
   field("timeouts", s.sync_timeouts);
   field("faults", s.faults_injected);
+  field("expired", s.deadline_expirations);
   return sig;
 }
 

@@ -196,6 +196,9 @@ void dump_flight_recorder(const FlightInfo& info, const WatchdogConfig& cfg) {
     append(&out, "  reproduce with: %s\n", info.replay_cmd.c_str());
   } else if (!info.replay_log.empty()) {
     append(&out, "  this run was replaying: %s\n", info.replay_log.c_str());
+    if (!info.replay_position.empty()) {
+      append(&out, "  %s\n", info.replay_position.c_str());
+    }
   } else {
     append(&out,
            "  (no recording session — set RuntimeOptions::record_path to "

@@ -17,6 +17,7 @@
 // stderr is the right tool.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -48,6 +49,17 @@ struct WatchdogConfig {
   /// When non-empty, the flight-recorder dump is also written to this file
   /// (CI uploads it as an artifact on failure).
   std::string dump_path;
+
+  /// Optional caller-owned liveness heartbeat for intentionally idle runs.
+  /// A long-lived serving engine with an empty ingress makes no scheduler
+  /// progress by design — that is liveness, not a stall. When set, the
+  /// caller bumps this counter whenever it is alive-but-idle (the serve
+  /// pump's drain/poll loop), and both watchdogs treat a beat like
+  /// dispatch progress: RealEngine folds it into the supervisor's progress
+  /// snapshot, SimEngine restarts the virtual deadline window from the last
+  /// beat instead of measuring from time zero. The deadline itself stays
+  /// tight — a wedged pump stops beating and still trips it.
+  const std::atomic<std::uint64_t>* heartbeat = nullptr;
 };
 
 /// One execution lane (kernel worker or virtual processor) and the fiber it
@@ -80,6 +92,8 @@ struct FlightInfo {
   std::string record_log;
   std::string replay_cmd;
   std::string replay_log;
+  /// Replaying runs: cursor + next expected decision at abort time.
+  std::string replay_position;
 };
 
 /// Writes the flight-recorder dump to stderr (and cfg.dump_path when set).

@@ -18,6 +18,7 @@
 
 #include "replay/session.h"
 #endif
+#include <chrono>
 
 namespace dfth {
 namespace {
@@ -226,6 +227,64 @@ std::uint64_t self_id() {
   return cur ? cur->id : 0;
 }
 
+bool cancel_requested() {
+  Engine* e = engine();
+  if (!e) return false;
+  Tcb* cur = e->current();
+  if (!cur || cur->cancel == nullptr) return false;
+#if DFTH_REPLAY
+  if (auto* rs = replay::active()) {
+    const std::uint64_t actor = replay::self_actor();
+    if (rs->mode() == replay::Mode::Replay) {
+      // Pinned replay: the recorded observation wins over the live flag.
+      // The poll races with dispatch-time expiry on another lane, so the
+      // live read can land on either side of the recorded CancelFire;
+      // returning the logged value keeps control flow (and therefore the
+      // spawn structure downstream of this branch) identical.
+      if (rs->gate(actor) == replay::Session::Turn::Mine) {
+        std::uint64_t observed = 0;
+        if (rs->head_is(replay::EvKind::CancelCheck, actor, &observed)) {
+          rs->commit(replay::EvKind::CancelCheck, actor, observed, 0);
+          return observed != 0;
+        }
+        // Our turn but the log expected a different event here: commit the
+        // live value so the session diagnoses the divergence and aborts.
+        const std::uint64_t live = cur->cancel->is_cancelled() ? 1 : 0;
+        rs->commit(replay::EvKind::CancelCheck, actor, live, 0);
+        return live != 0;
+      }
+      // Log exhausted (abort-time partial log): free-run on the live flag.
+      return cur->cancel->is_cancelled();
+    }
+    // Record: log what this poll observed. CrossReplay: commit() ignores
+    // the event — virtual time makes the Sim outcome deterministic anyway.
+    const bool v = cur->cancel->is_cancelled();
+    rs->commit(replay::EvKind::CancelCheck, actor, v ? 1 : 0, 0);
+    return v;
+  }
+#endif
+  return cur->cancel->is_cancelled();
+}
+
+std::uint64_t now_ns() {
+  if (Engine* e = engine()) {
+#if DFTH_REPLAY
+    // The wall clock is the archetypal raced read: serve-layer control flow
+    // (deadline checks, arrival pacing, retry due times) branches on it.
+    // Pin it so strict Real replay re-takes every recorded branch;
+    // observe_u64 is a passthrough on Sim (virtual time is deterministic)
+    // and when no session is installed.
+    return replay::observe_u64(replay::kObsClockNs, e->now_ns());
+#else
+    return e->now_ns();
+#endif
+  }
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
 namespace {
 
 // Forks `count` dummy (no-op) threads as a binary tree — the paper forks the
@@ -267,6 +326,7 @@ const char* to_string(DfStatus status) {
     case DfStatus::kOk: return "ok";
     case DfStatus::kNoMem: return "no-mem";
     case DfStatus::kTimedOut: return "timed-out";
+    case DfStatus::kOverloaded: return "overloaded";
   }
   return "?";
 }
@@ -308,14 +368,32 @@ void* df_try_malloc(std::size_t bytes, DfStatus* status) {
   // kNoMem into code that treats allocation as infallible.
   for (int attempt = 0; p == nullptr; ++attempt) {
     if (e == nullptr || !e->on_alloc_failed(bytes, attempt)) {
-      if (status) *status = DfStatus::kNoMem;
+      // Backpressure vs. terminal failure: while other threads hold tracked
+      // bytes, their frees can make a retry succeed — that is kOverloaded,
+      // the admission controller's shed signal. Only an empty tracked heap
+      // (or no engine to preempt through) means the allocation can never
+      // succeed and the caller gets terminal kNoMem.
+      if (status) {
+        *status = (e != nullptr && TrackedHeap::instance().live_bytes() > 0)
+                      ? DfStatus::kOverloaded
+                      : DfStatus::kNoMem;
+      }
       return nullptr;
     }
     p = TrackedHeap::instance().allocate_ex(bytes, &fresh,
                                             /*probe_faults=*/false);
   }
   if (injected) DFTH_FAULT_RECOVERED(resil::FaultSite::kHeapAlloc);
-  if (e) e->on_alloc(bytes, fresh);  // may quota-preempt the calling thread
+  if (e) {
+    if (Tcb* cur = e->current()) {
+      if (cur->cancel != nullptr && cur->cancel->alloc_charge != nullptr) {
+        cur->cancel->alloc_charge->fetch_add(
+            static_cast<std::int64_t>(TrackedHeap::allocated_size(p)),
+            std::memory_order_relaxed);
+      }
+    }
+    e->on_alloc(bytes, fresh);  // may quota-preempt the calling thread
+  }
   if (Recorder* rec = active_recorder()) {
     rec->on_alloc(self_id(), static_cast<std::int64_t>(bytes));
   }
@@ -327,7 +405,15 @@ void df_free(void* p) {
   if (!p) return;
   const std::size_t bytes = TrackedHeap::allocated_size(p);
   TrackedHeap::instance().deallocate(p);
-  if (Engine* e = engine()) e->on_free(bytes);
+  if (Engine* e = engine()) {
+    if (Tcb* cur = e->current()) {
+      if (cur->cancel != nullptr && cur->cancel->alloc_charge != nullptr) {
+        cur->cancel->alloc_charge->fetch_sub(static_cast<std::int64_t>(bytes),
+                                             std::memory_order_relaxed);
+      }
+    }
+    e->on_free(bytes);
+  }
   if (Recorder* rec = active_recorder()) {
     rec->on_alloc(self_id(), -static_cast<std::int64_t>(bytes));
   }

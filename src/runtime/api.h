@@ -158,6 +158,22 @@ void yield();
 /// Id of the calling thread (0 outside the runtime).
 std::uint64_t self_id();
 
+// -- cooperative cancellation (threads/cancel.h) -------------------------------
+
+/// True when the calling fiber's cancellation scope has fired (deadline
+/// expired at a dispatch, or the owner cancelled explicitly). Fibers under a
+/// deadline poll this at safe points — typically before spawning children —
+/// and early-return; they must still reach their joins/barriers so peers
+/// never deadlock. Always false outside any scope or outside run(). Under
+/// record/replay each poll is a logged decision, so replay reproduces the
+/// observed value even though the underlying read races with expiry.
+bool cancel_requested();
+
+/// Engine-clock nanoseconds: virtual time in Sim, steady wall time in Real,
+/// steady wall time outside run(). The clock CancelToken::deadline_ns and
+/// the sync timed-waits are measured against.
+std::uint64_t now_ns();
+
 // -- tracked allocation ------------------------------------------------------
 
 /// Error-code channel for the fallible API variants. No exception ever
@@ -165,8 +181,13 @@ std::uint64_t self_id();
 /// is unrecoverable), so resource exhaustion is reported by value.
 enum class DfStatus : std::uint8_t {
   kOk = 0,
-  kNoMem,     ///< heap exhausted after the engine's bounded OOM-preempt retries
-  kTimedOut,  ///< a timed wait expired (reserved for callers layering on sync)
+  kNoMem,       ///< heap exhausted after the engine's bounded OOM-preempt
+                ///< retries and no other thread holds tracked memory: nothing
+                ///< will ever free, the allocation can never succeed
+  kTimedOut,    ///< a timed wait expired (reserved for callers layering on sync)
+  kOverloaded,  ///< heap exhausted while other threads hold tracked bytes —
+                ///< transient backpressure; retry after they free, or shed
+                ///< load (the serving admission controller's reject signal)
 };
 
 const char* to_string(DfStatus status);
@@ -187,6 +208,17 @@ void* df_malloc(std::size_t bytes);
 
 /// df_malloc with an explicit status out-param (may be null). Returns
 /// nullptr iff *status is set to a non-kOk value.
+///
+/// Call-site audit (the seven paper apps, src/apps/): every app allocates
+/// through df_malloc or TrackedAllocator and treats failure as fatal —
+/// correct for a batch kernel, where by the time the tracked heap is
+/// exhausted there is nothing to shed. The kNoMem/kOverloaded distinction
+/// is consumed one layer up: the serving admission controller
+/// (src/serve/admission.h) sizes per-endpoint budgets so handlers never
+/// see exhaustion, and serve::Server maps a mid-request kOverloaded to a
+/// shed + retry-after rather than a handler crash. App code should keep
+/// calling df_malloc; only long-lived callers that can *reject work*
+/// should switch to df_try_malloc and branch on the status.
 void* df_try_malloc(std::size_t bytes, DfStatus* status = nullptr);
 
 void df_free(void* p);

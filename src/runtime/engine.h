@@ -65,6 +65,10 @@ class Engine {
   /// the real engine, where the cost is real).
   virtual void charge_sync_op() = 0;
 
+  /// Engine-clock nanoseconds: the timebase for timed waits and for
+  /// CancelToken::deadline_ns. Virtual ns in Sim, steady-clock ns in Real.
+  virtual std::uint64_t now_ns() const = 0;
+
   // -- allocation accounting (called by df_malloc / df_free) -----------------
   virtual void on_alloc(std::size_t bytes, std::int64_t fresh_bytes) = 0;
   virtual void on_free(std::size_t bytes) = 0;

@@ -10,6 +10,7 @@
 #include "obs/profile.h"
 #include "obs/trace.h"
 #include "replay/hooks.h"
+#include "replay/log.h"
 #include "resil/faults.h"
 #include "resil/watchdog.h"
 #include "space/tracked_heap.h"
@@ -191,6 +192,10 @@ Tcb* RealEngine::spawn(std::function<void*()> fn, const Attr& attr, bool is_dumm
   Worker* w = this_worker();
   Tcb* parent = current();
   child->parent = parent;
+  // Deadline propagation: a child without its own cancellation scope joins
+  // the parent's, so a request's token covers the whole spawn subtree.
+  child->cancel =
+      attr.cancel != nullptr ? attr.cancel : (parent ? parent->cancel : nullptr);
   DFTH_RACE_FORK(child, parent);
   if (Recorder* rec = active_recorder()) {
     rec->on_thread_start(child->id, parent ? parent->id : 0);
@@ -642,6 +647,45 @@ void RealEngine::enqueue_ready(Tcb* t, int proc_hint) {
   cv_.notify_one();
 }
 
+std::uint64_t RealEngine::now_ns() const { return steady_now_ns(); }
+
+std::uint64_t RealEngine::dispatch_cancel_flags(Tcb* t, int lane,
+                                                std::uint64_t base) {
+  CancelToken* c = t->cancel;
+  bool fire = false;
+#if DFTH_REPLAY
+  if (auto* rs = replay::active();
+      rs != nullptr && rs->mode() == replay::Mode::Replay &&
+      !rs->replay_exhausted()) {
+    // Pinned replay: this lane's gate already passed, so the head is this
+    // very Dispatch — read the recorded expire-or-not flag instead of the
+    // clock (which drifts between runs). head_is failing here just means
+    // the run is about to diverge; commit will diagnose that, so stay
+    // conservative and don't fire.
+    std::uint64_t tid = 0;
+    std::uint64_t logged_b = 0;
+    if (rs->head_is(replay::EvKind::Dispatch, replay::lane_actor(lane), &tid,
+                    nullptr, &logged_b) &&
+        tid == t->id) {
+      fire = (logged_b & replay::kDispatchDeadline) != 0;
+    }
+    if (!fire) return base;
+    if (c != nullptr && !c->is_cancelled()) c->cancel();
+    ++stats_.deadline_expirations;
+    DFTH_TRACE_EMIT(lane, obs::EvKind::Preempt, t->id, obs::kPreemptDeadline);
+    return base | replay::kDispatchDeadline;
+  }
+#endif
+  fire = c != nullptr && c->deadline_ns != 0 && !c->is_cancelled() &&
+         steady_now_ns() >= c->deadline_ns;
+  if (!fire) return base;
+  c->cancel();
+  ++stats_.deadline_expirations;
+  DFTH_TRACE_EMIT(lane, obs::EvKind::Preempt, t->id, obs::kPreemptDeadline);
+  DFTH_REPLAY_CANCEL_FIRE(lane, t->id);
+  return base | ::dfth::replay::kDispatchDeadline;
+}
+
 void RealEngine::worker_loop(Worker& w) {
   tl_worker = &w;
   DFTH_REPLAY_BIND_LANE(w.id);
@@ -699,8 +743,10 @@ void RealEngine::worker_loop(Worker& w) {
     ++stats_.dispatches;
     progress_.fetch_add(1, std::memory_order_relaxed);
     DFTH_TRACE_EMIT(w.id, obs::EvKind::Dispatch, t->id, t->dispatches);
+    [[maybe_unused]] const std::uint64_t cancel_b =
+        dispatch_cancel_flags(t, w.id, 0);
     DFTH_REPLAY_COMMIT(::dfth::replay::EvKind::Dispatch,
-                       ::dfth::replay::lane_actor(w.id), t->id, 0);
+                       ::dfth::replay::lane_actor(w.id), t->id, cancel_b);
 #if DFTH_PROF
     if (obs::Profiler* pr = obs::profiler()) {
       const std::uint64_t now = steady_now_ns();
@@ -734,11 +780,14 @@ void RealEngine::worker_loop(Worker& w) {
           progress_.fetch_add(1, std::memory_order_relaxed);
           DFTH_TRACE_EMIT(w.id, obs::EvKind::Dispatch, follow->id,
                           follow->dispatches);
-          // b = 1: a fork dive, not a queue-served pick — cross-replay on
-          // the simulator excludes these (they re-happen on its own spawn
+          // kDispatchForkDive: a dive, not a queue-served pick — cross-replay
+          // on the simulator excludes these (they re-happen on its own spawn
           // path).
+          [[maybe_unused]] const std::uint64_t dive_b = dispatch_cancel_flags(
+              follow, w.id, ::dfth::replay::kDispatchForkDive);
           DFTH_REPLAY_COMMIT(::dfth::replay::EvKind::Dispatch,
-                             ::dfth::replay::lane_actor(w.id), follow->id, 1);
+                             ::dfth::replay::lane_actor(w.id), follow->id,
+                             dive_b);
         }
 #if DFTH_PROF
         if (obs::Profiler* pr = obs::profiler()) {
@@ -880,8 +929,13 @@ void RealEngine::supervisor_loop() {
     }();
     if (pinned) {
       // Replayed timer fires are driven by the log head, not by deadlines —
-      // no notification marks the head becoming a TimeoutClaim, so poll.
-      nap_ns = std::min(nap_ns, std::uint64_t{1'000'000});
+      // no notification marks the head becoming a TimeoutClaim, so poll at a
+      // flat 1ms. Deadline-derived naps must not apply here: a past-due
+      // sleeper the log is not yet ready to fire yields nap_ns == 0, and a
+      // zero nap skips both wait branches below — the loop would then spin
+      // without ever releasing sup_mu_, starving fibers that register and
+      // deregister sleepers under it (a replay-only livelock).
+      nap_ns = std::uint64_t{1'000'000};
     }
 #endif
     if (nap_ns == kInf) {
@@ -902,7 +956,13 @@ void RealEngine::supervisor_loop() {
 #endif
 
     if (stall.count() > 0) {
-      const std::uint64_t p = progress_.load(std::memory_order_relaxed);
+      // Liveness heartbeat (resil/watchdog.h): an intentionally idle serving
+      // engine beats instead of dispatching. Both counters only grow, so the
+      // sum moves whenever either does and the snapshot logic is unchanged.
+      std::uint64_t p = progress_.load(std::memory_order_relaxed);
+      if (const auto* hb = opts_.watchdog.heartbeat) {
+        p += hb->load(std::memory_order_relaxed);
+      }
       const auto now = std::chrono::steady_clock::now();
       if (p != last_progress) {
         last_progress = p;
@@ -958,6 +1018,7 @@ void RealEngine::dump_flight(const char* reason, bool have_lock) {
       info.replay_cmd = "tools/dfth-replay replay " + rs->path();
     } else {
       info.replay_log = rs->path();
+      info.replay_position = rs->position_summary();
     }
   }
 #endif

@@ -53,6 +53,7 @@ class RealEngine final : public Engine {
                            std::uint64_t timeout_ns) override;
   void wake(Tcb* t) override;
   void charge_sync_op() override {}
+  std::uint64_t now_ns() const override;
   void on_alloc(std::size_t bytes, std::int64_t fresh_bytes) override;
   void on_free(std::size_t bytes) override;
   bool uses_alloc_quota() const override;
@@ -116,6 +117,14 @@ class RealEngine final : public Engine {
   void run_fiber(Worker& w, Tcb* t);
   void handle_post(Worker& w);
   void enqueue_ready(Tcb* t, int proc_hint);
+  /// Deadline check folded into a dispatch: fires `t`'s cancel token when
+  /// its deadline passed on the steady clock, and returns `base` (the
+  /// kDispatchForkDive flag or 0) OR'd with kDispatchDeadline when it fired.
+  /// In a pinned replay the recorded Dispatch flags win over the live clock
+  /// — wall time drifts between runs, and the flag is the one place the
+  /// expire-or-not race is logged. Called with mu_ held, immediately before
+  /// the Dispatch commit.
+  std::uint64_t dispatch_cancel_flags(Tcb* t, int lane, std::uint64_t base);
   void start_bound_thread(Tcb* t);
   void finish_thread(Tcb* t);  ///< shared exit bookkeeping (fiber + bound)
 

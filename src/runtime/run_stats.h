@@ -101,6 +101,7 @@ struct RunStats {
   std::uint64_t sync_timeouts = 0;     ///< timed waits that expired
   std::uint64_t faults_injected = 0;   ///< resil injector failures this run
   std::uint64_t faults_recovered = 0;  ///< injected failures absorbed this run
+  std::uint64_t deadline_expirations = 0;  ///< cancel tokens fired at dispatch
 
   // Space (bytes).
   std::int64_t heap_peak = 0;          ///< the paper's space metric

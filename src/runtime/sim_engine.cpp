@@ -8,6 +8,7 @@
 #include "obs/counters.h"
 #include "obs/profile.h"
 #include "replay/hooks.h"
+#include "replay/log.h"
 #include "resil/faults.h"
 #include "resil/watchdog.h"
 #include "space/tracked_heap.h"
@@ -150,6 +151,9 @@ Tcb* SimEngine::spawn(std::function<void*()> fn, const Attr& attr, bool is_dummy
   DFTH_CHECK_MSG(in_fiber_, "spawn outside a thread");
   Tcb* child = make_tcb(std::move(fn), attr, is_dummy);
   child->parent = cur_;
+  // Deadline propagation: a child without its own cancellation scope joins
+  // the parent's, so a request's token covers the whole spawn subtree.
+  child->cancel = attr.cancel != nullptr ? attr.cancel : cur_->cancel;
   child->site_file = site_file;
   child->site_line = site_line;
   DFTH_RACE_FORK(child, cur_);
@@ -635,15 +639,29 @@ void SimEngine::maybe_sample(std::uint64_t now_ns) {
 
 void SimEngine::sim_loop() {
   const std::uint64_t wd_deadline = opts_.watchdog.virtual_deadline_ns;
+  // Liveness heartbeat (resil/watchdog.h): when the caller beats, the
+  // virtual deadline becomes a window since the last beat, so an
+  // intentionally idle-but-armed serving run is never mistaken for a stall.
+  std::uint64_t hb_seen = 0;
+  std::uint64_t hb_base_ns = 0;
   while (live_ > 0) {
     const int pid = pick_proc();
     VProc& vp = procs_[static_cast<std::size_t>(pid)];
     // Virtual-time stall watchdog: pick_proc returns the minimum clock, so
     // crossing the deadline here means *every* processor is past it and the
     // run is still not finished.
-    if (wd_deadline != 0 && vp.clock_ns > wd_deadline) {
-      dump_flight("SimEngine watchdog: virtual-time deadline exceeded");
-      DFTH_CHECK_MSG(false, "virtual-time stall watchdog tripped");
+    if (wd_deadline != 0) {
+      if (const auto* hb = opts_.watchdog.heartbeat) {
+        const std::uint64_t v = hb->load(std::memory_order_relaxed);
+        if (v != hb_seen) {
+          hb_seen = v;
+          hb_base_ns = vp.clock_ns;
+        }
+      }
+      if (vp.clock_ns > hb_base_ns && vp.clock_ns - hb_base_ns > wd_deadline) {
+        dump_flight("SimEngine watchdog: virtual-time deadline exceeded");
+        DFTH_CHECK_MSG(false, "virtual-time stall watchdog tripped");
+      }
     }
     if (vp.running) {
       cur_ = vp.running;
@@ -732,6 +750,24 @@ void SimEngine::make_ready(VProc& vp, int pid, Tcb* t) {
   sched_->on_ready(t, pid);
 }
 
+std::uint64_t SimEngine::expire_on_dispatch(Tcb* t, int pid,
+                                            std::uint64_t now) {
+  CancelToken* c = t->cancel;
+  if (c == nullptr || c->deadline_ns == 0 || c->is_cancelled() ||
+      now < c->deadline_ns) {
+    return 0;
+  }
+  // Virtual time makes this decision deterministic, so no replay pinning is
+  // needed here — the flag still lands in the Dispatch record so Real
+  // replays of the same format stay uniform and tools see it.
+  c->cancel();
+  ++stats_.deadline_expirations;
+  DFTH_TRACE_EMIT_AT(pid, obs::EvKind::Preempt, now, t->id,
+                     obs::kPreemptDeadline);
+  DFTH_REPLAY_CANCEL_FIRE(pid, t->id);
+  return ::dfth::replay::kDispatchDeadline;
+}
+
 void SimEngine::attempt_dispatch(VProc& vp, int pid) {
   // Keep the loop clock fresh: schedulers emit Steal events from inside
   // pick_next through the tracer clock, which reads loop_now_ns_ here.
@@ -752,8 +788,12 @@ void SimEngine::attempt_dispatch(VProc& vp, int pid) {
     ++stats_.dispatches;
     DFTH_TRACE_EMIT_AT(pid, obs::EvKind::Dispatch, vp.clock_ns, t->id,
                        t->dispatches);
+    // Outside the commit macro: the deadline check must run even when the
+    // build has no replay layer.
+    [[maybe_unused]] const std::uint64_t cancel_b =
+        expire_on_dispatch(t, pid, vp.clock_ns);
     DFTH_REPLAY_COMMIT(::dfth::replay::EvKind::Dispatch,
-                       ::dfth::replay::lane_actor(pid), t->id, 0);
+                       ::dfth::replay::lane_actor(pid), t->id, cancel_b);
     // The lane's accumulated idle time is this dispatch's gap; it burdens
     // the fiber (an ideal scheduler would have run it sooner) and must be
     // consumed whether or not a profiler is installed.
@@ -828,8 +868,11 @@ void SimEngine::handle_event(VProc& vp, int pid) {
         DFTH_TRACE_EMIT_AT(pid, obs::EvKind::Dispatch, vp.clock_ns, child->id,
                            child->dispatches);
         DFTH_PROF_DISPATCH(child->id, us_to_ns(opts_.cost.ctx_switch_us), 0);
+        [[maybe_unused]] const std::uint64_t cancel_b =
+            expire_on_dispatch(child, pid, vp.clock_ns);
         DFTH_REPLAY_COMMIT(::dfth::replay::EvKind::Dispatch,
-                           ::dfth::replay::lane_actor(pid), child->id, 1);
+                           ::dfth::replay::lane_actor(pid), child->id,
+                           ::dfth::replay::kDispatchForkDive | cancel_b);
       } else {
         // FIFO / LIFO: the child waits its turn; the parent continues.
         child->state.store(ThreadState::Ready, std::memory_order_relaxed);
@@ -927,6 +970,7 @@ void SimEngine::dump_flight(const char* reason) {
       info.replay_cmd = "tools/dfth-replay replay " + rs->path();
     } else {
       info.replay_log = rs->path();
+      info.replay_position = rs->position_summary();
     }
   }
 #endif

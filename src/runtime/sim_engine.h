@@ -54,6 +54,7 @@ class SimEngine final : public Engine {
                            std::uint64_t timeout_ns) override;
   void wake(Tcb* t) override;
   void charge_sync_op() override;
+  std::uint64_t now_ns() const override { return vnow_ns(); }
   void on_alloc(std::size_t bytes, std::int64_t fresh_bytes) override;
   void on_free(std::size_t bytes) override;
   bool uses_alloc_quota() const override;
@@ -137,6 +138,12 @@ class SimEngine final : public Engine {
   /// clustered scheduler gets one lock per SMP).
   void sched_lock_acquire(VProc& vp, int proc);
   void make_ready(VProc& vp, int pid, Tcb* t);
+  /// Deadline check at a dispatch: fires `t`'s cancel token (once per token)
+  /// when the virtual clock has passed its deadline, and returns the
+  /// kDispatchDeadline flag to fold into the Dispatch record's `b`.
+  /// Cooperative — the fiber still runs; its body polls
+  /// dfth::cancel_requested() and drains.
+  std::uint64_t expire_on_dispatch(Tcb* t, int pid, std::uint64_t now);
   [[noreturn]] void report_deadlock();
 
   // Simulated stack pool (Solaris stack caching): maps simulated stack size

@@ -1,0 +1,81 @@
+// K-driven admission control for the serving front-end.
+//
+// The space-bound certifier (space/) proves each endpoint's handler runs in
+// at most B_e tracked-heap bytes under the AsyncDF scheduler (S1 + O(p·K·D)
+// with the endpoint's own serial bound). Admission then reduces to budget
+// reservation: a request of endpoint e is admitted iff
+//
+//     reserved + B_e  <=  budget_total - baseline_live
+//
+// where `reserved` sums the B_e of every in-flight request and
+// baseline_live is the tracked-heap level measured when the server armed
+// (long-lived state that no request can free). Rejecting at this line is
+// what turns would-be OOM aborts into DfStatus::kOverloaded-style
+// backpressure: the heap can never be asked for more than the budget, so
+// df_malloc inside an admitted request only fails if an endpoint exceeds
+// its certified bound — a bug, not an overload.
+//
+// Reservations use a CAS loop (not fetch_add-then-undo) so a burst of
+// concurrent admits on the RealEngine can never transiently overshoot the
+// budget — overshoot is exactly the OOM window this controller exists to
+// close.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace dfth::serve {
+
+class AdmissionController {
+ public:
+  /// budget_bytes: total tracked-heap bytes the server may have in flight.
+  /// baseline_bytes: live bytes already held when the server armed.
+  AdmissionController(std::size_t budget_bytes, std::size_t baseline_bytes)
+      : usable_(budget_bytes > baseline_bytes ? budget_bytes - baseline_bytes
+                                              : 0) {}
+
+  /// Reserves `bound_bytes` of headroom; false when it does not fit.
+  /// An endpoint bound larger than the whole usable budget is permanently
+  /// inadmissible — the caller should treat that as a config error.
+  bool try_admit(std::size_t bound_bytes) {
+    std::size_t cur = reserved_.load(std::memory_order_relaxed);
+    for (;;) {
+      if (bound_bytes > usable_ || cur > usable_ - bound_bytes) return false;
+      if (reserved_.compare_exchange_weak(cur, cur + bound_bytes,
+                                          std::memory_order_acquire,
+                                          std::memory_order_relaxed)) {
+        return true;
+      }
+    }
+  }
+
+  /// Takes a reservation unconditionally. Strict-replay only: the recorded
+  /// run already proved this admit fit under the budget, and the CAS race
+  /// cannot be re-run live (release effects lag their log position), so the
+  /// replaying pump applies the recorded yes/no verbatim.
+  void force_admit(std::size_t bound_bytes) {
+    reserved_.fetch_add(bound_bytes, std::memory_order_acquire);
+  }
+
+  /// Returns a reservation taken by try_admit (at request termination).
+  void release(std::size_t bound_bytes) {
+    reserved_.fetch_sub(bound_bytes, std::memory_order_release);
+  }
+
+  std::size_t usable() const { return usable_; }
+  std::size_t reserved() const {
+    return reserved_.load(std::memory_order_relaxed);
+  }
+  /// Unreserved budget right now — the time series the soak samples.
+  std::size_t headroom() const {
+    const std::size_t r = reserved();
+    return r >= usable_ ? 0 : usable_ - r;
+  }
+
+ private:
+  const std::size_t usable_;
+  std::atomic<std::size_t> reserved_{0};
+};
+
+}  // namespace dfth::serve

@@ -1,0 +1,94 @@
+// A request flowing through the serving front-end (src/serve/server.h).
+//
+// Requests are caller-owned: the client allocates one (typically from an
+// arena that outlives the run), fills endpoint/submit fields, and hands a
+// pointer through the bounded ingress ring. The server never frees one.
+// Exactly-once termination: every submitted request ends in exactly one of
+// {kCompleted, kRejected, kExpired}; `outcome` is written once, by the
+// server, before on_done fires — the acceptance invariant the soak checks.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "threads/cancel.h"
+
+namespace dfth::serve {
+
+/// Terminal states. kRejected covers both shed tiers and admission-control
+/// rejections (RejectReason says which); kExpired covers deadline expiry
+/// both while queued and while running.
+enum class Outcome : std::uint8_t {
+  kPending = 0,  ///< not yet terminal (in queue or running)
+  kCompleted,
+  kRejected,
+  kExpired,
+};
+
+/// Why a kRejected request was turned away — drives the caller's retry
+/// decision (all three are transient, but shed classes may prefer to give
+/// up sooner) and the soak's rejection breakdown.
+enum class RejectReason : std::uint8_t {
+  kNone = 0,
+  kQueueFull,   ///< ingress ring full at submit (client-side, synchronous)
+  kShed,        ///< overload tier turned this priority class away
+  kAdmission,   ///< no tracked-heap headroom for the endpoint's space bound
+};
+
+const char* to_string(Outcome o);
+const char* to_string(RejectReason r);
+
+struct Request {
+  std::uint64_t id = 0;
+  int endpoint = 0;        ///< index into the server's EndpointSpec table
+  int attempt = 0;         ///< 0 on first submit; caller bumps on retry
+
+  std::uint64_t submit_ns = 0;  ///< engine clock at submit (server fills)
+  std::uint64_t admit_ns = 0;   ///< engine clock when admitted (0 if never)
+  std::uint64_t finish_ns = 0;  ///< engine clock at the terminal transition
+
+  Outcome outcome = Outcome::kPending;
+  RejectReason reject = RejectReason::kNone;
+
+  /// Cancellation scope for the request's whole spawn subtree: the server
+  /// arms deadline_ns = submit_ns + endpoint deadline, wires alloc_charge
+  /// at bytes_live, and passes the token through Attr::cancel on the root
+  /// spawn — every descendant inherits it.
+  CancelToken token;
+
+  /// Shadow accounting of the request's live tracked-heap bytes, charged by
+  /// df_malloc/df_free through token.alloc_charge. Must be zero after the
+  /// terminal transition (leak invariant, asserted by tests even on the
+  /// deadline-expiry drain path).
+  std::atomic<std::int64_t> bytes_live{0};
+
+  void reset_for_retry() {
+    submit_ns = admit_ns = finish_ns = 0;
+    outcome = Outcome::kPending;
+    reject = RejectReason::kNone;
+    token.cancelled.store(false, std::memory_order_relaxed);
+    token.deadline_ns = 0;
+  }
+};
+
+inline const char* to_string(Outcome o) {
+  switch (o) {
+    case Outcome::kPending: return "pending";
+    case Outcome::kCompleted: return "completed";
+    case Outcome::kRejected: return "rejected";
+    case Outcome::kExpired: return "deadline-expired";
+  }
+  return "?";
+}
+
+inline const char* to_string(RejectReason r) {
+  switch (r) {
+    case RejectReason::kNone: return "none";
+    case RejectReason::kQueueFull: return "queue-full";
+    case RejectReason::kShed: return "shed";
+    case RejectReason::kAdmission: return "admission";
+  }
+  return "?";
+}
+
+}  // namespace dfth::serve

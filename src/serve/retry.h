@@ -1,0 +1,50 @@
+// Caller-side retry policy for rejected requests: capped exponential
+// backoff with deterministic full jitter.
+//
+// The server never retries — a rejection (queue-full, shed, admission) is a
+// terminal transition and the *client* decides whether to resubmit. That
+// keeps the exactly-once-outcome invariant trivial (each submit attempt is
+// its own request lifecycle) and puts the pacing decision where the load
+// originates.
+//
+// Jitter is full-jitter (uniform in [0, cap]) but *deterministic*: mixed
+// from (seed, request id, attempt) with splitmix64, so a fixed-seed soak —
+// and its recorded replay — schedules byte-identical retry times. Thundering
+// herds are still broken up because ids differ.
+#pragma once
+
+#include <cstdint>
+
+#include "serve/request.h"
+#include "util/rng.h"
+
+namespace dfth::serve {
+
+struct RetryPolicy {
+  int max_attempts = 4;                      ///< total submits, first included
+  std::uint64_t base_backoff_ns = 1'000'000;  ///< cap after attempt 0
+  std::uint64_t max_backoff_ns = 64'000'000;  ///< exponential growth ceiling
+};
+
+/// Whether `r`'s rejection is worth another submit: only kRejected outcomes
+/// retry (a deadline-expired request's latency budget is already spent),
+/// and only while attempts remain.
+inline bool should_retry(const RetryPolicy& p, const Request& r) {
+  return r.outcome == Outcome::kRejected && r.attempt + 1 < p.max_attempts;
+}
+
+/// Backoff before attempt `attempt` (1-based for the first retry): uniform
+/// in [0, min(max, base << (attempt-1))], deterministically jittered.
+inline std::uint64_t backoff_ns(const RetryPolicy& p, std::uint64_t request_id,
+                                int attempt, std::uint64_t seed) {
+  if (attempt <= 0) return 0;
+  const int shift = attempt - 1 > 30 ? 30 : attempt - 1;
+  std::uint64_t cap = p.base_backoff_ns << shift;
+  if (cap > p.max_backoff_ns || cap < p.base_backoff_ns) cap = p.max_backoff_ns;
+  std::uint64_t mix = seed ^ (request_id * 0x9e3779b97f4a7c15ull) ^
+                      (static_cast<std::uint64_t>(attempt) << 56);
+  const std::uint64_t r = splitmix64(mix);
+  return cap == 0 ? 0 : r % (cap + 1);
+}
+
+}  // namespace dfth::serve

@@ -5,6 +5,8 @@
 
 namespace dfth {
 
+struct CancelToken;
+
 /// Number of distinct priority levels (POSIX requires >= 32 for the realtime
 /// policies; 8 is plenty for the experiments and keeps per-level structures
 /// cheap). Higher value = scheduled first, as in the Pthreads realtime
@@ -26,6 +28,12 @@ struct Attr {
   /// Priority level in [0, kNumPriorities); runnable threads at a higher
   /// level are always dispatched before lower levels.
   int priority = 0;
+
+  /// Cooperative cancellation scope (threads/cancel.h). When null the child
+  /// inherits its parent's token, so a request's deadline propagates through
+  /// the whole spawn subtree; set it only on a root spawn that starts a new
+  /// scope. Caller-owned; must outlive every fiber carrying it.
+  CancelToken* cancel = nullptr;
 };
 
 }  // namespace dfth

@@ -1,0 +1,51 @@
+// Cooperative cancellation token — the unit of deadline propagation for the
+// serving subsystem (src/serve/) and for any caller that wants to abandon a
+// spawn subtree.
+//
+// A token is attached to a root spawn via Attr::cancel and inherited by
+// every descendant (the engine copies the parent's pointer at spawn when the
+// child's Attr does not set its own). Cancellation is *cooperative*: firing
+// the token never skips a fiber's body or unwinds its stack — a never-run
+// child would deadlock peers waiting on a barrier, and unwinding across a
+// context switch is unrecoverable. Instead:
+//
+//   * the engine flips `cancelled` at dispatch time once `deadline_ns` has
+//     passed on the engine clock (virtual ns in Sim, steady ns in Real), and
+//   * fibers poll dfth::cancel_requested() at author-chosen safe points
+//     (typically before spawning children) and early-return, so an expired
+//     request's subtree drains in O(live fibers) dispatches while every
+//     already-spawned fiber still reaches its joins and barriers.
+//
+// Both the flip and every poll are logged replay decisions (EvKind::
+// CancelFire / CancelCheck), so a recorded run's control flow is pinned even
+// though the underlying flag read races with the timer.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace dfth {
+
+struct CancelToken {
+  /// Set once by the engine (deadline expiry at dispatch) or by the owner
+  /// (explicit cancel); never cleared for the token's lifetime.
+  std::atomic<bool> cancelled{false};
+
+  /// Absolute engine-clock deadline (dfth::now_ns() units); 0 = none. Must
+  /// be fixed before the token is attached to a spawn — the engine reads it
+  /// without synchronization at every dispatch.
+  std::uint64_t deadline_ns = 0;
+
+  /// Optional caller-owned live-byte counter: every df_malloc/df_free by a
+  /// fiber carrying this token adds/subtracts its tracked size here. The
+  /// serving admission controller uses it to observe per-request footprint
+  /// against the endpoint's certified budget.
+  std::atomic<std::int64_t>* alloc_charge = nullptr;
+
+  void cancel() { cancelled.store(true, std::memory_order_release); }
+  bool is_cancelled() const {
+    return cancelled.load(std::memory_order_acquire);
+  }
+};
+
+}  // namespace dfth

@@ -11,6 +11,7 @@
 #include "core/order_list.h"
 #include "space/stack_pool.h"
 #include "threads/attr.h"
+#include "threads/cancel.h"
 #include "threads/context.h"
 #include "util/spinlock.h"
 
@@ -59,6 +60,9 @@ struct Tcb {
 
   // -- scheduler state --------------------------------------------------------
   Tcb* parent = nullptr;
+  /// Cancellation scope this fiber runs under (threads/cancel.h): the attr's
+  /// token if set, else the parent's at spawn time. Null outside any scope.
+  CancelToken* cancel = nullptr;
   OrderNode order;          ///< placeholder in the AsyncDF serial-order list
   std::int64_t quota = 0;   ///< remaining memory quota for this scheduling
   int home_proc = 0;        ///< policy data: WS deque / clustered SMP id

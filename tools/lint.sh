@@ -124,8 +124,28 @@ if audit_grep "$replay_files" '\bpthread_[a-z_]+[[:space:]]*\('; then
   status=1
 fi
 
+# The serving layer holds the same line as the engines it fronts: no raw
+# stdio (everything it measures flows through ServeReport counters into the
+# bench JSON the CI serve leg parses), no raw pthread primitives (handlers
+# and the pump run on fibers — blocking a kernel thread stalls a whole
+# lane), and no untracked allocation (request payloads must charge the
+# tracked heap or the admission budget it enforces is fiction).
+serve_files=$(find src/serve -name '*.cpp' -o -name '*.h')
+if audit_grep "$serve_files" '\b(printf|fprintf|puts|fputs)[[:space:]]*\(|std::(cout|cerr)\b'; then
+  echo "lint: raw stdio in src/serve (use DFTH_LOG_* or ServeReport counters)" >&2
+  status=1
+fi
+if audit_grep "$serve_files" '\bpthread_[a-z_]+[[:space:]]*\('; then
+  echo "lint: raw pthread_* call in src/serve (use runtime/sync.h)" >&2
+  status=1
+fi
+if audit_grep "$serve_files" '\b(malloc|calloc|realloc|free)[[:space:]]*\('; then
+  echo "lint: raw malloc/free in src/serve (use df_malloc/df_free)" >&2
+  status=1
+fi
+
 if [ "$status" -eq 0 ]; then
-  echo "lint: allocation/threading/stdio audit clean (src/apps, src/core, src/runtime, src/obs, src/resil, src/replay, tests, bench)"
+  echo "lint: allocation/threading/stdio audit clean (src/apps, src/core, src/runtime, src/obs, src/resil, src/replay, src/serve, tests, bench)"
 fi
 
 if [ "$grep_only" -eq 1 ]; then
